@@ -1,0 +1,72 @@
+// Command spatialbench reproduces the paper's evaluation: it runs any (or
+// all) of Table 2 and Figures 10–16 on the synthetic evaluation datasets
+// and prints the same series the paper plots.
+//
+// Usage:
+//
+//	spatialbench -exp all            # everything, default scale
+//	spatialbench -exp fig12 -scale 0.1
+//	spatialbench -exp table2,fig10,fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16 or all")
+	scale := flag.Float64("scale", experiments.DefaultScale,
+		"dataset scale in (0,1]: fraction of the paper's object counts")
+	flag.Parse()
+
+	r := experiments.NewRunner(*scale, os.Stdout)
+	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull"}
+	want := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range all {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(strings.ToLower(e))] = true
+		}
+	}
+
+	run := map[string]func(){
+		"table2": func() { r.Table2() },
+		"fig10":  func() { r.Fig10() },
+		"fig11":  func() { r.Fig11() },
+		"fig12":  func() { r.Fig12() },
+		"fig13":  func() { r.Fig13() },
+		"fig14":  func() { r.Fig14() },
+		"fig15":  func() { r.Fig15() },
+		"fig16":  func() { r.Fig16() },
+		"hull":   func() { r.ExtraHull() },
+	}
+	ran := 0
+	for _, name := range all {
+		if !want[name] {
+			continue
+		}
+		start := time.Now()
+		run[name]()
+		fmt.Printf("-- %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		ran++
+		delete(want, name)
+	}
+	for name := range want {
+		fmt.Fprintf(os.Stderr, "spatialbench: unknown experiment %q (have %s, all)\n",
+			name, strings.Join(all, ", "))
+		os.Exit(2)
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "spatialbench: nothing to run")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,339 @@
+// Command spatialdb is an interactive shell over the spatial query engine:
+// generate or load layers, inspect them, and run selections, joins,
+// within-distance joins and k-nearest-neighbor queries with software or
+// hardware-assisted refinement.
+//
+//	$ spatialdb
+//	> gen water WATER 0.02
+//	> gen prism PRISM 0.02
+//	> join water prism hw
+//	> within water prism 20 sw
+//	> knn water POLYGON ((200 150, 220 150, 220 170, 200 170)) 5
+//	> help
+//
+// Commands can also be piped on stdin for scripting.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/query"
+)
+
+type shell struct {
+	layers map[string]*query.Layer
+	out    *bufio.Writer
+}
+
+func main() {
+	sh := &shell{
+		layers: map[string]*query.Layer{},
+		out:    bufio.NewWriter(os.Stdout),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	fmt.Fprintln(sh.out, `spatialdb — type "help" for commands`)
+	sh.prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			sh.prompt()
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+		sh.prompt()
+	}
+	sh.out.Flush()
+}
+
+func (sh *shell) prompt() {
+	fmt.Fprint(sh.out, "> ")
+	sh.out.Flush()
+}
+
+func (sh *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		sh.help()
+		return nil
+	case "gen":
+		return sh.gen(args)
+	case "load":
+		return sh.load(args)
+	case "layers":
+		sh.listLayers()
+		return nil
+	case "stats":
+		return sh.stats(args)
+	case "join":
+		return sh.join(args)
+	case "overlay":
+		return sh.overlay(args)
+	case "within":
+		return sh.within(args)
+	case "select":
+		return sh.selectCmd(line)
+	case "knn":
+		return sh.knn(line)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (sh *shell) help() {
+	fmt.Fprint(sh.out, `commands:
+  gen <name> <DATASET> <scale>      generate a synthetic layer (LANDC, LANDO, STATES50, PRISM, WATER)
+  load <name> <path>                load a layer from .json or .wkt
+  layers                            list loaded layers
+  stats <name>                      Table 2 statistics of a layer
+  join <a> <b> [sw|hw]              intersection join (default hw)
+  overlay <a> <b>                   map overlay: per-pair intersection areas
+  within <a> <b> <D> [sw|hw]        within-distance join
+  select <layer> <WKT POLYGON>      intersection selection with a query polygon
+  knn <layer> <WKT POLYGON> <k>     k nearest objects to a query polygon
+  quit                              leave
+`)
+}
+
+func (sh *shell) layer(name string) (*query.Layer, error) {
+	l, ok := sh.layers[name]
+	if !ok {
+		return nil, fmt.Errorf("no layer %q (see layers)", name)
+	}
+	return l, nil
+}
+
+func (sh *shell) gen(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: gen <name> <DATASET> <scale>")
+	}
+	scale, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad scale: %w", err)
+	}
+	d, err := data.Load(strings.ToUpper(args[1]), scale)
+	if err != nil {
+		return err
+	}
+	sh.layers[args[0]] = query.NewLayer(d)
+	fmt.Fprintf(sh.out, "layer %q: %d objects\n", args[0], len(d.Objects))
+	return nil
+}
+
+func (sh *shell) load(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: load <name> <path>")
+	}
+	var (
+		d   *data.Dataset
+		err error
+	)
+	if strings.HasSuffix(args[1], ".wkt") {
+		d, err = data.LoadWKTFile(args[1])
+	} else {
+		d, err = data.LoadFile(args[1])
+	}
+	if err != nil {
+		return err
+	}
+	sh.layers[args[0]] = query.NewLayer(d)
+	fmt.Fprintf(sh.out, "layer %q: %d objects\n", args[0], len(d.Objects))
+	return nil
+}
+
+func (sh *shell) listLayers() {
+	if len(sh.layers) == 0 {
+		fmt.Fprintln(sh.out, "(no layers; use gen or load)")
+		return
+	}
+	names := make([]string, 0, len(sh.layers))
+	for n := range sh.layers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l := sh.layers[n]
+		fmt.Fprintf(sh.out, "%-12s %6d objects  bounds %v\n", n, len(l.Data.Objects), l.Data.Bounds())
+	}
+}
+
+func (sh *shell) stats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: stats <name>")
+	}
+	l, err := sh.layer(args[0])
+	if err != nil {
+		return err
+	}
+	s := l.Data.Stats()
+	fmt.Fprintf(sh.out, "N=%d vertices min/avg/max = %d/%.0f/%d total=%d avgMBR=%.2fx%.2f\n",
+		s.N, s.MinVerts, s.AvgVerts, s.MaxVerts, s.TotalVerts, s.AvgMBRWidth, s.AvgMBRHeight)
+	return nil
+}
+
+func testerFor(mode string) (*core.Tester, error) {
+	switch mode {
+	case "", "hw":
+		return core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold}), nil
+	case "sw":
+		return core.NewTester(core.Config{DisableHardware: true}), nil
+	default:
+		return nil, fmt.Errorf("mode must be sw or hw, got %q", mode)
+	}
+}
+
+func (sh *shell) join(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("usage: join <a> <b> [sw|hw]")
+	}
+	a, err := sh.layer(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := sh.layer(args[1])
+	if err != nil {
+		return err
+	}
+	mode := ""
+	if len(args) == 3 {
+		mode = args[2]
+	}
+	tester, err := testerFor(mode)
+	if err != nil {
+		return err
+	}
+	pairs, cost := query.IntersectionJoin(a, b, tester)
+	sh.report("join", len(pairs), cost)
+	return nil
+}
+
+func (sh *shell) within(args []string) error {
+	if len(args) < 3 || len(args) > 4 {
+		return fmt.Errorf("usage: within <a> <b> <D> [sw|hw]")
+	}
+	a, err := sh.layer(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := sh.layer(args[1])
+	if err != nil {
+		return err
+	}
+	d, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad distance: %w", err)
+	}
+	mode := ""
+	if len(args) == 4 {
+		mode = args[3]
+	}
+	tester, err := testerFor(mode)
+	if err != nil {
+		return err
+	}
+	pairs, cost := query.WithinDistanceJoin(a, b, d, tester,
+		query.DistanceFilterOptions{Use0Object: true, Use1Object: true})
+	sh.report("within", len(pairs), cost)
+	return nil
+}
+
+func (sh *shell) overlay(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: overlay <a> <b>")
+	}
+	a, err := sh.layer(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := sh.layer(args[1])
+	if err != nil {
+		return err
+	}
+	tester, _ := testerFor("hw")
+	pairs, cost := query.OverlayAreaJoin(a, b, tester)
+	var total float64
+	for _, op := range pairs {
+		total += op.Area
+	}
+	fmt.Fprintf(sh.out, "overlay: %d overlapping pairs, %.4f units² shared area (total %v)\n",
+		len(pairs), total, cost.Total().Round(time.Millisecond))
+	return nil
+}
+
+// selectCmd and knn take the raw line because WKT contains spaces.
+func (sh *shell) selectCmd(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "select"))
+	name, wkt, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("usage: select <layer> <WKT POLYGON>")
+	}
+	l, err := sh.layer(name)
+	if err != nil {
+		return err
+	}
+	q, err := geom.ParsePolygonWKT(wkt)
+	if err != nil {
+		return err
+	}
+	tester, _ := testerFor("hw")
+	ids, cost := query.IntersectionSelect(l, q, tester, query.SelectionOptions{InteriorLevel: 4})
+	sh.report("select", len(ids), cost)
+	return nil
+}
+
+func (sh *shell) knn(line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "knn"))
+	name, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("usage: knn <layer> <WKT POLYGON> <k>")
+	}
+	l, err := sh.layer(name)
+	if err != nil {
+		return err
+	}
+	i := strings.LastIndexByte(rest, ' ')
+	if i < 0 {
+		return fmt.Errorf("usage: knn <layer> <WKT POLYGON> <k>")
+	}
+	k, err := strconv.Atoi(strings.TrimSpace(rest[i+1:]))
+	if err != nil {
+		return fmt.Errorf("bad k: %w", err)
+	}
+	q, err := geom.ParsePolygonWKT(rest[:i])
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	neighbors := query.KNearest(l, q, k, dist.Options{})
+	fmt.Fprintf(sh.out, "%d neighbors in %v:\n", len(neighbors), time.Since(start).Round(time.Microsecond))
+	for _, nb := range neighbors {
+		fmt.Fprintf(sh.out, "  object %-6d distance %.4f\n", nb.ID, nb.Distance)
+	}
+	return nil
+}
+
+func (sh *shell) report(op string, results int, cost query.Cost) {
+	fmt.Fprintf(sh.out, "%s: %d results (mbr %v, filter %v, geometry %v; %d candidates, %d compared)\n",
+		op, results,
+		cost.MBRFilter.Round(time.Microsecond),
+		cost.IntermediateFilter.Round(time.Microsecond),
+		cost.GeometryComparison.Round(time.Microsecond),
+		cost.Candidates, cost.Compared)
+}

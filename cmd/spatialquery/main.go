@@ -1,0 +1,122 @@
+// Command spatialquery runs a single spatial query against datasets saved
+// by spatialgen, comparing software and hardware-assisted refinement.
+//
+// Usage:
+//
+//	spatialquery -op join    -a landc.json -b lando.json
+//	spatialquery -op within  -a water.json -b prism.json -d 1.5
+//	spatialquery -op select  -a water.json -b states50.json -query 7
+//
+// For -op select, -b supplies the query layer and -query picks the query
+// polygon's index within it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+func main() {
+	op := flag.String("op", "join", "operation: join, within, select")
+	aPath := flag.String("a", "", "first dataset JSON (required)")
+	bPath := flag.String("b", "", "second / query dataset JSON (required)")
+	d := flag.Float64("d", 0, "distance for -op within")
+	queryIdx := flag.Int("query", 0, "query polygon index for -op select")
+	res := flag.Int("res", core.DefaultResolution, "hardware window resolution")
+	threshold := flag.Int("threshold", core.DefaultSWThreshold, "software threshold")
+	swOnly := flag.Bool("sw", false, "software only, skip the hardware run")
+	flag.Parse()
+
+	if *aPath == "" || *bPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := loadLayer(*aPath)
+	if err != nil {
+		fail(err)
+	}
+	b, err := loadLayer(*bPath)
+	if err != nil {
+		fail(err)
+	}
+
+	type runner func(*core.Tester) (int, query.Cost)
+	var run runner
+	switch *op {
+	case "join":
+		run = func(t *core.Tester) (int, query.Cost) {
+			pairs, cost := query.IntersectionJoin(a, b, t)
+			return len(pairs), cost
+		}
+	case "within":
+		if *d <= 0 {
+			*d = data.BaseD(a.Data, b.Data)
+			fmt.Printf("using D = BaseD = %.4f\n", *d)
+		}
+		run = func(t *core.Tester) (int, query.Cost) {
+			pairs, cost := query.WithinDistanceJoin(a, b, *d, t,
+				query.DistanceFilterOptions{Use0Object: true, Use1Object: true})
+			return len(pairs), cost
+		}
+	case "select":
+		if *queryIdx < 0 || *queryIdx >= len(b.Data.Objects) {
+			fail(fmt.Errorf("query index %d out of range (0..%d)", *queryIdx, len(b.Data.Objects)-1))
+		}
+		q := b.Data.Objects[*queryIdx]
+		run = func(t *core.Tester) (int, query.Cost) {
+			ids, cost := query.IntersectionSelect(a, q, t, query.SelectionOptions{InteriorLevel: 4})
+			return len(ids), cost
+		}
+	default:
+		fail(fmt.Errorf("unknown -op %q", *op))
+	}
+
+	swResults, swCost := run(core.NewTester(core.Config{DisableHardware: true}))
+	report("software", swResults, swCost)
+	if *swOnly {
+		return
+	}
+	hwResults, hwCost := run(core.NewTester(core.Config{Resolution: *res, SWThreshold: *threshold}))
+	report(fmt.Sprintf("hardware %dx%d threshold %d", *res, *res, *threshold), hwResults, hwCost)
+	if swResults != hwResults {
+		fail(fmt.Errorf("result mismatch: sw %d vs hw %d", swResults, hwResults))
+	}
+	fmt.Println("results identical")
+}
+
+func loadLayer(path string) (*query.Layer, error) {
+	var (
+		d   *data.Dataset
+		err error
+	)
+	if strings.HasSuffix(path, ".wkt") {
+		d, err = data.LoadWKTFile(path)
+	} else {
+		d, err = data.LoadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return query.NewLayer(d), nil
+}
+
+func report(name string, results int, cost query.Cost) {
+	fmt.Printf("%s:\n  results %d\n  mbr %v, filter %v, geometry %v, total %v\n",
+		name, results,
+		cost.MBRFilter.Round(time.Microsecond),
+		cost.IntermediateFilter.Round(time.Microsecond),
+		cost.GeometryComparison.Round(time.Microsecond),
+		cost.Total().Round(time.Microsecond))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spatialquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// EstimateIntersectionArea approximates the area of p ∩ q by rendering
+// both polygons filled into a res×res window over the intersection of
+// their MBRs and counting pixels covered by both, scaled by the pixel's
+// data-space area. This is the rasterization-based selectivity estimation
+// that grew out of the paper's line of work: unlike the refinement filter
+// it is approximate — error shrinks as O(perimeter/res) — but it prices a
+// map-overlay result without computing any overlay geometry. Exact convex
+// overlays are available in geom.ClipConvex; this handles arbitrary simple
+// polygons.
+func EstimateIntersectionArea(p, q *geom.Polygon, res int) float64 {
+	if res <= 0 {
+		res = 64
+	}
+	region := p.Bounds().Intersection(q.Bounds())
+	if region.IsEmpty() || region.Area() == 0 {
+		return 0
+	}
+	ctx := raster.NewContext(res, res)
+	ctx.SetViewport(region)
+
+	ctx.SetColorBits(1)
+	ctx.FillPolygon(p)
+	ctx.SetColorBits(2)
+	ctx.FillPolygon(q)
+	ctx.SetColorBits(0)
+
+	both := 0
+	for _, v := range ctx.Color().Pix {
+		if v == 3 {
+			both++
+		}
+	}
+	sx, sy := ctx.Scale()
+	pixelArea := (1 / sx) * (1 / sy)
+	return float64(both) * pixelArea
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEstimateIntersectionAreaSquares(t *testing.T) {
+	a := square(0, 0, 4)
+	b := square(2, 2, 4) // true overlap area 4
+	got := EstimateIntersectionArea(a, b, 128)
+	if math.Abs(got-4) > 0.3 {
+		t.Errorf("estimate = %v, want ≈4", got)
+	}
+	// Disjoint and empty-region cases.
+	if got := EstimateIntersectionArea(a, square(10, 10, 2), 64); got != 0 {
+		t.Errorf("disjoint estimate = %v", got)
+	}
+	if got := EstimateIntersectionArea(a, square(4, 0, 2), 64); got > 0.5 {
+		t.Errorf("edge-touch estimate = %v, want ≈0", got)
+	}
+	// Default resolution kicks in for res <= 0.
+	if got := EstimateIntersectionArea(a, b, 0); math.Abs(got-4) > 0.6 {
+		t.Errorf("default-res estimate = %v", got)
+	}
+}
+
+// TestEstimateConvergesToExact compares against the exact convex overlay
+// area from geom.ClipConvex: estimates must converge as resolution grows.
+func TestEstimateConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := range 60 {
+		a := randomHull(rng, 5, 5, 4)
+		b := randomHull(rng, 6.5, 5.5, 4)
+		if a == nil || b == nil {
+			continue
+		}
+		inter := geom.ClipConvex(a, b)
+		exact := 0.0
+		if inter != nil {
+			exact = inter.Area()
+		}
+		coarse := EstimateIntersectionArea(a, b, 32)
+		fine := EstimateIntersectionArea(a, b, 256)
+		region := a.Bounds().Intersection(b.Bounds())
+		if region.IsEmpty() {
+			continue
+		}
+		tolFine := 0.05*region.Area() + 0.05
+		if math.Abs(fine-exact) > tolFine {
+			t.Fatalf("trial %d: fine estimate %v vs exact %v (tol %v)", trial, fine, exact, tolFine)
+		}
+		// The fine estimate should not be (much) worse than the coarse one.
+		if math.Abs(fine-exact) > math.Abs(coarse-exact)+tolFine {
+			t.Fatalf("trial %d: estimate degraded with resolution: coarse %v fine %v exact %v",
+				trial, coarse, fine, exact)
+		}
+	}
+}
+
+func randomHull(rng *rand.Rand, cx, cy, r float64) *geom.Polygon {
+	pts := make([]geom.Point, 14)
+	for i := range pts {
+		pts[i] = geom.Pt(cx+(rng.Float64()*2-1)*r, cy+(rng.Float64()*2-1)*r)
+	}
+	return geom.ConvexHull(pts)
+}

@@ -1,0 +1,383 @@
+// Package core implements the paper's contribution: hardware-assisted
+// refinement tests for spatial predicates. The intersection test is
+// Algorithm 3.1 — a software point-in-polygon step, a conservative
+// hardware segment-intersection filter rendered on the simulated graphics
+// card (internal/raster), and the software plane sweep only for pairs the
+// filter cannot reject. The within-distance test renders the boundaries
+// widened by the query distance (Figure 6, Equation 1) under a uniform
+// projection and falls back to the software minDist algorithm when the
+// hardware filter is inconclusive or the required line width exceeds the
+// hardware limit.
+//
+// Both tests are exact: the hardware step only ever rejects pairs whose
+// negative answer is guaranteed by the conservative rasterization
+// properties of the renderer, so the combined result always equals the
+// software-only result. The adaptive SWThreshold (paper §4.3) skips the
+// hardware filter for simple polygon pairs where the fixed buffer-search
+// overhead would exceed the software test itself.
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/sweep"
+	"time"
+)
+
+// Default configuration values. The paper finds an 8×8 window the best
+// overall balance on its platform (§5) and thresholds around 300–900
+// depending on resolution (§4.3).
+const (
+	DefaultResolution  = 8
+	DefaultSWThreshold = 500
+)
+
+// Config controls a Tester.
+type Config struct {
+	// Resolution is the rendering window's width and height in pixels
+	// (the paper sweeps 1–32). Zero means DefaultResolution.
+	Resolution int
+	// SWThreshold skips the hardware filter when the two polygons have
+	// n+m vertices at or below it (paper §4.3). Zero is a valid setting
+	// (always use hardware); use DefaultSWThreshold for the tuned value.
+	SWThreshold int
+	// LineWidth is the anti-aliased line width in pixels for the
+	// intersection filter. Zero means the OpenGL default √2; the value is
+	// capped by raster.MaxLineWidth.
+	LineWidth float64
+	// DisableHardware turns the Tester into the software-only baseline.
+	DisableHardware bool
+	// UseAccum selects the accumulation-buffer overlap protocol of
+	// Algorithm 3.1 (two half-intensity renderings added, then a Minmax
+	// search for full intensity) instead of the default occlusion-query
+	// protocol (render the first layer, test the second layer's fragments
+	// against the buffer with early exit). Hoff et al., cited in §3, list
+	// buffer-test variants of exactly this kind; results are identical,
+	// and the accumulation path remains for the protocol ablation bench.
+	UseAccum bool
+	// Software selects the software segment-intersection algorithm.
+	Software sweep.Options
+	// Dist selects the software distance-test options.
+	Dist dist.Options
+}
+
+// Stats counts how pair tests were resolved; the evaluation harness reads
+// these to report filter effectiveness.
+type Stats struct {
+	Tests       int64 // pair tests started
+	MBRRejects  int64 // rejected by the MBR pre-test
+	PIPHits     int64 // resolved positive by point-in-polygon containment
+	SWDirect    int64 // sent straight to software (threshold or disabled)
+	HWRejects   int64 // rejected by the hardware filter
+	HWPassed    int64 // hardware inconclusive, decided by software
+	HWFallbacks int64 // distance only: line width over the hardware limit
+
+	// Wall-clock decomposition of the refinement work.
+	HWTime      time.Duration // rendering + buffer search
+	SWTime      time.Duration // software segment / distance tests
+	CollectTime time.Duration // candidate-edge collection (shared by both)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Tests += other.Tests
+	s.MBRRejects += other.MBRRejects
+	s.PIPHits += other.PIPHits
+	s.SWDirect += other.SWDirect
+	s.HWRejects += other.HWRejects
+	s.HWPassed += other.HWPassed
+	s.HWFallbacks += other.HWFallbacks
+	s.HWTime += other.HWTime
+	s.SWTime += other.SWTime
+	s.CollectTime += other.CollectTime
+}
+
+// Tester runs refinement tests for one worker. It owns a rendering context
+// (reused across pair tests, as the paper reuses one small window) and is
+// therefore not safe for concurrent use; create one Tester per goroutine.
+type Tester struct {
+	cfg   Config
+	ctx   *raster.Context
+	Stats Stats
+
+	// Scratch buffers for the per-pair candidate edge sets, reused across
+	// tests to keep the hot path allocation-free.
+	redBuf, blueBuf []geom.Segment
+	// sweeper reuses the plane sweep's working storage across pair tests.
+	sweeper sweep.Sweeper
+}
+
+// NewTester builds a Tester from cfg, applying defaults for zero fields.
+func NewTester(cfg Config) *Tester {
+	if cfg.Resolution <= 0 {
+		cfg.Resolution = DefaultResolution
+	}
+	t := &Tester{cfg: cfg}
+	if !cfg.DisableHardware {
+		t.ctx = raster.NewContext(cfg.Resolution, cfg.Resolution)
+		if cfg.LineWidth > 0 {
+			if err := t.ctx.SetLineWidth(cfg.LineWidth); err != nil {
+				// Cap at the hardware limit rather than failing: the caller
+				// asked for a wider filter than the hardware supports.
+				_ = t.ctx.SetLineWidth(raster.MaxLineWidth)
+			}
+		}
+	}
+	return t
+}
+
+// Config returns the tester's effective configuration.
+func (t *Tester) Config() Config { return t.cfg }
+
+// Context exposes the rendering context (nil when hardware is disabled),
+// for instrumentation.
+func (t *Tester) Context() *raster.Context { return t.ctx }
+
+// ResetStats zeroes the counters.
+func (t *Tester) ResetStats() {
+	t.Stats = Stats{}
+	if t.ctx != nil {
+		t.ctx.ResetCounters()
+	}
+}
+
+// Intersects is Algorithm 3.1: it reports whether the closed regions of p
+// and q share at least one point, exactly.
+func (t *Tester) Intersects(p, q *geom.Polygon) bool {
+	t.Stats.Tests++
+	if !p.Bounds().Intersects(q.Bounds()) {
+		t.Stats.MBRRejects++
+		return false
+	}
+
+	// Step 1: software point-in-polygon test, both directions. Linear and
+	// cache friendly; also the only step that can see containment, which
+	// the edge rendering cannot.
+	if sweep.ContainmentPossible(p, q) {
+		t.Stats.PIPHits++
+		return true
+	}
+
+	// Adaptive threshold (§4.3): for simple pairs the fixed hardware
+	// overhead exceeds the software sweep, so skip straight to software.
+	if t.ctx == nil || p.NumVerts()+q.NumVerts() <= t.cfg.SWThreshold {
+		t.Stats.SWDirect++
+		start := time.Now()
+		ok := t.sweeper.BoundariesIntersect(p, q, t.cfg.Software)
+		t.Stats.SWTime += time.Since(start)
+		return ok
+	}
+
+	// The hardware and software steps both operate on the same restricted
+	// edge sets: only edges touching the intersection of the MBRs can
+	// participate in a boundary intersection.
+	start := time.Now()
+	red, blue := sweep.CandidateEdgesInto(p, q, t.redBuf, t.blueBuf)
+	t.Stats.CollectTime += time.Since(start)
+	if red != nil {
+		t.redBuf = red[:0]
+	}
+	if blue != nil {
+		t.blueBuf = blue[:0]
+	}
+	if len(red) == 0 || len(blue) == 0 {
+		t.Stats.HWRejects++
+		return false
+	}
+
+	// Step 2: hardware segment intersection test (steps 2.1–2.8),
+	// projecting the intersection of the two MBRs onto the window (§3.2).
+	start = time.Now()
+	t.ctx.SetViewport(p.Bounds().Intersection(q.Bounds()))
+	overlap := t.hwOverlap(red, blue, 0)
+	t.Stats.HWTime += time.Since(start)
+	if overlap {
+		// Inconclusive: step 3, software segment intersection test.
+		t.Stats.HWPassed++
+		start = time.Now()
+		ok := t.crossIntersects(red, blue)
+		t.Stats.SWTime += time.Since(start)
+		return ok
+	}
+	t.Stats.HWRejects++
+	return false
+}
+
+// WithinDistance reports whether the regions of p and q are within
+// distance d, exactly, using the hardware widened-edge filter where
+// profitable.
+func (t *Tester) WithinDistance(p, q *geom.Polygon, d float64) bool {
+	t.Stats.Tests++
+	if p.Bounds().Dist(q.Bounds()) > d {
+		t.Stats.MBRRejects++
+		return false
+	}
+
+	// Containment makes the region distance zero but leaves boundaries
+	// arbitrarily far apart, so it must be handled before edge rendering,
+	// exactly as in Algorithm 3.1.
+	if sweep.ContainmentPossible(p, q) {
+		t.Stats.PIPHits++
+		return true
+	}
+
+	if t.ctx == nil || p.NumVerts()+q.NumVerts() <= t.cfg.SWThreshold {
+		t.Stats.SWDirect++
+		return t.softwareWithin(p, q, d)
+	}
+
+	// Viewport: the MBR of the smaller object expanded by d (§3.2 projects
+	// "the expanded bounding rectangle of the smaller object"). If the
+	// pair is within d, the midpoint of the closest pair lies inside this
+	// region and both widened boundaries cover its pixel. The projection
+	// must be uniform so that the data-space distance d maps to one line
+	// width on both axes; the width is padded by one ulp-scale epsilon so
+	// pairs at exactly distance d stay inside the conservative coverage.
+	small := p.Bounds()
+	if q.Bounds().Area() < small.Area() {
+		small = q.Bounds()
+	}
+	region := small.Expand(d)
+	scale := t.ctx.SetViewportUniform(region)
+	widthPx := d * scale
+	widthPx += 1e-9 * (1 + widthPx)
+	if widthPx > raster.MaxLineWidth {
+		// Hardware line-width limit (paper §4.4): fall back to software.
+		t.Stats.HWFallbacks++
+		return t.softwareWithin(p, q, d)
+	}
+
+	// Only edges whose widened capsule can reach the viewport matter:
+	// those within d/2 of it, i.e. touching the region expanded by a
+	// further d/2. The pre-clip uses the same cheap bounds test as the
+	// software path, so a monster polygon paired with a small object
+	// submits only its nearby reach (§3.2: the projection "avoids
+	// rendering unnecessary edges").
+	start := time.Now()
+	red, blue := sweep.EdgesInRectInto(p, q, small.Expand(d), t.redBuf, t.blueBuf)
+	t.Stats.CollectTime += time.Since(start)
+	if red != nil {
+		t.redBuf = red[:0]
+	}
+	if blue != nil {
+		t.blueBuf = blue[:0]
+	}
+	if len(red) == 0 || len(blue) == 0 {
+		// One boundary has no presence near the smaller object at all:
+		// with containment excluded the pair cannot be within d.
+		t.Stats.HWRejects++
+		return false
+	}
+
+	start = time.Now()
+	overlap := t.hwOverlap(red, blue, widthPx)
+	t.Stats.HWTime += time.Since(start)
+	if overlap {
+		t.Stats.HWPassed++
+		start = time.Now()
+		ok := t.softwareWithin(p, q, d)
+		t.Stats.SWTime += time.Since(start)
+		return ok
+	}
+	t.Stats.HWRejects++
+	return false
+}
+
+// softwareWithin runs the software distance test knowing that containment
+// has been excluded. The chain-distance computation runs first: its
+// frontier culling assumes disjoint boundaries, but culling can only
+// *over*-report the distance, so a ≤ d verdict is always sound and exits
+// early — the common case for the mostly-positive pairs the filters leave
+// behind. Only a > d report needs the boundary-crossing check to confirm
+// that the disjointness assumption held.
+func (t *Tester) softwareWithin(p, q *geom.Polygon, d float64) bool {
+	if dist.BoundaryWithin(p, q, d, t.cfg.Dist) {
+		return true
+	}
+	return p.Bounds().Intersects(q.Bounds()) && t.sweeper.BoundariesIntersect(p, q, t.cfg.Software)
+}
+
+// hwOverlap runs the hardware overlap test (Algorithm 3.1 steps 2.1–2.8)
+// on the given edge sets under the caller-established viewport and reports
+// whether any pixel was colored by both sets. widthPx 0 uses the context's
+// anti-aliased default width.
+func (t *Tester) hwOverlap(red, blue []geom.Segment, widthPx float64) bool {
+	ctx := t.ctx
+	ctx.Clear()
+	if t.cfg.UseAccum {
+		// Accumulation protocol: two half-intensity layers sum to full
+		// intensity exactly on overlap pixels.
+		ctx.SetColor(0.5)
+		drawSet(ctx, red, widthPx)
+		ctx.AccumLoad(1)
+		ctx.Clear()
+		drawSet(ctx, blue, widthPx)
+		ctx.AccumAdd(1)
+		_, maxV := minMaxAccum(ctx)
+		return maxV >= 1
+	}
+	// Occlusion-query protocol: render one layer, then test the other
+	// layer's fragments against the buffer, stopping at the first covered
+	// fragment. Semantically identical to the accumulation search; the
+	// early exit mirrors hardware occlusion tests. Rendering the smaller
+	// set and testing the larger one bounds the stored pass by the cheap
+	// side and lets overlapping pairs exit during the expensive side.
+	if len(red) > len(blue) {
+		red, blue = blue, red
+	}
+	ctx.SetColor(1)
+	drawSet(ctx, red, widthPx)
+	for _, s := range blue {
+		if ctx.SegmentTouches(s, widthPx) {
+			return true
+		}
+	}
+	return false
+}
+
+// drawSet renders segments at the given width, 0 meaning the context
+// default.
+func drawSet(ctx *raster.Context, segs []geom.Segment, widthPx float64) {
+	if widthPx > 0 {
+		for _, s := range segs {
+			ctx.DrawSegmentWidth(s, widthPx)
+		}
+	} else {
+		ctx.DrawEdges(segs)
+	}
+}
+
+// minMaxAccum is the Minmax hardware query over the accumulation buffer:
+// cost proportional to the window area, matching the fixed per-test
+// overhead the paper attributes to the buffer search.
+func minMaxAccum(ctx *raster.Context) (minV, maxV float32) {
+	buf := ctx.Accum()
+	if len(buf.Pix) == 0 {
+		return 0, 0
+	}
+	minV, maxV = buf.Pix[0], buf.Pix[0]
+	for _, v := range buf.Pix[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return minV, maxV
+}
+
+// crossIntersects dispatches the software segment test on pre-restricted
+// edge sets, using the tester's reusable sweeper for the default
+// algorithm.
+func (t *Tester) crossIntersects(red, blue []geom.Segment) bool {
+	switch t.cfg.Software.Algorithm {
+	case sweep.ForwardScan:
+		return sweep.CrossIntersectsForwardScan(red, blue)
+	case sweep.BruteForce:
+		return sweep.CrossIntersectsBrute(red, blue)
+	default:
+		return t.sweeper.CrossIntersects(red, blue)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAccumProtocolMatches verifies that the accumulation-buffer protocol
+// of Algorithm 3.1 and the default occlusion-query protocol make identical
+// decisions on both predicates.
+func TestAccumProtocolMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	occ := NewTester(Config{Resolution: 8})
+	acc := NewTester(Config{Resolution: 8, UseAccum: true})
+	sw := NewTester(Config{DisableHardware: true})
+	for trial := range 400 {
+		p := star(rng, rng.Float64()*10, rng.Float64()*10, 0.5+rng.Float64()*4, 3+rng.Intn(25))
+		q := star(rng, rng.Float64()*10, rng.Float64()*10, 0.5+rng.Float64()*4, 3+rng.Intn(25))
+		want := sw.Intersects(p, q)
+		if got := occ.Intersects(p, q); got != want {
+			t.Fatalf("trial %d: occlusion protocol = %v, sw = %v", trial, got, want)
+		}
+		if got := acc.Intersects(p, q); got != want {
+			t.Fatalf("trial %d: accumulation protocol = %v, sw = %v", trial, got, want)
+		}
+		d := rng.Float64() * 6
+		wantD := sw.WithinDistance(p, q, d)
+		if got := occ.WithinDistance(p, q, d); got != wantD {
+			t.Fatalf("trial %d: occlusion within(%v) = %v, sw = %v", trial, d, got, wantD)
+		}
+		if got := acc.WithinDistance(p, q, d); got != wantD {
+			t.Fatalf("trial %d: accum within(%v) = %v, sw = %v", trial, d, got, wantD)
+		}
+	}
+}
+
+// TestProtocolFilterPowerComparable: both protocols should reject the same
+// pairs (they inspect the same conservative coverage), so their stats
+// match exactly on a shared workload.
+func TestProtocolFilterPowerComparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	occ := NewTester(Config{Resolution: 16})
+	acc := NewTester(Config{Resolution: 16, UseAccum: true})
+	for range 300 {
+		p := star(rng, 0, 0, 1, 30)
+		q := star(rng, 1.8, 0, 1, 30)
+		occ.Intersects(p, q)
+		acc.Intersects(p, q)
+	}
+	if occ.Stats.HWRejects != acc.Stats.HWRejects {
+		t.Errorf("protocols disagree on rejects: occ %d, accum %d",
+			occ.Stats.HWRejects, acc.Stats.HWRejects)
+	}
+	if occ.Stats.HWPassed != acc.Stats.HWPassed {
+		t.Errorf("protocols disagree on passes: occ %d, accum %d",
+			occ.Stats.HWPassed, acc.Stats.HWPassed)
+	}
+}
+
+// BenchmarkProtocols is the protocol ablation: per-pair hardware filter
+// cost under the occlusion-query and accumulation protocols on a fixed
+// near-miss pair (the case both protocols must fully render).
+func BenchmarkProtocols(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	p := star(rng, 0, 0, 1, 200)
+	q := star(rng, 1.9, 0, 1, 200)
+	for name, cfg := range map[string]Config{
+		"occlusion":    {Resolution: 16},
+		"accumulation": {Resolution: 16, UseAccum: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			tester := NewTester(cfg)
+			for range b.N {
+				tester.Intersects(p, q)
+			}
+		})
+	}
+}

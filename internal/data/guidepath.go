@@ -1,0 +1,115 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// guidePath is one shared terrain feature: a long smooth function graph
+// (bounded slope, so laterally offset copies never cross) at a fixed
+// rotation. All layers place their worm objects along the same global
+// paths, which is what correlates layers the way real GIS data is
+// correlated: land parcels are bounded by the same rivers and roads that
+// the water layer contains. Two worms on one path with overlapping spans
+// and different lateral offsets run parallel for the whole shared stretch
+// — hundreds of edges inside the pair's common MBR region, with the true
+// separation set by the offset gap. Those are exactly the expensive
+// near-miss pairs whose refinement cost dominates the paper's workloads.
+type guidePath struct {
+	center geom.Point
+	cos    float64
+	sin    float64
+	length float64
+	harm   []pathHarmonic
+}
+
+type pathHarmonic struct{ k, amp, phase float64 }
+
+// y returns the path's lateral displacement at arc position x in
+// [-length/2, length/2].
+func (g *guidePath) y(x float64) float64 {
+	v := 0.0
+	for _, h := range g.harm {
+		v += h.amp * math.Sin(h.k*x+h.phase)
+	}
+	return v
+}
+
+// place maps path-local coordinates to the data space.
+func (g *guidePath) place(x, y float64) geom.Point {
+	return geom.Pt(
+		g.center.X+x*g.cos-y*g.sin,
+		g.center.Y+x*g.sin+y*g.cos,
+	)
+}
+
+// guidePathCount is the number of shared terrain features in the domain.
+// Few enough that complex objects from different layers frequently follow
+// the same feature — the source of deeply interleaved candidate pairs.
+const guidePathCount = 10
+
+// guidePathSeed makes the features identical across all layers and runs.
+const guidePathSeed = 777
+
+// buildGuidePaths constructs the shared features for a domain.
+func buildGuidePaths(domain geom.Rect) []*guidePath {
+	rng := rand.New(rand.NewSource(guidePathSeed))
+	w, h := domain.Width(), domain.Height()
+	paths := make([]*guidePath, guidePathCount)
+	for i := range paths {
+		length := (0.25 + 0.35*rng.Float64()) * math.Max(w, h)
+		theta := rng.Float64() * math.Pi
+		nh := 2 + rng.Intn(3)
+		harm := make([]pathHarmonic, nh)
+		for j := range harm {
+			harm[j] = pathHarmonic{
+				k: (1 + 2*rng.Float64()) * 2 * math.Pi / length,
+				// Slope bound: amp·k summed stays below ~0.6, keeping the
+				// graph gentle so offset worms remain spread out.
+				amp:   0.6 / float64(nh) / ((1 + 2*0.5) * 2 * math.Pi / length),
+				phase: rng.Float64() * 2 * math.Pi,
+			}
+		}
+		paths[i] = &guidePath{
+			center: geom.Pt(
+				domain.MinX+w*(0.15+0.7*rng.Float64()),
+				domain.MinY+h*(0.15+0.7*rng.Float64()),
+			),
+			cos:    math.Cos(theta),
+			sin:    math.Sin(theta),
+			length: length,
+			harm:   harm,
+		}
+	}
+	return paths
+}
+
+// pathWorm builds a worm that follows a span of the guide path at lateral
+// offset o with the given thickness. It is simple by construction: its two
+// chains are offset copies of the same function graph.
+func pathWorm(rng *rand.Rand, g *guidePath, span, offset, thickness float64, n int) *geom.Polygon {
+	if n < 8 {
+		n = 8
+	}
+	half := n / 2
+	if span > g.length*0.9 {
+		span = g.length * 0.9
+	}
+	x0 := -g.length/2 + rng.Float64()*(g.length-span)
+	verts := make([]geom.Point, 0, 2*half)
+	for i := range half {
+		x := x0 + span*float64(i)/float64(half-1)
+		verts = append(verts, g.place(x, g.y(x)+offset-thickness/2))
+	}
+	for i := half - 1; i >= 0; i-- {
+		x := x0 + span*float64(i)/float64(half-1)
+		verts = append(verts, g.place(x, g.y(x)+offset+thickness/2))
+	}
+	p, err := geom.NewPolygon(verts)
+	if err != nil {
+		panic("data: path worm generation produced invalid polygon: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,81 @@
+package data
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// fileFormat is the on-disk JSON shape: a header followed by one vertex
+// ring per object. Coordinates are [x, y] pairs.
+type fileFormat struct {
+	Name    string         `json:"name"`
+	Objects [][][2]float64 `json:"objects"`
+}
+
+// Write encodes d as JSON to w.
+func (d *Dataset) Write(w io.Writer) error {
+	ff := fileFormat{Name: d.Name, Objects: make([][][2]float64, len(d.Objects))}
+	for i, p := range d.Objects {
+		ring := make([][2]float64, len(p.Verts))
+		for j, v := range p.Verts {
+			ring[j] = [2]float64{v.X, v.Y}
+		}
+		ff.Objects[i] = ring
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// Read decodes a dataset from r.
+func Read(r io.Reader) (*Dataset, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("data: decode: %w", err)
+	}
+	d := &Dataset{Name: ff.Name, Objects: make([]*geom.Polygon, 0, len(ff.Objects))}
+	for i, ring := range ff.Objects {
+		verts := make([]geom.Point, len(ring))
+		for j, xy := range ring {
+			verts[j] = geom.Pt(xy[0], xy[1])
+		}
+		p, err := geom.NewPolygon(verts)
+		if err != nil {
+			return nil, fmt.Errorf("data: object %d: %w", i, err)
+		}
+		d.Objects = append(d.Objects, p)
+	}
+	return d, nil
+}
+
+// SaveFile writes d to path as JSON.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := d.Write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from a JSON file written by SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

@@ -1,0 +1,74 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// WriteWKT encodes d as one POLYGON per line, the lowest common
+// denominator for loading the synthetic layers into external GIS tools.
+func (d *Dataset) WriteWKT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, p := range d.Objects {
+		if _, err := bw.WriteString(p.WKT()); err != nil {
+			return fmt.Errorf("data: object %d: %w", i, err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("data: object %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWKT decodes a dataset from one POLYGON per line, skipping blank
+// lines and '#' comments.
+func ReadWKT(name string, r io.Reader) (*Dataset, error) {
+	d := &Dataset{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // monster polygons are long lines
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		p, err := geom.ParsePolygonWKT(line)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+		}
+		d.Objects = append(d.Objects, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: %w", err)
+	}
+	return d, nil
+}
+
+// SaveWKTFile writes d to path in line-per-polygon WKT.
+func (d *Dataset) SaveWKTFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteWKT(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadWKTFile reads a dataset written by SaveWKTFile; the dataset is named
+// after the file path.
+func LoadWKTFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadWKT(path, bufio.NewReader(f))
+}

@@ -1,0 +1,174 @@
+// Package dist implements the software distance refinement step for
+// within-distance joins (buffer queries): a version of Chan's minDist
+// algorithm augmented with the two optimizations described in §4.1.1 of the
+// paper:
+//
+//  1. early exit as soon as the running minimum drops to the query
+//     distance D, and
+//  2. restriction of each polygon's frontier chain to the parts that
+//     intersect the other object's MBR extended by D.
+//
+// The frontier chain of P with respect to Q is the subset of P's edges that
+// face Q: an edge whose outward normal points away from every point of
+// MBR(Q) cannot contain the closest point of P to Q (the minimizer's
+// separation direction lies in the boundary's outward normal cone), so
+// back-facing edges are culled before any edge-pair distances are computed.
+//
+// Distances are region distances: two polygons that intersect (including
+// one containing the other) are at distance zero.
+package dist
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/sweep"
+)
+
+// Options toggle the minDist optimizations, mainly for the ablation
+// benchmarks; the zero value enables everything.
+type Options struct {
+	// NoFrontier disables back-face culling of edges.
+	NoFrontier bool
+	// NoClip disables restricting edges to the other MBR extended by D.
+	NoClip bool
+}
+
+// WithinDistance reports whether the regions of p and q are within
+// distance d of each other. It is the software distance test of the
+// evaluation: polygon intersection handling, frontier-chain extraction,
+// MBR-extension clipping, and early exit at d.
+func WithinDistance(p, q *geom.Polygon, d float64, opt Options) bool {
+	if p.Bounds().Dist(q.Bounds()) > d {
+		return false // MBR distance lower-bounds object distance
+	}
+	if p.Bounds().Intersects(q.Bounds()) && sweep.PolygonsIntersect(p, q, sweep.Options{}) {
+		return true // intersecting regions are at distance zero
+	}
+	return chainDist(p, q, d, opt) <= d
+}
+
+// MinDist returns the region distance between p and q: zero when they
+// intersect, otherwise the minimum boundary-to-boundary distance.
+func MinDist(p, q *geom.Polygon, opt Options) float64 {
+	if p.Bounds().Intersects(q.Bounds()) && sweep.PolygonsIntersect(p, q, sweep.Options{}) {
+		return 0
+	}
+	return chainDist(p, q, math.Inf(1), opt)
+}
+
+// BoundaryWithin reports whether the boundary chains of p and q come
+// within distance d of each other. The caller must have already excluded
+// the containment case (boundaries far apart but region distance zero);
+// given that, boundary distance equals region distance. This is the entry
+// point the hardware-assisted tester uses after its own point-in-polygon
+// and boundary-crossing checks.
+func BoundaryWithin(p, q *geom.Polygon, d float64, opt Options) bool {
+	return chainDist(p, q, d, opt) <= d
+}
+
+// MinDistBrute returns the region distance computed over all edge pairs
+// with no pruning. The testing oracle.
+func MinDistBrute(p, q *geom.Polygon) float64 {
+	if p.Bounds().Intersects(q.Bounds()) && sweep.PolygonsIntersect(p, q, sweep.Options{}) {
+		return 0
+	}
+	best := math.Inf(1)
+	for i := range p.NumEdges() {
+		ei := p.Edge(i)
+		for j := range q.NumEdges() {
+			if d := ei.DistSq(q.Edge(j)); d < best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// chainDist computes the minimum boundary distance between p and q,
+// stopping early once the running minimum is ≤ earlyExit. When clipping or
+// frontier culling removes every candidate edge the distance is known to
+// exceed earlyExit and +Inf is returned.
+func chainDist(p, q *geom.Polygon, earlyExit float64, opt Options) float64 {
+	pe := FrontierEdges(p, q, earlyExit, opt)
+	if len(pe) == 0 {
+		return math.Inf(1)
+	}
+	qe := FrontierEdges(q, p, earlyExit, opt)
+	if len(qe) == 0 {
+		return math.Inf(1)
+	}
+	bestSq := math.Inf(1)
+	exitSq := math.Inf(-1) // never exit early unless a finite bound is given
+	if !math.IsInf(earlyExit, 1) {
+		exitSq = earlyExit * earlyExit
+	}
+	for _, ep := range pe {
+		bp := ep.Bounds()
+		for _, eq := range qe {
+			// Skip pairs whose segment MBRs are already farther than the
+			// current best; cheap and preserves exactness.
+			if dd := bp.Dist(eq.Bounds()); dd*dd >= bestSq {
+				continue
+			}
+			if d := ep.DistSq(eq); d < bestSq {
+				bestSq = d
+				if bestSq <= exitSq {
+					return math.Sqrt(bestSq)
+				}
+			}
+		}
+	}
+	return math.Sqrt(bestSq)
+}
+
+// FrontierEdges returns the edges of p that can contain the closest point
+// of p to q under a within-distance search radius d (use +Inf for an
+// unbounded minDist computation): edges clipped to MBR(q) extended by d,
+// with strictly back-facing edges culled. Options can disable either
+// reduction.
+func FrontierEdges(p, q *geom.Polygon, d float64, opt Options) []geom.Segment {
+	clip := geom.EmptyRect()
+	useClip := !opt.NoClip && !math.IsInf(d, 1)
+	if useClip {
+		clip = q.Bounds().Expand(d)
+		if !clip.Intersects(p.Bounds()) {
+			return nil
+		}
+	}
+	ccw := p.SignedArea() > 0
+	target := q.Bounds()
+	corners := target.Corners()
+	var out []geom.Segment
+	for i := range p.NumEdges() {
+		e := p.Edge(i)
+		if useClip && !clip.IntersectsSegment(e) {
+			continue
+		}
+		if !opt.NoFrontier && backFacing(e, ccw, corners) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// backFacing reports whether edge e faces away from every corner of the
+// target MBR: dot(n, c-x) ≤ 0 for the outward normal n, both endpoints x,
+// and all corners c. Dot products are linear, so checking the extreme
+// points covers every point of the edge and of the MBR.
+func backFacing(e geom.Segment, ccw bool, corners [4]geom.Point) bool {
+	dir := e.B.Sub(e.A)
+	// For a CCW polygon the interior is to the left of each directed edge,
+	// so the outward normal is the right normal (dy, -dx).
+	n := geom.Pt(dir.Y, -dir.X)
+	if !ccw {
+		n = geom.Pt(-dir.Y, dir.X)
+	}
+	for _, c := range corners {
+		if n.Dot(c.Sub(e.A)) > 0 || n.Dot(c.Sub(e.B)) > 0 {
+			return false
+		}
+	}
+	return true
+}

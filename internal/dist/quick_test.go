@@ -1,0 +1,44 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickWithinDistanceIsThreshold: property over seeds — the optimized
+// within-distance test is exactly the brute-force distance thresholded at
+// d, for any option combination.
+func TestQuickWithinDistanceIsThreshold(t *testing.T) {
+	prop := func(seed int64, dRaw uint16, noFrontier, noClip bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := star(rng, rng.Float64()*20, rng.Float64()*20, 0.5+rng.Float64()*3, 3+rng.Intn(20))
+		q := star(rng, rng.Float64()*20, rng.Float64()*20, 0.5+rng.Float64()*3, 3+rng.Intn(20))
+		d := float64(dRaw) / 4096 * 15
+		opt := Options{NoFrontier: noFrontier, NoClip: noClip}
+		return WithinDistance(p, q, d, opt) == (MinDistBrute(p, q) <= d)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinDistSymmetry: region distance is symmetric and agrees with
+// brute force.
+func TestQuickMinDistSymmetry(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := star(rng, 0, 0, 1+rng.Float64()*3, 3+rng.Intn(15))
+		q := star(rng, rng.Float64()*10, rng.Float64()*10, 1+rng.Float64()*3, 3+rng.Intn(15))
+		pq := MinDist(p, q, Options{})
+		qp := MinDist(q, p, Options{})
+		diff := pq - qp
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny scale keeps the whole evaluation under a second per experiment.
+const testScale = 0.005
+
+func TestNewRunnerDefaults(t *testing.T) {
+	r := NewRunner(0, nil)
+	if r.Scale != DefaultScale {
+		t.Errorf("Scale = %v", r.Scale)
+	}
+	if r.W == nil {
+		t.Error("nil writer not replaced")
+	}
+}
+
+func TestLayerCaching(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	a := r.Layer("WATER")
+	b := r.Layer("WATER")
+	if a != b {
+		t.Error("Layer not cached")
+	}
+	if a.Index.Len() != len(a.Data.Objects) {
+		t.Error("layer index incomplete")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(testScale, &buf)
+	rows := r.Table2()
+	if len(rows) != 5 {
+		t.Fatalf("Table2 rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Stats.N == 0 || row.Stats.MinVerts < 3 {
+			t.Errorf("%s: bad stats %+v", row.Name, row.Stats)
+		}
+	}
+	out := buf.String()
+	for _, name := range []string{"LANDC", "LANDO", "STATES50", "PRISM", "WATER"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("report missing %s", name)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	results := r.Fig10()
+	if len(results) != 2 {
+		t.Fatalf("Fig10 datasets = %d", len(results))
+	}
+	for _, res := range results {
+		if len(res.Points) != len(TilingLevels) {
+			t.Fatalf("%s: points = %d", res.Dataset, len(res.Points))
+		}
+		// Results must not depend on the tiling level.
+		want := res.Points[0].Cost.Results
+		for _, p := range res.Points {
+			if p.Cost.Results != want {
+				t.Errorf("%s level %d: results %d != %d (filter changed answers)",
+					res.Dataset, p.Level, p.Cost.Results, want)
+			}
+			if p.Cost.FilterHits+p.Cost.Compared != p.Cost.Candidates {
+				t.Errorf("%s level %d: stage counts inconsistent", res.Dataset, p.Level)
+			}
+		}
+	}
+}
+
+func TestFig11Consistency(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	results := r.Fig11()
+	if len(results) != 2 {
+		t.Fatalf("Fig11 workloads = %d", len(results))
+	}
+	for _, res := range results {
+		if res.SW <= 0 {
+			t.Errorf("%s: non-positive software cost", res.Workload)
+		}
+		if len(res.Points) != len(Resolutions) {
+			t.Errorf("%s: %d points", res.Workload, len(res.Points))
+		}
+		for _, p := range res.Points {
+			if p.HW <= 0 {
+				t.Errorf("%s res %d: non-positive hardware cost", res.Workload, p.Resolution)
+			}
+			if p.HWStats.Tests == 0 {
+				t.Errorf("%s res %d: tester ran no tests", res.Workload, p.Resolution)
+			}
+		}
+	}
+}
+
+func TestFig12And13(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	for _, res := range r.Fig12() {
+		total := res.Points[0].HWStats
+		if total.HWRejects+total.HWPassed == 0 && total.SWDirect == 0 {
+			t.Errorf("%s: hardware never engaged", res.Workload)
+		}
+	}
+	for _, res := range r.Fig13() {
+		if len(res.Points) != len(Thresholds) {
+			t.Errorf("res %d: %d threshold points", res.Resolution, len(res.Points))
+		}
+	}
+}
+
+func TestFig14Through16(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	for _, res := range r.Fig14() {
+		if res.BaseD <= 0 {
+			t.Fatalf("%s: BaseD = %v", res.Workload, res.BaseD)
+		}
+		// Result counts must grow monotonically with D.
+		prev := -1
+		for _, p := range res.Points {
+			if p.Cost.Results < prev {
+				t.Errorf("%s: results shrank from %d to %d as D grew",
+					res.Workload, prev, p.Cost.Results)
+			}
+			prev = p.Cost.Results
+		}
+	}
+	for _, res := range r.Fig15() {
+		if len(res.Points) != len(Resolutions) {
+			t.Errorf("%s: %d points", res.Workload, len(res.Points))
+		}
+	}
+	for _, res := range r.Fig16() {
+		for _, p := range res.Points {
+			if p.SW <= 0 || p.HW <= 0 {
+				t.Errorf("%s D=%v: non-positive costs", res.Workload, p.Multiplier)
+			}
+		}
+	}
+}
+
+func TestExtraHull(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	results := r.ExtraHull()
+	if len(results) != 2 {
+		t.Fatalf("workloads = %d", len(results))
+	}
+	for _, res := range results {
+		if len(res.Points) != 5 {
+			t.Fatalf("%s: %d configs, want 5", res.Workload, len(res.Points))
+		}
+		hullRejects := 0
+		for _, p := range res.Points {
+			if p.Geom < 0 {
+				t.Errorf("%s %s: negative cost", res.Workload, p.Config)
+			}
+			if p.Config == "software+hull" {
+				hullRejects = p.Rejects
+			}
+		}
+		if hullRejects == 0 {
+			t.Errorf("%s: hull filter rejected nothing", res.Workload)
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	if len(r.Queries()) != 50 {
+		t.Errorf("query set size = %d, want 50", len(r.Queries()))
+	}
+}

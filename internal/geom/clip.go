@@ -1,0 +1,137 @@
+package geom
+
+// ClipToRect clips polygon p to the closed rectangle r using
+// Sutherland–Hodgman, returning the clipped vertex ring (nil when the
+// intersection is empty or degenerate). For convex subjects the result is
+// the exact intersection polygon. For concave subjects Sutherland–Hodgman
+// may join disjoint intersection pieces with zero-width bridges along the
+// clip boundary — the ring is then non-simple, but its signed area still
+// equals the true intersection area, which is what area-based consumers
+// (tile coverage, overlay statistics) need.
+func ClipToRect(p *Polygon, r Rect) *Polygon {
+	if r.IsEmpty() || p.NumVerts() < 3 {
+		return nil
+	}
+	verts := append([]Point(nil), p.Verts...)
+	// Ensure CCW so "inside" is consistent for each half-plane pass.
+	if p.SignedArea() < 0 {
+		for i, j := 0, len(verts)-1; i < j; i, j = i+1, j-1 {
+			verts[i], verts[j] = verts[j], verts[i]
+		}
+	}
+	// Clip against each boundary half-plane in turn.
+	verts = clipHalfPlane(verts, func(q Point) bool { return q.X >= r.MinX },
+		func(a, b Point) Point { return intersectVertical(a, b, r.MinX) })
+	verts = clipHalfPlane(verts, func(q Point) bool { return q.X <= r.MaxX },
+		func(a, b Point) Point { return intersectVertical(a, b, r.MaxX) })
+	verts = clipHalfPlane(verts, func(q Point) bool { return q.Y >= r.MinY },
+		func(a, b Point) Point { return intersectHorizontal(a, b, r.MinY) })
+	verts = clipHalfPlane(verts, func(q Point) bool { return q.Y <= r.MaxY },
+		func(a, b Point) Point { return intersectHorizontal(a, b, r.MaxY) })
+	if len(verts) < 3 {
+		return nil
+	}
+	out := &Polygon{Verts: verts}
+	out.Recompute()
+	if out.Area() == 0 {
+		return nil
+	}
+	return out
+}
+
+// ClipConvex clips polygon p to the convex CCW polygon clip
+// (Sutherland–Hodgman with an arbitrary convex window). The same
+// area-exactness caveat for concave subjects applies as in ClipToRect.
+// For two convex polygons this computes their exact intersection.
+func ClipConvex(p, clip *Polygon) *Polygon {
+	if p.NumVerts() < 3 || clip.NumVerts() < 3 {
+		return nil
+	}
+	verts := append([]Point(nil), p.Verts...)
+	if p.SignedArea() < 0 {
+		for i, j := 0, len(verts)-1; i < j; i, j = i+1, j-1 {
+			verts[i], verts[j] = verts[j], verts[i]
+		}
+	}
+	n := clip.NumVerts()
+	for i := range n {
+		a := clip.Verts[i]
+		b := clip.Verts[(i+1)%n]
+		verts = clipHalfPlane(verts,
+			func(q Point) bool { return Orient(a, b, q) != Clockwise },
+			func(u, v Point) Point { return lineIntersection(a, b, u, v) })
+		if len(verts) == 0 {
+			return nil
+		}
+	}
+	if len(verts) < 3 {
+		return nil
+	}
+	out := &Polygon{Verts: verts}
+	out.Recompute()
+	if out.Area() == 0 {
+		return nil
+	}
+	return out
+}
+
+// IntersectionAreaWithRect returns the area of p ∩ r.
+func IntersectionAreaWithRect(p *Polygon, r Rect) float64 {
+	c := ClipToRect(p, r)
+	if c == nil {
+		return 0
+	}
+	return c.Area()
+}
+
+// clipHalfPlane keeps the parts of the ring inside one half-plane,
+// inserting boundary crossings computed by cross.
+func clipHalfPlane(verts []Point, inside func(Point) bool, cross func(a, b Point) Point) []Point {
+	if len(verts) == 0 {
+		return verts
+	}
+	out := make([]Point, 0, len(verts)+4)
+	prev := verts[len(verts)-1]
+	prevIn := inside(prev)
+	for _, cur := range verts {
+		curIn := inside(cur)
+		switch {
+		case curIn && prevIn:
+			out = append(out, cur)
+		case curIn && !prevIn:
+			out = append(out, cross(prev, cur), cur)
+		case !curIn && prevIn:
+			out = append(out, cross(prev, cur))
+		}
+		prev, prevIn = cur, curIn
+	}
+	return out
+}
+
+// intersectVertical returns the crossing of segment a-b with the line x=x0.
+func intersectVertical(a, b Point, x0 float64) Point {
+	t := (x0 - a.X) / (b.X - a.X)
+	return Point{X: x0, Y: a.Y + t*(b.Y-a.Y)}
+}
+
+// intersectHorizontal returns the crossing of segment a-b with the line y=y0.
+func intersectHorizontal(a, b Point, y0 float64) Point {
+	t := (y0 - a.Y) / (b.Y - a.Y)
+	return Point{X: a.X + t*(b.X-a.X), Y: y0}
+}
+
+// lineIntersection returns the intersection of the infinite line through
+// a-b with the segment u-v (u and v straddle the line by construction of
+// the Sutherland–Hodgman pass).
+func lineIntersection(a, b, u, v Point) Point {
+	d := b.Sub(a)
+	e := v.Sub(u)
+	denom := e.Cross(d)
+	if denom == 0 {
+		return u // parallel grazing: either endpoint is on the line
+	}
+	// Points p on the line satisfy (p−a)×d = 0; with p = u + t·e this
+	// gives t = (a−u)×d / (e×d).
+	t := a.Sub(u).Cross(d) / denom
+	return Point{X: u.X + t*e.X, Y: u.Y + t*e.Y}
+}

@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClipToRectBasic(t *testing.T) {
+	sq := MustPolygon(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4))
+	tests := []struct {
+		name string
+		r    Rect
+		area float64
+	}{
+		{"full overlap", R(-1, -1, 5, 5), 16},
+		{"identical", R(0, 0, 4, 4), 16},
+		{"half", R(0, 0, 2, 4), 8},
+		{"corner", R(3, 3, 6, 6), 1},
+		{"disjoint", R(10, 10, 12, 12), 0},
+		{"edge touch", R(4, 0, 6, 4), 0},
+	}
+	for _, tc := range tests {
+		got := IntersectionAreaWithRect(sq, tc.r)
+		if math.Abs(got-tc.area) > 1e-12 {
+			t.Errorf("%s: area = %v, want %v", tc.name, got, tc.area)
+		}
+	}
+	if c := ClipToRect(sq, EmptyRect()); c != nil {
+		t.Error("clip to empty rect returned a polygon")
+	}
+}
+
+func TestClipToRectClockwiseInput(t *testing.T) {
+	cw := MustPolygon(Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0))
+	if got := IntersectionAreaWithRect(cw, R(0, 0, 2, 2)); math.Abs(got-4) > 1e-12 {
+		t.Errorf("CW input: area = %v, want 4", got)
+	}
+}
+
+// monteCarloArea estimates area(p ∩ r) by sampling.
+func monteCarloArea(p *Polygon, r Rect, rng *rand.Rand, samples int) float64 {
+	hits := 0
+	for range samples {
+		q := Pt(r.MinX+rng.Float64()*r.Width(), r.MinY+rng.Float64()*r.Height())
+		if p.ContainsPoint(q) {
+			hits++
+		}
+	}
+	return r.Area() * float64(hits) / float64(samples)
+}
+
+func TestClipToRectAreaMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := range 40 {
+		// Random star polygon (possibly concave).
+		n := 5 + rng.Intn(30)
+		pts := make([]Point, n)
+		step := 2 * math.Pi / float64(n)
+		for i := range pts {
+			a := float64(i)*step + rng.Float64()*step*0.9
+			rad := 2 + 6*rng.Float64()
+			pts[i] = Pt(10+rad*math.Cos(a), 10+rad*math.Sin(a))
+		}
+		p := MustPolygon(pts...)
+		r := R(rng.Float64()*12, rng.Float64()*12, 12+rng.Float64()*8, 12+rng.Float64()*8)
+		got := IntersectionAreaWithRect(p, r)
+		want := monteCarloArea(p, r, rng, 60000)
+		tol := 0.06*r.Area() + 0.3
+		if math.Abs(got-want) > tol {
+			t.Fatalf("trial %d: clip area %v vs MC %v (tol %v)", trial, got, want, tol)
+		}
+	}
+}
+
+func TestClipConvexPair(t *testing.T) {
+	// Two axis-aligned squares with known overlap.
+	a := MustPolygon(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4))
+	b := MustPolygon(Pt(2, 2), Pt(6, 2), Pt(6, 6), Pt(2, 6))
+	c := ClipConvex(a, b)
+	if c == nil {
+		t.Fatal("nil intersection")
+	}
+	if math.Abs(c.Area()-4) > 1e-12 {
+		t.Errorf("area = %v, want 4", c.Area())
+	}
+	// Rotated square clipped by diamond.
+	diamond := MustPolygon(Pt(2, 0), Pt(4, 2), Pt(2, 4), Pt(0, 2))
+	c = ClipConvex(a, diamond)
+	if c == nil || math.Abs(c.Area()-8) > 1e-9 {
+		t.Errorf("diamond clip area = %v, want 8", area(c))
+	}
+	// Disjoint convex pair.
+	far := MustPolygon(Pt(100, 100), Pt(101, 100), Pt(101, 101))
+	if ClipConvex(a, far) != nil {
+		t.Error("disjoint clip returned a polygon")
+	}
+}
+
+func area(p *Polygon) float64 {
+	if p == nil {
+		return -1
+	}
+	return p.Area()
+}
+
+func TestClipConvexCommutesOnArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for range 100 {
+		a := randomConvex(rng, 5, 5, 4)
+		b := randomConvex(rng, 7+rng.Float64()*2-1, 5+rng.Float64()*2-1, 4)
+		if a == nil || b == nil {
+			continue
+		}
+		ab, ba := ClipConvex(a, b), ClipConvex(b, a)
+		areaAB, areaBA := 0.0, 0.0
+		if ab != nil {
+			areaAB = ab.Area()
+		}
+		if ba != nil {
+			areaBA = ba.Area()
+		}
+		if math.Abs(areaAB-areaBA) > 1e-9 {
+			t.Fatalf("clip areas differ: %v vs %v", areaAB, areaBA)
+		}
+		// Intersection area never exceeds either input.
+		if areaAB > a.Area()+1e-9 || areaAB > b.Area()+1e-9 {
+			t.Fatalf("intersection area %v exceeds inputs %v, %v", areaAB, a.Area(), b.Area())
+		}
+	}
+}
+
+func randomConvex(rng *rand.Rand, cx, cy, r float64, sizes ...int) *Polygon {
+	pts := make([]Point, 16)
+	for i := range pts {
+		pts[i] = Pt(cx+(rng.Float64()*2-1)*r, cy+(rng.Float64()*2-1)*r)
+	}
+	return ConvexHull(pts)
+}

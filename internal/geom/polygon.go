@@ -1,0 +1,233 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Polygon is a simple polygon given as a closed chain of vertices. The edge
+// from the last vertex back to the first is implicit; callers must not
+// repeat the first vertex at the end. Vertex order may be clockwise or
+// counter-clockwise.
+//
+// A Polygon caches its MBR, so the zero value is not ready for use: build
+// polygons with NewPolygon or call Recompute after mutating Verts.
+type Polygon struct {
+	Verts []Point
+	mbr   Rect
+}
+
+// NewPolygon builds a polygon from verts. It returns an error when fewer
+// than three vertices are supplied. The vertex slice is used directly, not
+// copied.
+func NewPolygon(verts []Point) (*Polygon, error) {
+	if len(verts) < 3 {
+		return nil, fmt.Errorf("geom: polygon needs at least 3 vertices, got %d", len(verts))
+	}
+	p := &Polygon{Verts: verts}
+	p.Recompute()
+	return p, nil
+}
+
+// MustPolygon is NewPolygon that panics on error, for tests and literals.
+func MustPolygon(verts ...Point) *Polygon {
+	p, err := NewPolygon(verts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Recompute refreshes cached derived data (the MBR) after the vertex slice
+// has been modified in place.
+func (p *Polygon) Recompute() {
+	mbr := EmptyRect()
+	for _, v := range p.Verts {
+		mbr = mbr.ExtendPoint(v)
+	}
+	p.mbr = mbr
+}
+
+// NumVerts returns the number of vertices.
+func (p *Polygon) NumVerts() int { return len(p.Verts) }
+
+// Bounds returns the cached MBR of p.
+func (p *Polygon) Bounds() Rect { return p.mbr }
+
+// Edge returns the i-th edge, from vertex i to vertex (i+1) mod n.
+func (p *Polygon) Edge(i int) Segment {
+	j := i + 1
+	if j == len(p.Verts) {
+		j = 0
+	}
+	return Segment{p.Verts[i], p.Verts[j]}
+}
+
+// NumEdges returns the number of edges, equal to the number of vertices.
+func (p *Polygon) NumEdges() int { return len(p.Verts) }
+
+// Area returns the unsigned area enclosed by p (the shoelace formula).
+func (p *Polygon) Area() float64 { return math.Abs(p.SignedArea()) }
+
+// SignedArea returns the signed area of p: positive when the vertices are
+// in counter-clockwise order.
+func (p *Polygon) SignedArea() float64 {
+	var sum float64
+	n := len(p.Verts)
+	for i := range n {
+		a, b := p.Verts[i], p.Verts[(i+1)%n]
+		sum += a.Cross(b)
+	}
+	return sum / 2
+}
+
+// Perimeter returns the total edge length of p.
+func (p *Polygon) Perimeter() float64 {
+	var sum float64
+	for i := range p.Verts {
+		sum += p.Edge(i).Length()
+	}
+	return sum
+}
+
+// Clone returns a deep copy of p.
+func (p *Polygon) Clone() *Polygon {
+	verts := make([]Point, len(p.Verts))
+	copy(verts, p.Verts)
+	return &Polygon{Verts: verts, mbr: p.mbr}
+}
+
+// ContainsPoint reports whether q lies inside or on the boundary of p,
+// using the ray-crossing algorithm: a ray shot in +x from q crosses the
+// boundary an odd number of times iff q is interior. This is the linear,
+// cache-friendly Point-in-Polygon test of Algorithm 3.1 step 1.
+func (p *Polygon) ContainsPoint(q Point) bool {
+	if !p.mbr.ContainsPoint(q) {
+		return false
+	}
+	inside := false
+	n := len(p.Verts)
+	for i := range n {
+		a, b := p.Verts[i], p.Verts[(i+1)%n]
+		// Boundary counts as contained.
+		if Orient(a, b, q) == Collinear && onSegment(Segment{a, b}, q) {
+			return true
+		}
+		if (a.Y > q.Y) != (b.Y > q.Y) {
+			// Edge straddles the horizontal line through q; find the x of
+			// the crossing and count it when right of q.
+			xc := a.X + (q.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if xc > q.X {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// IsSimple reports whether p is a simple polygon: no two non-adjacent edges
+// intersect, and adjacent edges share only their common endpoint. The check
+// is O(n²) and intended for validation and tests rather than query paths.
+func (p *Polygon) IsSimple() bool {
+	n := len(p.Verts)
+	if n < 3 {
+		return false
+	}
+	for i := range n {
+		ei := p.Edge(i)
+		if ei.A.Eq(ei.B) {
+			return false // degenerate zero-length edge
+		}
+		for j := i + 1; j < n; j++ {
+			ej := p.Edge(j)
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			if adjacent {
+				// Adjacent edges share exactly one endpoint; any other
+				// contact (e.g. a spike folding back) makes p non-simple.
+				shared := ei.B
+				if i == 0 && j == n-1 {
+					shared = ei.A
+				}
+				if ei.IntersectsProper(ej) {
+					return false
+				}
+				if other := otherOverlapPoint(ei, ej, shared); other {
+					return false
+				}
+				continue
+			}
+			if ei.Intersects(ej) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// otherOverlapPoint reports whether adjacent edges ei and ej touch at any
+// point other than their shared endpoint.
+func otherOverlapPoint(ei, ej Segment, shared Point) bool {
+	// Collinear adjacent edges overlap iff the non-shared endpoint of one
+	// lies on the other.
+	for _, q := range []Point{ei.A, ei.B} {
+		if !q.Eq(shared) && Orient(ej.A, ej.B, q) == Collinear && onSegment(ej, q) {
+			return true
+		}
+	}
+	for _, q := range []Point{ej.A, ej.B} {
+		if !q.Eq(shared) && Orient(ei.A, ei.B, q) == Collinear && onSegment(ei, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrTooFewVertices is returned by validation helpers for degenerate input.
+var ErrTooFewVertices = errors.New("geom: polygon needs at least 3 vertices")
+
+// Validate returns an error describing why p is not a usable polygon, or
+// nil when it is.
+func (p *Polygon) Validate() error {
+	if len(p.Verts) < 3 {
+		return ErrTooFewVertices
+	}
+	if p.Area() == 0 {
+		return errors.New("geom: polygon has zero area")
+	}
+	return nil
+}
+
+// Translate returns a copy of p moved by (dx, dy).
+func (p *Polygon) Translate(dx, dy float64) *Polygon {
+	verts := make([]Point, len(p.Verts))
+	for i, v := range p.Verts {
+		verts[i] = Point{v.X + dx, v.Y + dy}
+	}
+	q := &Polygon{Verts: verts}
+	q.Recompute()
+	return q
+}
+
+// Centroid returns the area centroid of p. For zero-area polygons it falls
+// back to the vertex average.
+func (p *Polygon) Centroid() Point {
+	var cx, cy, a float64
+	n := len(p.Verts)
+	for i := range n {
+		v, w := p.Verts[i], p.Verts[(i+1)%n]
+		c := v.Cross(w)
+		cx += (v.X + w.X) * c
+		cy += (v.Y + w.Y) * c
+		a += c
+	}
+	if a == 0 {
+		var sx, sy float64
+		for _, v := range p.Verts {
+			sx += v.X
+			sy += v.Y
+		}
+		return Point{sx / float64(n), sy / float64(n)}
+	}
+	return Point{cx / (3 * a), cy / (3 * a)}
+}

@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 4, 2)
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 || r.Perimeter() != 12 {
+		t.Errorf("basics wrong: %v %v %v %v", r.Width(), r.Height(), r.Area(), r.Perimeter())
+	}
+	if got := r.Center(); got != Pt(2, 1) {
+		t.Errorf("Center = %v", got)
+	}
+	if EmptyRect().Area() != 0 || !EmptyRect().IsEmpty() {
+		t.Error("EmptyRect not empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	for _, p := range []Point{Pt(1, 1), Pt(0, 0), Pt(2, 2), Pt(0, 1)} {
+		if !r.ContainsPoint(p) {
+			t.Errorf("ContainsPoint(%v) = false", p)
+		}
+	}
+	for _, p := range []Point{Pt(-0.1, 1), Pt(3, 1), Pt(1, 2.5)} {
+		if r.ContainsPoint(p) {
+			t.Errorf("ContainsPoint(%v) = true", p)
+		}
+	}
+	if !r.ContainsRect(R(0.5, 0.5, 1.5, 1.5)) || r.ContainsRect(R(1, 1, 3, 1.5)) {
+		t.Error("ContainsRect wrong")
+	}
+	if !r.ContainsRect(EmptyRect()) {
+		t.Error("every rect contains the empty rect")
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a, b := R(0, 0, 2, 2), R(1, 1, 3, 3)
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false")
+	}
+	if got := a.Intersection(b); got != R(1, 1, 2, 2) {
+		t.Errorf("Intersection = %v", got)
+	}
+	// Touching rectangles intersect under closed semantics.
+	if !a.Intersects(R(2, 0, 4, 2)) {
+		t.Error("touching rects should intersect")
+	}
+	if a.Intersects(R(5, 5, 6, 6)) {
+		t.Error("disjoint rects intersect")
+	}
+	if !a.Intersection(R(5, 5, 6, 6)).IsEmpty() {
+		t.Error("disjoint intersection not empty")
+	}
+}
+
+func TestRectUnionExpand(t *testing.T) {
+	a, b := R(0, 0, 1, 1), R(2, -1, 3, 0.5)
+	if got := a.Union(b); got != R(0, -1, 3, 1) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Union(EmptyRect()); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := a.Expand(0.5); got != R(-0.5, -0.5, 1.5, 1.5) {
+		t.Errorf("Expand = %v", got)
+	}
+}
+
+func TestRectDist(t *testing.T) {
+	a := R(0, 0, 1, 1)
+	tests := []struct {
+		b    Rect
+		want float64
+	}{
+		{R(2, 0, 3, 1), 1},      // side by side
+		{R(0, 3, 1, 4), 2},      // stacked
+		{R(4, 5, 6, 7), 5},      // diagonal: dx=3, dy=4
+		{R(0.5, 0.5, 2, 2), 0},  // overlapping
+		{R(1, 1, 2, 2), 0},      // corner touch
+		{R(-5, -5, -4, 0.5), 4}, // left: gap from x=-4 to x=0
+	}
+	for _, tc := range tests {
+		if got := a.Dist(tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Dist(%v) = %v, want %v", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRectMaxDist(t *testing.T) {
+	a, b := R(0, 0, 1, 1), R(2, 2, 3, 3)
+	// Farthest corners are (0,0) and (3,3).
+	if got := a.MaxDist(b); math.Abs(got-3*math.Sqrt2) > 1e-12 {
+		t.Errorf("MaxDist = %v", got)
+	}
+	// MaxDist of a rect with itself is its diagonal.
+	if got := a.MaxDist(a); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("self MaxDist = %v", got)
+	}
+}
+
+func TestRectDistBounds(t *testing.T) {
+	// Dist <= MaxDist always, and both are symmetric.
+	f := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := R(float64(ax), float64(ay), float64(ax)+float64(aw)+1, float64(ay)+float64(ah)+1)
+		b := R(float64(bx), float64(by), float64(bx)+float64(bw)+1, float64(by)+float64(bh)+1)
+		return a.Dist(b) <= a.MaxDist(b)+1e-9 &&
+			a.Dist(b) == b.Dist(a) &&
+			a.MaxDist(b) == b.MaxDist(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	p := Pt(-1, 1)
+	got := r.MinMaxDist(p)
+	// Along x: nearer edge x=0, farthest y corner y=2 (p.Y=1 -> farther is
+	// y=... both 2 away? fartherEdge(1,0,2) picks 0 since 1>=1): corner
+	// (0,0): dist sqrt(1+1). Along y: nearer edge y=0? nearerEdge(1,0,2)=0,
+	// farther x = fartherEdge(-1,0,2)=2: corner (2,0): dist sqrt(9+1).
+	want := math.Sqrt(2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinMaxDist = %v, want %v", got, want)
+	}
+	if !math.IsInf(EmptyRect().MinMaxDist(p), 1) {
+		t.Error("MinMaxDist of empty rect should be +Inf")
+	}
+}
+
+// TestMinMaxDistIsUpperBound verifies the defining property: for any
+// "object" that touches all four edges of its MBR, the object's distance to
+// p is at most MinMaxDist(p). We model such objects as 4 random points, one
+// on each edge, connected arbitrarily.
+func TestMinMaxDistIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for range 2000 {
+		r := R(rng.Float64()*10, rng.Float64()*10, 10+rng.Float64()*10, 10+rng.Float64()*10)
+		p := Pt(rng.Float64()*40-10, rng.Float64()*40-10)
+		// One point per edge.
+		touch := []Point{
+			{r.MinX, r.MinY + rng.Float64()*r.Height()},
+			{r.MaxX, r.MinY + rng.Float64()*r.Height()},
+			{r.MinX + rng.Float64()*r.Width(), r.MinY},
+			{r.MinX + rng.Float64()*r.Width(), r.MaxY},
+		}
+		minD := math.Inf(1)
+		for _, q := range touch {
+			if d := p.Dist(q); d < minD {
+				minD = d
+			}
+		}
+		if bound := r.MinMaxDist(p); minD > bound+1e-9 {
+			t.Fatalf("object dist %v exceeds MinMaxDist %v (r=%v p=%v)", minD, bound, r, p)
+		}
+	}
+}
+
+func TestRectIntersectsSegment(t *testing.T) {
+	r := R(0, 0, 2, 2)
+	tests := []struct {
+		s    Segment
+		want bool
+	}{
+		{Seg(Pt(1, 1), Pt(5, 5)), true},  // endpoint inside
+		{Seg(Pt(-1, 1), Pt(3, 1)), true}, // passes through
+		{Seg(Pt(-1, -1), Pt(3, -1)), false},
+		{Seg(Pt(-1, 3), Pt(3, -1)), true}, // cuts the corner region
+		{Seg(Pt(3, 3), Pt(4, 4)), false},
+		{Seg(Pt(2, 2), Pt(4, 2)), true}, // touches corner
+	}
+	for _, tc := range tests {
+		if got := r.IntersectsSegment(tc.s); got != tc.want {
+			t.Errorf("IntersectsSegment(%v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}

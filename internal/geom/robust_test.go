@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// orientOracle evaluates the determinant sign in exact arithmetic.
+func orientOracle(a, b, c Point) Orientation {
+	ax, ay := new(big.Rat).SetFloat64(a.X), new(big.Rat).SetFloat64(a.Y)
+	bx, by := new(big.Rat).SetFloat64(b.X), new(big.Rat).SetFloat64(b.Y)
+	cx, cy := new(big.Rat).SetFloat64(c.X), new(big.Rat).SetFloat64(c.Y)
+	left := new(big.Rat).Mul(new(big.Rat).Sub(bx, ax), new(big.Rat).Sub(cy, ay))
+	right := new(big.Rat).Mul(new(big.Rat).Sub(by, ay), new(big.Rat).Sub(cx, ax))
+	return Orientation(left.Cmp(right))
+}
+
+func TestOrientRobustMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for range 2000 {
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		c := Pt(rng.Float64()*100, rng.Float64()*100)
+		if got, want := OrientRobust(a, b, c), orientOracle(a, b, c); got != want {
+			t.Fatalf("OrientRobust(%v,%v,%v) = %v, oracle %v", a, b, c, got, want)
+		}
+	}
+}
+
+// TestOrientRobustAdversarial uses the classic near-collinear family where
+// naive float evaluation misclassifies: points on the line y=x perturbed
+// by single ulps.
+func TestOrientRobustAdversarial(t *testing.T) {
+	base := []Point{
+		Pt(0.5, 0.5), Pt(12, 12), Pt(24, 24),
+	}
+	ulps := []float64{0, 1, -1, 2, -2}
+	mismatches := 0
+	for _, ua := range ulps {
+		for _, ub := range ulps {
+			for _, uc := range ulps {
+				a := Pt(bump(base[0].X, ua), base[0].Y)
+				b := Pt(bump(base[1].X, ub), base[1].Y)
+				c := Pt(bump(base[2].X, uc), base[2].Y)
+				want := orientOracle(a, b, c)
+				if got := OrientRobust(a, b, c); got != want {
+					t.Fatalf("adversarial: OrientRobust = %v, oracle %v for %v %v %v", got, want, a, b, c)
+				}
+				if Orient(a, b, c) != want {
+					mismatches++
+				}
+			}
+		}
+	}
+	// The naive predicate is expected to survive these (the determinant is
+	// exactly representable for many of them), but the robust one must be
+	// perfect either way. Record how adversarial the family actually was.
+	t.Logf("naive predicate misclassified %d of %d cases", mismatches, len(ulps)*len(ulps)*len(ulps))
+}
+
+// TestOrientRobustTinyDeterminants drives the exact-arithmetic fallback
+// with triples whose determinant underflows the error bound.
+func TestOrientRobustTinyDeterminants(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	exactPath := 0
+	for range 5000 {
+		// Nearly collinear: c ≈ a + t(b-a) with an ulp-scale lateral nudge.
+		a := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		b := Pt(rng.Float64()*1000, rng.Float64()*1000)
+		tt := rng.Float64()
+		c := Pt(a.X+tt*(b.X-a.X), a.Y+tt*(b.Y-a.Y))
+		c.Y = bump(c.Y, float64(rng.Intn(5)-2))
+		want := orientOracle(a, b, c)
+		if got := OrientRobust(a, b, c); got != want {
+			t.Fatalf("OrientRobust = %v, oracle %v for %v %v %v", got, want, a, b, c)
+		}
+		if Orient(a, b, c) != want {
+			exactPath++
+		}
+	}
+	if exactPath == 0 {
+		t.Log("naive predicate happened to agree everywhere; fallback still exercised via bound")
+	}
+}
+
+func bump(v, ulps float64) float64 {
+	for range int(math.Abs(ulps)) {
+		if ulps > 0 {
+			v = math.Nextafter(v, math.Inf(1))
+		} else {
+			v = math.Nextafter(v, math.Inf(-1))
+		}
+	}
+	return v
+}
+
+func TestSegmentsIntersectRobustAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	for range 1000 {
+		s := Seg(
+			Pt(float64(rng.Intn(10)), float64(rng.Intn(10))),
+			Pt(float64(rng.Intn(10)), float64(rng.Intn(10))),
+		)
+		u := Seg(
+			Pt(float64(rng.Intn(10)), float64(rng.Intn(10))),
+			Pt(float64(rng.Intn(10)), float64(rng.Intn(10))),
+		)
+		// Integer coordinates: the naive predicate is exact, so the two
+		// must agree.
+		if s.Intersects(u) != SegmentsIntersectRobust(s, u) {
+			t.Fatalf("robust and naive disagree on exact input %v %v", s, u)
+		}
+	}
+}
+
+func BenchmarkOrient(b *testing.B) {
+	a, c, d := Pt(1.1, 2.2), Pt(3.3, 4.4), Pt(5.5, 6.7)
+	b.Run("naive", func(b *testing.B) {
+		for range b.N {
+			Orient(a, c, d)
+		}
+	})
+	b.Run("robust-certified", func(b *testing.B) {
+		for range b.N {
+			OrientRobust(a, c, d)
+		}
+	})
+	collA, collB := Pt(0.5, 0.5), Pt(12, 12)
+	collC := Pt(24, bump(24, 1))
+	b.Run("robust-exact-fallback", func(b *testing.B) {
+		for range b.N {
+			OrientRobust(collA, collB, collC)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package geom
+
+// Simplify returns a copy of p with vertices removed by Douglas–Peucker:
+// every removed vertex lies within tol of the simplified boundary, so the
+// result deviates from the original by at most tol in Hausdorff distance
+// (boundary-to-boundary, original→simplified direction). The first vertex
+// and the farthest vertex from it are always kept, anchoring the ring.
+// Results keep at least 3 vertices; tol ≤ 0 returns a plain copy.
+//
+// Simplified polygons are conservative inputs for *approximate* uses —
+// multi-resolution rendering, generalization, cheap pre-filters — but are
+// not guaranteed simple; validate with sweep.PolygonIsSimple before using
+// one where simplicity matters.
+func (p *Polygon) Simplify(tol float64) *Polygon {
+	n := len(p.Verts)
+	if tol <= 0 || n <= 3 {
+		return p.Clone()
+	}
+	// Split the ring at vertex 0 and at the vertex farthest from it, and
+	// simplify the two open chains; this avoids the degenerate "chain with
+	// equal endpoints" case.
+	far, farDist := 0, -1.0
+	for i, v := range p.Verts {
+		if d := v.DistSq(p.Verts[0]); d > farDist {
+			far, farDist = i, d
+		}
+	}
+	if far == 0 {
+		return p.Clone() // all vertices coincide; nothing sensible to do
+	}
+	keep := make([]bool, n)
+	keep[0] = true
+	keep[far] = true
+	simplifyChain(p.Verts, 0, far, tol, keep)
+	simplifyChainWrapped(p.Verts, far, n, tol, keep)
+
+	verts := make([]Point, 0, n)
+	for i, k := range keep {
+		if k {
+			verts = append(verts, p.Verts[i])
+		}
+	}
+	if len(verts) < 3 {
+		// Over-aggressive tolerance: fall back to the anchor triangle.
+		mid := (far + 1) % n
+		if mid == 0 {
+			mid = 1
+		}
+		verts = []Point{p.Verts[0], p.Verts[min(far, n-1)], p.Verts[mid]}
+	}
+	out := &Polygon{Verts: verts}
+	out.Recompute()
+	return out
+}
+
+// simplifyChain marks kept vertices between indices lo and hi (exclusive
+// interior) of an open chain.
+func simplifyChain(verts []Point, lo, hi int, tol float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	seg := Segment{A: verts[lo], B: verts[hi]}
+	far, farDist := -1, tol*tol
+	for i := lo + 1; i < hi; i++ {
+		if d := seg.DistSqToPoint(verts[i]); d > farDist {
+			far, farDist = i, d
+		}
+	}
+	if far < 0 {
+		return // every interior vertex within tol: drop them all
+	}
+	keep[far] = true
+	simplifyChain(verts, lo, far, tol, keep)
+	simplifyChain(verts, far, hi, tol, keep)
+}
+
+// simplifyChainWrapped handles the chain from index lo around the ring end
+// back to index 0.
+func simplifyChainWrapped(verts []Point, lo, n int, tol float64, keep []bool) {
+	// Work on the unwrapped chain verts[lo..n-1] + verts[0].
+	chain := make([]Point, 0, n-lo+1)
+	chain = append(chain, verts[lo:]...)
+	chain = append(chain, verts[0])
+	sub := make([]bool, len(chain))
+	sub[0], sub[len(sub)-1] = true, true
+	simplifyChain(chain, 0, len(chain)-1, tol, sub)
+	for i := 1; i < len(sub)-1; i++ {
+		if sub[i] {
+			keep[lo+i] = true
+		}
+	}
+}
+
+// SimplifyToBudget simplifies p with increasing tolerance until it has at
+// most maxVerts vertices, doubling from an initial guess derived from the
+// polygon's extent. Useful for building bounded-size approximations.
+func (p *Polygon) SimplifyToBudget(maxVerts int) *Polygon {
+	if maxVerts < 3 {
+		maxVerts = 3
+	}
+	if p.NumVerts() <= maxVerts {
+		return p.Clone()
+	}
+	b := p.Bounds()
+	tol := (b.Width() + b.Height()) / 10000
+	if tol <= 0 {
+		return p.Clone()
+	}
+	out := p.Simplify(tol)
+	for out.NumVerts() > maxVerts {
+		tol *= 2
+		out = p.Simplify(tol)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func starPolygon(rng *rand.Rand, n int, r float64) *Polygon {
+	pts := make([]Point, n)
+	step := 2 * math.Pi / float64(n)
+	for i := range pts {
+		a := float64(i)*step + rng.Float64()*step*0.9
+		rad := r * (0.5 + 0.5*rng.Float64())
+		pts[i] = Pt(50+rad*math.Cos(a), 50+rad*math.Sin(a))
+	}
+	return MustPolygon(pts...)
+}
+
+func TestSimplifyNoOp(t *testing.T) {
+	tri := MustPolygon(Pt(0, 0), Pt(4, 0), Pt(2, 3))
+	if got := tri.Simplify(1); got.NumVerts() != 3 {
+		t.Errorf("triangle simplified to %d verts", got.NumVerts())
+	}
+	sq := MustPolygon(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4))
+	if got := sq.Simplify(0); got.NumVerts() != 4 {
+		t.Errorf("tol 0 changed the polygon: %d verts", got.NumVerts())
+	}
+	// The copy must not share storage.
+	c := sq.Simplify(0)
+	c.Verts[0] = Pt(99, 99)
+	if sq.Verts[0].Eq(c.Verts[0]) {
+		t.Error("Simplify returned aliased storage")
+	}
+}
+
+func TestSimplifyRemovesCollinear(t *testing.T) {
+	// A square with redundant collinear vertices on every side.
+	p := MustPolygon(
+		Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0), Pt(4, 0),
+		Pt(4, 2), Pt(4, 4),
+		Pt(2, 4), Pt(0, 4),
+		Pt(0, 2),
+	)
+	got := p.Simplify(1e-9)
+	if got.NumVerts() > 5 {
+		t.Errorf("collinear square kept %d verts (%v)", got.NumVerts(), got.Verts)
+	}
+	if math.Abs(got.Area()-16) > 1e-9 {
+		t.Errorf("area changed: %v", got.Area())
+	}
+}
+
+// TestSimplifyDeviationBound: every original vertex lies within tol of the
+// simplified boundary.
+func TestSimplifyDeviationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for range 60 {
+		p := starPolygon(rng, 40+rng.Intn(200), 20)
+		tol := 0.05 + rng.Float64()*2
+		s := p.Simplify(tol)
+		if s.NumVerts() > p.NumVerts() {
+			t.Fatal("simplification grew the polygon")
+		}
+		for _, v := range p.Verts {
+			best := math.Inf(1)
+			for i := range s.NumEdges() {
+				if d := s.Edge(i).DistSqToPoint(v); d < best {
+					best = d
+				}
+			}
+			if math.Sqrt(best) > tol+1e-9 {
+				t.Fatalf("vertex %v deviates %v > tol %v (kept %d of %d)",
+					v, math.Sqrt(best), tol, s.NumVerts(), p.NumVerts())
+			}
+		}
+	}
+}
+
+func TestSimplifyMonotoneInTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	p := starPolygon(rng, 300, 20)
+	prev := p.NumVerts() + 1
+	for _, tol := range []float64{0.01, 0.1, 0.5, 2, 8} {
+		n := p.Simplify(tol).NumVerts()
+		if n > prev {
+			t.Fatalf("vertex count grew from %d to %d as tol increased", prev, n)
+		}
+		prev = n
+	}
+}
+
+func TestSimplifyToBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	p := starPolygon(rng, 500, 20)
+	for _, budget := range []int{3, 10, 50, 499, 1000} {
+		s := p.SimplifyToBudget(budget)
+		want := budget
+		if want < 3 {
+			want = 3
+		}
+		if s.NumVerts() > max(want, 3) && p.NumVerts() > want {
+			t.Errorf("budget %d: got %d verts", budget, s.NumVerts())
+		}
+	}
+	if got := p.SimplifyToBudget(2); got.NumVerts() < 3 {
+		t.Error("budget below 3 produced a degenerate polygon")
+	}
+}

@@ -1,0 +1,168 @@
+package overlay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func square(x, y, side float64) *geom.Polygon {
+	return geom.MustPolygon(
+		geom.Pt(x, y), geom.Pt(x+side, y), geom.Pt(x+side, y+side), geom.Pt(x, y+side),
+	)
+}
+
+func TestIntersectionAreaKnown(t *testing.T) {
+	a := square(0, 0, 4)
+	cases := []struct {
+		name string
+		q    *geom.Polygon
+		want float64
+	}{
+		{"half overlap", square(2, 0, 4), 8},
+		{"quarter", square(2, 2, 4), 4},
+		{"contained", square(1, 1, 2), 4},
+		{"identical", square(0, 0, 4), 16},
+		{"disjoint", square(10, 10, 2), 0},
+		{"edge touch", square(4, 0, 2), 0},
+		{"inscribed diamond", geom.MustPolygon(geom.Pt(2, 0), geom.Pt(4, 2), geom.Pt(2, 4), geom.Pt(0, 2)), 8},
+		{"containing diamond", geom.MustPolygon(geom.Pt(2, -2), geom.Pt(6, 2), geom.Pt(2, 6), geom.Pt(-2, 2)), 16},
+	}
+	for _, tc := range cases {
+		if got := IntersectionArea(a, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: area = %v, want %v", tc.name, got, tc.want)
+		}
+		// Symmetry.
+		if got := IntersectionArea(tc.q, a); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s (swapped): area = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestConcaveOverlay(t *testing.T) {
+	// L-shape vs a square sitting exactly in its notch: zero overlap.
+	l := geom.MustPolygon(
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 2), geom.Pt(2, 2), geom.Pt(2, 4), geom.Pt(0, 4),
+	)
+	notch := square(2, 2, 2)
+	if got := IntersectionArea(l, notch); got != 0 {
+		t.Errorf("notch overlap = %v, want 0", got)
+	}
+	// A square covering the L entirely.
+	if got := IntersectionArea(l, square(-1, -1, 6)); math.Abs(got-l.Area()) > 1e-9 {
+		t.Errorf("cover overlap = %v, want %v", got, l.Area())
+	}
+	// Square overlapping both arms of the L.
+	got := IntersectionArea(l, square(1, 1, 2))
+	// Overlap region: [1,3]x[1,2] within lower arm gives x∈[1,3]? lower arm
+	// is y∈[0,2] x∈[0,4]: overlap [1,3]x[1,2] = 2; left arm x∈[0,2] y∈[2,4]:
+	// overlap [1,2]x[2,3] = 1. Total 3.
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("L overlap = %v, want 3", got)
+	}
+}
+
+func TestOverlayMatchesConvexClip(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := range 200 {
+		a := randomHull(rng, 5, 5, 4)
+		b := randomHull(rng, 6+rng.Float64()*3, 5+rng.Float64()*3, 4)
+		if a == nil || b == nil {
+			continue
+		}
+		want := 0.0
+		if c := geom.ClipConvex(a, b); c != nil {
+			want = c.Area()
+		}
+		got := IntersectionArea(a, b)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: overlay %v vs clip %v", trial, got, want)
+		}
+	}
+}
+
+func TestOverlayMatchesMonteCarloConcave(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	for trial := range 25 {
+		a := star(rng, 10, 10, 6, 8+rng.Intn(30))
+		b := star(rng, 12+rng.Float64()*4-2, 10+rng.Float64()*4-2, 6, 8+rng.Intn(30))
+		got := IntersectionArea(a, b)
+		region := a.Bounds().Intersection(b.Bounds())
+		if region.IsEmpty() {
+			if got != 0 {
+				t.Fatalf("trial %d: disjoint MBRs but area %v", trial, got)
+			}
+			continue
+		}
+		mc := monteCarlo(a, b, region, rng, 60000)
+		tol := 0.05*region.Area() + 0.2
+		if math.Abs(got-mc) > tol {
+			t.Fatalf("trial %d: overlay %v vs MC %v (tol %v)", trial, got, mc, tol)
+		}
+	}
+}
+
+func TestOverlayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	for range 200 {
+		a := star(rng, 10, 10, 5, 5+rng.Intn(20))
+		b := star(rng, 13, 11, 5, 5+rng.Intn(20))
+		inter := IntersectionArea(a, b)
+		if inter < -1e-9 {
+			t.Fatalf("negative intersection area %v", inter)
+		}
+		if inter > math.Min(a.Area(), b.Area())+1e-6 {
+			t.Fatalf("intersection %v exceeds inputs %v/%v", inter, a.Area(), b.Area())
+		}
+		union := UnionArea(a, b)
+		if union < math.Max(a.Area(), b.Area())-1e-6 {
+			t.Fatalf("union %v below max input", union)
+		}
+		sym := SymmetricDifferenceArea(a, b)
+		if math.Abs(sym-(union-inter)) > 1e-6 {
+			t.Fatalf("symmetric difference inconsistent: %v vs %v", sym, union-inter)
+		}
+	}
+}
+
+func monteCarlo(a, b *geom.Polygon, r geom.Rect, rng *rand.Rand, n int) float64 {
+	hits := 0
+	for range n {
+		q := geom.Pt(r.MinX+rng.Float64()*r.Width(), r.MinY+rng.Float64()*r.Height())
+		if a.ContainsPoint(q) && b.ContainsPoint(q) {
+			hits++
+		}
+	}
+	return r.Area() * float64(hits) / float64(n)
+}
+
+func star(rng *rand.Rand, cx, cy, rMax float64, n int) *geom.Polygon {
+	step := 2 * math.Pi / float64(n)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		ang := float64(i)*step + rng.Float64()*step*0.9
+		r := rMax * (0.3 + 0.7*rng.Float64())
+		pts[i] = geom.Pt(cx+r*math.Cos(ang), cy+r*math.Sin(ang))
+	}
+	return geom.MustPolygon(pts...)
+}
+
+func randomHull(rng *rand.Rand, cx, cy, r float64) *geom.Polygon {
+	pts := make([]geom.Point, 14)
+	for i := range pts {
+		pts[i] = geom.Pt(cx+(rng.Float64()*2-1)*r, cy+(rng.Float64()*2-1)*r)
+	}
+	return geom.ConvexHull(pts)
+}
+
+func BenchmarkIntersectionArea(b *testing.B) {
+	rng := rand.New(rand.NewSource(184))
+	p := star(rng, 0, 0, 10, 300)
+	q := star(rng, 3, 2, 10, 300)
+	b.ResetTimer()
+	for range b.N {
+		IntersectionArea(p, q)
+	}
+}

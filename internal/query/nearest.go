@@ -1,0 +1,37 @@
+package query
+
+import (
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Neighbor is one k-nearest-neighbors result: the layer object's index and
+// its exact region distance to the query polygon.
+type Neighbor struct {
+	ID       int
+	Distance float64
+}
+
+// KNearest returns the k objects of the layer nearest to the query polygon
+// by exact region distance (zero for intersecting objects), in
+// non-decreasing distance order. This implements the nearest-neighbor
+// queries the paper lists as future work (§5), on the software path: the
+// R-tree's best-first traversal supplies MBR-distance lower bounds and
+// Chan's minDist refines survivors, so only objects that could still make
+// the top k are ever refined.
+func KNearest(layer *Layer, q *geom.Polygon, k int, opt dist.Options) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Neighbor, 0, k)
+	layer.Index.NearestBy(q.Bounds(),
+		func(e rtree.Entry) float64 {
+			return dist.MinDist(q, layer.Data.Objects[e.ID], opt)
+		},
+		func(e rtree.Entry, d float64) bool {
+			out = append(out, Neighbor{ID: e.ID, Distance: d})
+			return len(out) < k
+		})
+	return out
+}

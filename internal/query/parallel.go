@@ -1,0 +1,111 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+)
+
+// ParallelOptions configure multi-worker join execution.
+type ParallelOptions struct {
+	// Workers is the number of refinement workers; 0 means GOMAXPROCS.
+	Workers int
+	// Tester builds each worker's refinement tester. Every worker needs
+	// its own (a Tester owns a rendering context, like a per-thread GL
+	// context); nil means hardware-assisted defaults.
+	Tester func() *core.Tester
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o ParallelOptions) newTester() *core.Tester {
+	if o.Tester != nil {
+		return o.Tester()
+	}
+	return core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold})
+}
+
+// ParallelIntersectionJoin computes the same result set as
+// IntersectionJoin using a pool of refinement workers. The MBR join runs
+// single-threaded (it is ~1% of the cost; see Figure 10), candidate pairs
+// are distributed in chunks, and per-worker testers keep the hot path
+// contention-free. Pair order in the result is unspecified. The summed
+// per-worker stats are returned alongside.
+func ParallelIntersectionJoin(a, b *Layer, opt ParallelOptions) ([]Pair, core.Stats) {
+	var candidates []Pair
+	rtree.Join(a.Index, b.Index, func(ea, eb rtree.Entry) bool {
+		candidates = append(candidates, Pair{ea.ID, eb.ID})
+		return true
+	})
+	return parallelRefine(candidates, opt, func(t *core.Tester, pr Pair) bool {
+		return t.Intersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B])
+	})
+}
+
+// ParallelWithinDistanceJoin is the parallel counterpart of
+// WithinDistanceJoin (without intermediate filters; compose them by
+// pre-filtering candidates if needed).
+func ParallelWithinDistanceJoin(a, b *Layer, d float64, opt ParallelOptions) ([]Pair, core.Stats) {
+	var candidates []Pair
+	rtree.JoinWithin(a.Index, b.Index, d, func(ea, eb rtree.Entry) bool {
+		candidates = append(candidates, Pair{ea.ID, eb.ID})
+		return true
+	})
+	return parallelRefine(candidates, opt, func(t *core.Tester, pr Pair) bool {
+		return t.WithinDistance(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d)
+	})
+}
+
+// parallelRefine fans candidate pairs out over workers, each owning one
+// tester, and gathers positives and summed stats.
+func parallelRefine(candidates []Pair, opt ParallelOptions, test func(*core.Tester, Pair) bool) ([]Pair, core.Stats) {
+	workers := min(opt.workers(), max(1, len(candidates)))
+	// Chunked work distribution: big enough to amortize channel traffic,
+	// small enough to balance skewed pair costs (one monster pair can be
+	// a thousand times a typical one).
+	const chunk = 64
+	type result struct {
+		pairs []Pair
+		stats core.Stats
+	}
+	work := make(chan []Pair, workers)
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tester := opt.newTester()
+			var out []Pair
+			for pairs := range work {
+				for _, pr := range pairs {
+					if test(tester, pr) {
+						out = append(out, pr)
+					}
+				}
+			}
+			results <- result{pairs: out, stats: tester.Stats}
+		}()
+	}
+	for lo := 0; lo < len(candidates); lo += chunk {
+		work <- candidates[lo:min(lo+chunk, len(candidates))]
+	}
+	close(work)
+	wg.Wait()
+	close(results)
+
+	var all []Pair
+	var stats core.Stats
+	for r := range results {
+		all = append(all, r.pairs...)
+		stats.Add(r.stats)
+	}
+	return all, stats
+}

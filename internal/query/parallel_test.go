@@ -1,0 +1,83 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+func TestParallelIntersectionJoinMatchesSerial(t *testing.T) {
+	sw := core.NewTester(core.Config{DisableHardware: true})
+	want, _ := IntersectionJoin(layerA, layerB, sw)
+	for _, workers := range []int{0, 1, 2, 7} {
+		got, stats := ParallelIntersectionJoin(layerA, layerB, ParallelOptions{Workers: workers})
+		g, w := sortedPairs(got), sortedPairs(want)
+		if len(g) != len(w) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("workers=%d: pair %d = %v, want %v", workers, i, g[i], w[i])
+			}
+		}
+		if stats.Tests == 0 {
+			t.Errorf("workers=%d: no stats gathered", workers)
+		}
+	}
+}
+
+func TestParallelWithinDistanceJoinMatchesSerial(t *testing.T) {
+	d := data.BaseD(layerA.Data, layerB.Data)
+	sw := core.NewTester(core.Config{DisableHardware: true})
+	want, _ := WithinDistanceJoin(layerA, layerB, d, sw, DistanceFilterOptions{})
+	got, stats := ParallelWithinDistanceJoin(layerA, layerB, d, ParallelOptions{Workers: 4})
+	g, w := sortedPairs(got), sortedPairs(want)
+	if len(g) != len(w) {
+		t.Fatalf("%d pairs, want %d", len(g), len(w))
+	}
+	for i := range w {
+		if g[i] != w[i] {
+			t.Fatalf("pair %d = %v, want %v", i, g[i], w[i])
+		}
+	}
+	// Every test was accounted to exactly one resolution path.
+	accounted := stats.MBRRejects + stats.PIPHits + stats.SWDirect +
+		stats.HWRejects + stats.HWPassed + stats.HWFallbacks
+	if accounted != stats.Tests {
+		t.Errorf("stats do not partition tests: %+v", stats)
+	}
+}
+
+func TestParallelCustomTester(t *testing.T) {
+	made := 0
+	opt := ParallelOptions{
+		Workers: 3,
+		Tester: func() *core.Tester {
+			made++
+			return core.NewTester(core.Config{DisableHardware: true})
+		},
+	}
+	ParallelIntersectionJoin(layerA, layerB, opt)
+	if made != 3 {
+		t.Errorf("tester factory called %d times, want 3", made)
+	}
+}
+
+func TestParallelEmptyLayers(t *testing.T) {
+	empty := NewLayer(&data.Dataset{Name: "empty"})
+	pairs, _ := ParallelIntersectionJoin(empty, layerB, ParallelOptions{})
+	if len(pairs) != 0 {
+		t.Error("empty layer produced pairs")
+	}
+}
+
+func BenchmarkParallelJoin(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(b.Name()+"-w"+string(rune('0'+workers)), func(b *testing.B) {
+			for range b.N {
+				ParallelIntersectionJoin(layerA, layerB, ParallelOptions{Workers: workers})
+			}
+		})
+	}
+}

@@ -1,0 +1,341 @@
+// Package query implements the paper's three-stage query processing
+// pipeline (Figure 8): MBR filtering over an R-tree, intermediate
+// filtering (the interior filter for selections, the 0-Object and
+// 1-Object filters for within-distance joins), and geometry comparison
+// with either the software tests or the hardware-assisted tests from
+// internal/core. Each stage's wall-clock cost and candidate counts are
+// recorded, which is what the evaluation figures plot.
+package query
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/filter"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Layer is a dataset with its R-tree index, the unit that queries operate
+// on. Build layers once and reuse them across queries.
+type Layer struct {
+	Data  *data.Dataset
+	Index *rtree.Tree
+
+	hullOnce sync.Once
+	hulls    *filter.HullSet
+}
+
+// NewLayer bulk-loads an R-tree over the dataset's object MBRs.
+func NewLayer(d *data.Dataset) *Layer {
+	entries := make([]rtree.Entry, len(d.Objects))
+	for i, p := range d.Objects {
+		entries[i] = rtree.Entry{Bounds: p.Bounds(), ID: i}
+	}
+	return &Layer{Data: d, Index: rtree.NewBulk(entries)}
+}
+
+// Hulls returns the layer's pre-computed convex-hull approximations,
+// building them on first use (the pre-processing cost of the geometric
+// filter; safe for concurrent callers).
+func (l *Layer) Hulls() *filter.HullSet {
+	l.hullOnce.Do(func() {
+		l.hulls = filter.NewHullSet(l.Data.Objects)
+	})
+	return l.hulls
+}
+
+// Cost is the per-stage cost breakdown of one query, mirroring the cost
+// bars in the paper's figures.
+type Cost struct {
+	MBRFilter          time.Duration // stage 1: index traversal
+	IntermediateFilter time.Duration // stage 2: interior / 0-object / 1-object
+	GeometryComparison time.Duration // stage 3: refinement tests
+
+	Candidates    int // objects or pairs surviving MBR filtering
+	FilterHits    int // positives identified by the intermediate filter
+	FilterRejects int // negatives proven by the intermediate filter
+	Compared      int // pairs sent to geometry comparison
+	Results       int // final result count
+}
+
+// Total returns the summed stage costs.
+func (c Cost) Total() time.Duration {
+	return c.MBRFilter + c.IntermediateFilter + c.GeometryComparison
+}
+
+// Add accumulates other into c (for averaging over a query set).
+func (c *Cost) Add(other Cost) {
+	c.MBRFilter += other.MBRFilter
+	c.IntermediateFilter += other.IntermediateFilter
+	c.GeometryComparison += other.GeometryComparison
+	c.Candidates += other.Candidates
+	c.FilterHits += other.FilterHits
+	c.FilterRejects += other.FilterRejects
+	c.Compared += other.Compared
+	c.Results += other.Results
+}
+
+// Scale divides all costs and counts by n, for per-query averages.
+func (c Cost) Scale(n int) Cost {
+	if n <= 0 {
+		return c
+	}
+	return Cost{
+		MBRFilter:          c.MBRFilter / time.Duration(n),
+		IntermediateFilter: c.IntermediateFilter / time.Duration(n),
+		GeometryComparison: c.GeometryComparison / time.Duration(n),
+		Candidates:         c.Candidates / n,
+		FilterHits:         c.FilterHits / n,
+		FilterRejects:      c.FilterRejects / n,
+		Compared:           c.Compared / n,
+		Results:            c.Results / n,
+	}
+}
+
+// SelectionOptions configure an intersection selection.
+type SelectionOptions struct {
+	// InteriorLevel is the interior filter's tiling level; negative
+	// disables the intermediate filter entirely (the paper's level-0 runs
+	// build a 1×1 tiling).
+	InteriorLevel int
+}
+
+// IntersectionSelect returns the IDs of the layer's objects whose regions
+// intersect the query polygon, processed through the three-stage pipeline.
+// The tester decides software vs hardware-assisted refinement.
+func IntersectionSelect(layer *Layer, query *geom.Polygon, tester *core.Tester, opt SelectionOptions) ([]int, Cost) {
+	var cost Cost
+
+	// Stage 1: MBR filtering.
+	start := time.Now()
+	var candidates []int
+	layer.Index.Search(query.Bounds(), func(e rtree.Entry) bool {
+		candidates = append(candidates, e.ID)
+		return true
+	})
+	cost.MBRFilter = time.Since(start)
+	cost.Candidates = len(candidates)
+
+	var results []int
+
+	// Stage 2: interior filter. Positives skip geometry comparison; the
+	// filter build cost counts toward the stage, amortized over objects
+	// exactly as the paper describes.
+	remaining := candidates
+	if opt.InteriorLevel >= 0 {
+		start = time.Now()
+		f := filter.NewInterior(query, opt.InteriorLevel)
+		remaining = remaining[:0]
+		for _, id := range candidates {
+			if f.CoversRect(layer.Data.Objects[id].Bounds()) {
+				results = append(results, id)
+			} else {
+				remaining = append(remaining, id)
+			}
+		}
+		cost.IntermediateFilter = time.Since(start)
+		cost.FilterHits = len(results)
+	}
+
+	// Stage 3: geometry comparison.
+	start = time.Now()
+	for _, id := range remaining {
+		if tester.Intersects(query, layer.Data.Objects[id]) {
+			results = append(results, id)
+		}
+	}
+	cost.GeometryComparison = time.Since(start)
+	cost.Compared = len(remaining)
+	cost.Results = len(results)
+	return results, cost
+}
+
+// WithinDistanceSelect returns the IDs of the layer's objects whose
+// regions lie within distance d of the query polygon — the buffer query
+// restricted to one query object. The pipeline mirrors the join: MBR
+// distance filtering via the index, the 0-Object/1-Object upper-bound
+// filters, then geometry comparison.
+func WithinDistanceSelect(layer *Layer, query *geom.Polygon, d float64, tester *core.Tester, opt DistanceFilterOptions) ([]int, Cost) {
+	var cost Cost
+
+	start := time.Now()
+	var candidates []int
+	layer.Index.SearchWithin(query.Bounds(), d, func(e rtree.Entry) bool {
+		candidates = append(candidates, e.ID)
+		return true
+	})
+	cost.MBRFilter = time.Since(start)
+	cost.Candidates = len(candidates)
+
+	var results []int
+	remaining := candidates
+	if opt.Use0Object || opt.Use1Object {
+		start = time.Now()
+		remaining = remaining[:0]
+		for _, id := range candidates {
+			obj := layer.Data.Objects[id]
+			if opt.Use0Object && filter.UpperBound0(query.Bounds(), obj.Bounds()) <= d {
+				results = append(results, id)
+				continue
+			}
+			if opt.Use1Object && filter.UpperBound1(query, obj.Bounds()) <= d {
+				results = append(results, id)
+				continue
+			}
+			remaining = append(remaining, id)
+		}
+		cost.IntermediateFilter = time.Since(start)
+		cost.FilterHits = len(results)
+	}
+
+	start = time.Now()
+	for _, id := range remaining {
+		if tester.WithinDistance(query, layer.Data.Objects[id], d) {
+			results = append(results, id)
+		}
+	}
+	cost.GeometryComparison = time.Since(start)
+	cost.Compared = len(remaining)
+	cost.Results = len(results)
+	return results, cost
+}
+
+// Pair is one join result: indices into the two layers' object slices.
+type Pair struct {
+	A, B int
+}
+
+// JoinOptions configure an intersection join's intermediate filtering.
+type JoinOptions struct {
+	// UseHullFilter enables Brinkhoff's geometric filter: candidate pairs
+	// whose pre-computed convex hulls are disjoint are rejected before
+	// geometry comparison. Hull construction (a pre-processing cost the
+	// paper's hardware technique avoids) happens lazily on first use and
+	// is charged to the intermediate-filter stage of that first query.
+	UseHullFilter bool
+}
+
+// IntersectionJoin returns all pairs (a from layer a, b from layer b)
+// whose regions intersect.
+func IntersectionJoin(a, b *Layer, tester *core.Tester) ([]Pair, Cost) {
+	return IntersectionJoinOpt(a, b, tester, JoinOptions{})
+}
+
+// IntersectionJoinOpt is IntersectionJoin with intermediate-filter options.
+func IntersectionJoinOpt(a, b *Layer, tester *core.Tester, opt JoinOptions) ([]Pair, Cost) {
+	var cost Cost
+
+	// Stage 1: MBR join via synchronized R-tree traversal.
+	start := time.Now()
+	var candidates []Pair
+	rtree.Join(a.Index, b.Index, func(ea, eb rtree.Entry) bool {
+		candidates = append(candidates, Pair{ea.ID, eb.ID})
+		return true
+	})
+	cost.MBRFilter = time.Since(start)
+	cost.Candidates = len(candidates)
+
+	// Stage 2: the optional geometric (convex hull) filter rejects
+	// provably disjoint pairs. (The paper evaluates its joins without an
+	// intermediate filter — this is the Table 1 pre-processing technique,
+	// kept for comparison.)
+	remaining := candidates
+	if opt.UseHullFilter {
+		start = time.Now()
+		ha, hb := a.Hulls(), b.Hulls()
+		remaining = remaining[:0]
+		for _, pr := range candidates {
+			if filter.PairMayIntersect(ha, pr.A, hb, pr.B) {
+				remaining = append(remaining, pr)
+			}
+		}
+		cost.IntermediateFilter = time.Since(start)
+		cost.FilterRejects = len(candidates) - len(remaining)
+	}
+
+	// Stage 3: geometry comparison.
+	start = time.Now()
+	var results []Pair
+	for _, pr := range remaining {
+		if tester.Intersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B]) {
+			results = append(results, pr)
+		}
+	}
+	cost.GeometryComparison = time.Since(start)
+	cost.Compared = len(remaining)
+	cost.Results = len(results)
+	return results, cost
+}
+
+// DistanceFilterOptions configure the within-distance join's intermediate
+// filters.
+type DistanceFilterOptions struct {
+	// Use0Object enables the MBR-only distance upper-bound filter.
+	Use0Object bool
+	// Use1Object enables the upper bound using the larger object's actual
+	// geometry (paper §4.1.1: "very aggressive filtering").
+	Use1Object bool
+}
+
+// WithinDistanceJoin returns all pairs whose regions are within distance d
+// of each other (the buffer query), processed through the three-stage
+// pipeline with the 0-Object and 1-Object filters.
+func WithinDistanceJoin(a, b *Layer, d float64, tester *core.Tester, opt DistanceFilterOptions) ([]Pair, Cost) {
+	var cost Cost
+
+	// Stage 1: MBR distance join. MBR distance lower-bounds object
+	// distance, so no within-distance pair is lost.
+	start := time.Now()
+	var candidates []Pair
+	rtree.JoinWithin(a.Index, b.Index, d, func(ea, eb rtree.Entry) bool {
+		candidates = append(candidates, Pair{ea.ID, eb.ID})
+		return true
+	})
+	cost.MBRFilter = time.Since(start)
+	cost.Candidates = len(candidates)
+
+	// Stage 2: distance upper bounds identify positives early.
+	var results []Pair
+	remaining := candidates
+	if opt.Use0Object || opt.Use1Object {
+		start = time.Now()
+		remaining = remaining[:0]
+		for _, pr := range candidates {
+			pa, pb := a.Data.Objects[pr.A], b.Data.Objects[pr.B]
+			if opt.Use0Object && filter.UpperBound0(pa.Bounds(), pb.Bounds()) <= d {
+				results = append(results, pr)
+				continue
+			}
+			if opt.Use1Object {
+				// Use the larger object's geometry against the smaller
+				// object's MBR.
+				big, smallBounds := pa, pb.Bounds()
+				if pb.NumVerts() > pa.NumVerts() {
+					big, smallBounds = pb, pa.Bounds()
+				}
+				if filter.UpperBound1(big, smallBounds) <= d {
+					results = append(results, pr)
+					continue
+				}
+			}
+			remaining = append(remaining, pr)
+		}
+		cost.IntermediateFilter = time.Since(start)
+		cost.FilterHits = len(results)
+	}
+
+	// Stage 3: geometry comparison.
+	start = time.Now()
+	for _, pr := range remaining {
+		if tester.WithinDistance(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d) {
+			results = append(results, pr)
+		}
+	}
+	cost.GeometryComparison = time.Since(start)
+	cost.Compared = len(remaining)
+	cost.Results = len(results)
+	return results, cost
+}

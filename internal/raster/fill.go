@@ -1,0 +1,94 @@
+package raster
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// FillPolygon rasterizes the interior of the data-space polygon p with the
+// current color using the OpenGL polygon rules (paper §2.2.3): a pixel is
+// colored iff its center lies inside the polygon, and a pixel whose center
+// lies exactly on an edge shared by two polygons is colored exactly once.
+// The exactly-once property comes from the half-open crossing rule used on
+// both the scanline crossings (an edge covers scanlines min ≤ y < max) and
+// the span fill (a span covers centers x1 ≤ x < x2).
+func (c *Context) FillPolygon(p *geom.Polygon) {
+	n := p.NumVerts()
+	if n < 3 {
+		return
+	}
+	// Project once.
+	verts := make([]geom.Point, n)
+	for i, v := range p.Verts {
+		verts[i] = c.Project(v)
+	}
+	w, h := c.color.W, c.color.H
+
+	minY, maxY := verts[0].Y, verts[0].Y
+	for _, v := range verts[1:] {
+		if v.Y < minY {
+			minY = v.Y
+		}
+		if v.Y > maxY {
+			maxY = v.Y
+		}
+	}
+	y0 := clampInt(int(minY)-1, 0, h-1)
+	y1 := clampInt(int(maxY)+1, 0, h-1)
+
+	var xs []float64
+	for cy := y0; cy <= y1; cy++ {
+		yc := float64(cy) + 0.5
+		xs = xs[:0]
+		for i := range n {
+			a, b := verts[i], verts[(i+1)%n]
+			if a.Y == b.Y {
+				continue // horizontal edges never cross a center line
+			}
+			// Half-open rule: the edge covers min(a.Y,b.Y) <= yc < max.
+			lo, hi := a, b
+			if lo.Y > hi.Y {
+				lo, hi = hi, lo
+			}
+			if lo.Y <= yc && yc < hi.Y {
+				t := (yc - lo.Y) / (hi.Y - lo.Y)
+				xs = append(xs, lo.X+t*(hi.X-lo.X))
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		sort.Float64s(xs)
+		row := cy * w
+		for i := 0; i+1 < len(xs); i += 2 {
+			xStart, xEnd := xs[i], xs[i+1]
+			// Color centers with xStart <= cx+0.5 < xEnd: start from safe
+			// under/over-estimates and tighten to the exact half-open span.
+			cx0 := int(xStart) - 2
+			for float64(cx0)+0.5 < xStart {
+				cx0++
+			}
+			cx1 := int(xEnd) + 2
+			for float64(cx1)+0.5 >= xEnd {
+				cx1--
+			}
+			cx0 = max(cx0, 0)
+			cx1 = min(cx1, w-1)
+			if cx1 < cx0 {
+				continue
+			}
+			if c.orBits != 0 {
+				bits := int32(c.orBits)
+				for cx := cx0; cx <= cx1; cx++ {
+					c.color.Pix[row+cx] = float32(int32(c.color.Pix[row+cx]) | bits)
+				}
+			} else {
+				for cx := cx0; cx <= cx1; cx++ {
+					c.color.Pix[row+cx] = c.drawColor
+				}
+			}
+			c.PixelsWritten += int64(cx1 - cx0 + 1)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestQuickIntersectionNeverMissed is the conservativeness guarantee as a
+// quick property: for any seed, resolution in 1..32, and forced-to-cross
+// segment pair, the two-layer rendering shares a pixel.
+func TestQuickIntersectionNeverMissed(t *testing.T) {
+	prop := func(seed int64, resRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		res := 1 + int(resRaw)%32
+		c := NewContext(res, res)
+		s1 := geom.Seg(
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+		)
+		mid := s1.Midpoint()
+		dx, dy := rng.Float64()*40-20, rng.Float64()*40-20
+		s2 := geom.Seg(geom.Pt(mid.X-dx, mid.Y-dy), geom.Pt(mid.X+dx, mid.Y+dy))
+		c.SetViewport(s1.Bounds().Union(s2.Bounds()))
+		c.Clear()
+		c.SetColor(1)
+		c.DrawSegment(s1)
+		return c.SegmentTouches(s2, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAccumLinear: the accumulation buffer is linear — Load(a) then
+// Add(b) equals Load(a+b) when the color buffer is unchanged.
+func TestQuickAccumLinear(t *testing.T) {
+	prop := func(seed int64, aRaw, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := float32(aRaw) / 32
+		b := float32(bRaw) / 32
+		c1 := NewContext(8, 8)
+		c2 := NewContext(8, 8)
+		for i := range c1.Color().Pix {
+			v := rng.Float32()
+			c1.Color().Pix[i] = v
+			c2.Color().Pix[i] = v
+		}
+		c1.AccumLoad(a)
+		c1.AccumAdd(b)
+		c2.AccumLoad(a + b)
+		for i := range c1.Accum().Pix {
+			d := c1.Accum().Pix[i] - c2.Accum().Pix[i]
+			if d < -1e-5 || d > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,441 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBuffer(4, 3)
+	if len(b.Pix) != 12 {
+		t.Fatalf("len(Pix) = %d", len(b.Pix))
+	}
+	b.Set(2, 1, 0.5)
+	if b.At(2, 1) != 0.5 || b.At(0, 0) != 0 {
+		t.Error("Set/At wrong")
+	}
+	b.Clear()
+	if b.At(2, 1) != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestProjectViewport(t *testing.T) {
+	c := NewContext(10, 10)
+	c.SetViewport(geom.R(100, 200, 120, 240))
+	got := c.Project(geom.Pt(100, 200))
+	if got != geom.Pt(0, 0) {
+		t.Errorf("Project(min) = %v", got)
+	}
+	got = c.Project(geom.Pt(120, 240))
+	if got != geom.Pt(10, 10) {
+		t.Errorf("Project(max) = %v", got)
+	}
+	got = c.Project(geom.Pt(110, 220))
+	if got != geom.Pt(5, 5) {
+		t.Errorf("Project(center) = %v", got)
+	}
+}
+
+func TestViewportUniform(t *testing.T) {
+	c := NewContext(10, 10)
+	s := c.SetViewportUniform(geom.R(0, 0, 20, 10))
+	if s != 0.5 {
+		t.Errorf("uniform scale = %v, want 0.5", s)
+	}
+	sx, sy := c.Scale()
+	if sx != sy {
+		t.Errorf("non-uniform scale %v, %v", sx, sy)
+	}
+	// Degenerate viewport must not produce Inf/NaN.
+	c.SetViewportUniform(geom.R(5, 5, 5, 5))
+	p := c.Project(geom.Pt(5, 5))
+	if math.IsNaN(p.X) || math.IsInf(p.X, 0) {
+		t.Errorf("degenerate projection = %v", p)
+	}
+}
+
+func TestSetLineWidthLimits(t *testing.T) {
+	c := NewContext(8, 8)
+	if err := c.SetLineWidth(5); err != nil {
+		t.Errorf("width 5 rejected: %v", err)
+	}
+	if err := c.SetLineWidth(MaxLineWidth + 0.1); err == nil {
+		t.Error("width above hardware limit accepted")
+	}
+	if err := c.SetLineWidth(-1); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+// coveredCells returns the set of colored pixel indices.
+func coveredCells(b *Buffer) map[int]bool {
+	m := map[int]bool{}
+	for i, p := range b.Pix {
+		if p != 0 {
+			m[i] = true
+		}
+	}
+	return m
+}
+
+// TestSegmentCoverageConservative: every closed cell the segment passes
+// through must be colored, for any line width.
+func TestSegmentCoverageConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := NewContext(16, 16)
+	for _, width := range []float64{0, math.Sqrt2, 4} {
+		for range 300 {
+			c.Clear()
+			if err := c.SetLineWidth(width); err != nil {
+				t.Fatal(err)
+			}
+			s := geom.Seg(
+				geom.Pt(rng.Float64()*16, rng.Float64()*16),
+				geom.Pt(rng.Float64()*16, rng.Float64()*16),
+			)
+			c.DrawSegment(s) // identity viewport
+			for cy := range 16 {
+				for cx := range 16 {
+					touches := boxSegDistSq(float64(cx), float64(cy), s) == 0
+					colored := c.Color().At(cx, cy) != 0
+					if touches && !colored {
+						t.Fatalf("width %v: cell (%d,%d) touched by %v but not colored", width, cx, cy, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentCoverageTight: the fast rasterizer over-covers the exact
+// capsule by at most its slope-corrected margin, so no colored cell's
+// center may be farther than width + circumradius from the segment.
+func TestSegmentCoverageTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewContext(16, 16)
+	for range 300 {
+		c.Clear()
+		width := rng.Float64() * 6
+		if err := c.SetLineWidth(width); err != nil {
+			t.Fatal(err)
+		}
+		s := geom.Seg(
+			geom.Pt(rng.Float64()*16, rng.Float64()*16),
+			geom.Pt(rng.Float64()*16, rng.Float64()*16),
+		)
+		c.DrawSegment(s)
+		limit := width + math.Sqrt2 // 2·hw margin + cell diagonal
+		for cy := range 16 {
+			for cx := range 16 {
+				if c.Color().At(cx, cy) == 0 {
+					continue
+				}
+				center := geom.Pt(float64(cx)+0.5, float64(cy)+0.5)
+				if d := s.DistToPoint(center); d > limit+1e-9 {
+					t.Fatalf("cell (%d,%d) colored at distance %v > %v", cx, cy, d, limit)
+				}
+			}
+		}
+	}
+}
+
+// TestFastCoverageSupersetOfExact pins the contract between the fast
+// column-walking rasterizer and the exact capsule reference: the fast path
+// must color every cell the exact path colors.
+func TestFastCoverageSupersetOfExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	fast := NewContext(16, 16)
+	exact := NewContext(16, 16)
+	for trial := range 500 {
+		width := rng.Float64() * 8
+		s := geom.Seg(
+			geom.Pt(rng.Float64()*20-2, rng.Float64()*20-2),
+			geom.Pt(rng.Float64()*20-2, rng.Float64()*20-2),
+		)
+		fast.Clear()
+		fast.DrawSegmentWidth(s, width)
+		exact.Clear()
+		exact.DrawSegmentExact(s, width)
+		for i, v := range exact.Color().Pix {
+			if v != 0 && fast.Color().Pix[i] == 0 {
+				t.Fatalf("trial %d width %v: fast path missed cell %d of exact coverage for %v",
+					trial, width, i, s)
+			}
+		}
+	}
+}
+
+// TestIntersectionAlwaysDetected is the paper's correctness guarantee:
+// render two intersecting segments at half intensity, accumulate, and some
+// pixel must reach full intensity — at any resolution, any viewport.
+func TestIntersectionAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, res := range []int{1, 2, 8, 32} {
+		c := NewContext(res, res)
+		for range 400 {
+			s1 := geom.Seg(
+				geom.Pt(rng.Float64()*100, rng.Float64()*100),
+				geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			)
+			// Force an intersection: s2 crosses s1's midpoint.
+			mid := s1.Midpoint()
+			dx, dy := rng.Float64()*50-25, rng.Float64()*50-25
+			s2 := geom.Seg(
+				geom.Pt(mid.X-dx, mid.Y-dy),
+				geom.Pt(mid.X+dx, mid.Y+dy),
+			)
+			region := s1.Bounds().Union(s2.Bounds())
+			c.SetViewport(region)
+			c.Clear()
+			c.SetColor(0.5)
+			c.DrawSegment(s1)
+			c.AccumLoad(1)
+			c.Clear()
+			c.DrawSegment(s2)
+			c.AccumAdd(1)
+			if !c.AccumMaxAtLeast(1) {
+				t.Fatalf("res %d: intersection missed for %v, %v", res, s1, s2)
+			}
+		}
+	}
+}
+
+// TestWithinDistanceAlwaysDetected: two segments within data distance D,
+// rendered with line width D·scale under a uniform viewport, must overlap.
+func TestWithinDistanceAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	c := NewContext(8, 8)
+	for range 400 {
+		s1 := geom.Seg(
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+		)
+		s2 := geom.Seg(
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+			geom.Pt(rng.Float64()*100, rng.Float64()*100),
+		)
+		trueDist := s1.Dist(s2)
+		if trueDist == 0 {
+			continue
+		}
+		d := trueDist * (1 + rng.Float64()) // any D >= the true distance
+		region := s1.Bounds().Union(s2.Bounds()).Expand(d)
+		scale := c.SetViewportUniform(region)
+		widthPx := d * scale
+		if widthPx > MaxLineWidth {
+			continue // hardware limit: the algorithm falls back to software
+		}
+		c.Clear()
+		c.SetColor(0.5)
+		c.DrawSegmentWidth(s1, widthPx)
+		c.AccumLoad(1)
+		c.Clear()
+		c.DrawSegmentWidth(s2, widthPx)
+		c.AccumAdd(1)
+		if !c.AccumMaxAtLeast(1) {
+			t.Fatalf("within-distance pair missed: dist %v, D %v, width %v px", trueDist, d, widthPx)
+		}
+	}
+}
+
+func TestAccumOps(t *testing.T) {
+	c := NewContext(2, 2)
+	c.SetColor(0.5)
+	c.Color().Set(0, 0, 0.5)
+	c.Color().Set(1, 1, 0.25)
+	c.AccumLoad(2)
+	if c.Accum().At(0, 0) != 1 || c.Accum().At(1, 1) != 0.5 || c.Accum().At(1, 0) != 0 {
+		t.Error("AccumLoad wrong")
+	}
+	c.AccumAdd(1)
+	if c.Accum().At(0, 0) != 1.5 {
+		t.Error("AccumAdd wrong")
+	}
+	c.AccumReturn(2)
+	if c.Color().At(0, 0) != 3 {
+		t.Error("AccumReturn wrong")
+	}
+	c.ClearAccum()
+	if c.Accum().At(0, 0) != 0 {
+		t.Error("ClearAccum failed")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	c := NewContext(3, 3)
+	minV, maxV := c.MinMax()
+	if minV != 0 || maxV != 0 {
+		t.Errorf("empty MinMax = %v, %v", minV, maxV)
+	}
+	c.Color().Set(1, 1, 0.75)
+	c.Color().Set(2, 0, -0.5)
+	minV, maxV = c.MinMax()
+	if minV != -0.5 || maxV != 0.75 {
+		t.Errorf("MinMax = %v, %v", minV, maxV)
+	}
+	if !c.MaxAtLeast(0.75) || c.MaxAtLeast(0.76) {
+		t.Error("MaxAtLeast wrong")
+	}
+}
+
+func TestResizeReuses(t *testing.T) {
+	c := NewContext(32, 32)
+	c.Color().Set(5, 5, 1)
+	c.Resize(8, 8)
+	if c.Width() != 8 || c.Height() != 8 {
+		t.Fatalf("Resize dims %dx%d", c.Width(), c.Height())
+	}
+	for _, p := range c.Color().Pix {
+		if p != 0 {
+			t.Fatal("Resize left stale pixels")
+		}
+	}
+	c.Resize(64, 64)
+	if len(c.Color().Pix) != 64*64 {
+		t.Fatal("grow failed")
+	}
+}
+
+func TestDrawPoint(t *testing.T) {
+	c := NewContext(8, 8)
+	c.SetColor(1)
+	c.DrawPoint(geom.Pt(4.2, 4.7), 1)
+	if c.Color().At(4, 4) == 0 {
+		t.Error("point's own cell not colored")
+	}
+	// A 1px point must not reach cells more than a cell away.
+	if c.Color().At(0, 0) != 0 || c.Color().At(7, 7) != 0 {
+		t.Error("1px point colored distant cells")
+	}
+	c.Clear()
+	c.DrawPoint(geom.Pt(4, 4), 6)
+	count := 0
+	for _, p := range c.Color().Pix {
+		if p != 0 {
+			count++
+		}
+	}
+	if count < 9 {
+		t.Errorf("6px point colored only %d cells", count)
+	}
+}
+
+// TestDiamondExitDisappearingSegment reproduces paper Figure 3(d): short
+// segments that never exit a pixel's diamond are not rasterized under the
+// basic rule but are under the anti-aliased rule.
+func TestDiamondExitDisappearingSegment(t *testing.T) {
+	c := NewContext(3, 3)
+	// Segment fully inside the center pixel's diamond.
+	s := geom.Seg(geom.Pt(1.4, 1.5), geom.Pt(1.6, 1.5))
+	c.DrawSegmentBasic(s)
+	for i, p := range c.Color().Pix {
+		if p != 0 {
+			t.Errorf("basic rule colored pixel %d for a non-exiting segment", i)
+		}
+	}
+	c.Clear()
+	c.DrawSegment(s) // anti-aliased: must color the cell
+	if c.Color().At(1, 1) == 0 {
+		t.Error("anti-aliased rule missed the segment")
+	}
+}
+
+func TestDiamondExitLongSegment(t *testing.T) {
+	c := NewContext(5, 1)
+	// Horizontal segment through all diamonds, ending inside the last one.
+	s := geom.Seg(geom.Pt(0, 0.5), geom.Pt(4.5, 0.5))
+	c.DrawSegmentBasic(s)
+	for cx := range 4 {
+		if c.Color().At(cx, 0) == 0 {
+			t.Errorf("pixel %d not colored", cx)
+		}
+	}
+	if c.Color().At(4, 0) != 0 {
+		t.Error("diamond-exit rule: final pixel should not be colored")
+	}
+}
+
+func TestFillPolygonCenterRule(t *testing.T) {
+	c := NewContext(16, 16)
+	rng := rand.New(rand.NewSource(45))
+	for range 50 {
+		// Random triangle in window space (identity viewport).
+		p := geom.MustPolygon(
+			geom.Pt(rng.Float64()*16, rng.Float64()*16),
+			geom.Pt(rng.Float64()*16, rng.Float64()*16),
+			geom.Pt(rng.Float64()*16, rng.Float64()*16),
+		)
+		if p.Area() < 1 {
+			continue
+		}
+		c.Clear()
+		c.SetColor(1)
+		c.FillPolygon(p)
+		for cy := range 16 {
+			for cx := range 16 {
+				center := geom.Pt(float64(cx)+0.5, float64(cy)+0.5)
+				inside := p.ContainsPoint(center)
+				colored := c.Color().At(cx, cy) != 0
+				// Centers exactly on the boundary may go either way.
+				onBoundary := false
+				for i := range p.NumEdges() {
+					if p.Edge(i).DistToPoint(center) < 1e-9 {
+						onBoundary = true
+					}
+				}
+				if onBoundary {
+					continue
+				}
+				if inside != colored {
+					t.Fatalf("cell (%d,%d): inside=%v colored=%v for %v", cx, cy, inside, colored, p.Verts)
+				}
+			}
+		}
+	}
+}
+
+// TestFillSharedEdgeExactlyOnce verifies paper §2.2.3: pixels whose center
+// lies on an edge shared by two polygons are colored exactly once.
+func TestFillSharedEdgeExactlyOnce(t *testing.T) {
+	c := NewContext(8, 8)
+	// Vertical shared edge at x = 4.5 passes exactly through the centers
+	// of column 4; horizontal shared edge at y = 3.5 through row 3.
+	left := geom.MustPolygon(geom.Pt(0.5, 0.5), geom.Pt(4.5, 0.5), geom.Pt(4.5, 7.5), geom.Pt(0.5, 7.5))
+	right := geom.MustPolygon(geom.Pt(4.5, 0.5), geom.Pt(7.5, 0.5), geom.Pt(7.5, 7.5), geom.Pt(4.5, 7.5))
+	c.SetColor(1)
+	c.FillPolygon(left)
+	c.AccumLoad(1)
+	c.Clear()
+	c.FillPolygon(right)
+	c.AccumAdd(1)
+	for cy := range 7 {
+		v := c.Accum().At(4, cy)
+		if v != 1 {
+			t.Errorf("shared-edge pixel (4,%d) colored %v times, want exactly 1", cy, v)
+		}
+	}
+	// And no interior gaps: centers strictly inside the union are colored.
+	for cy := 1; cy < 7; cy++ {
+		for cx := 1; cx < 7; cx++ {
+			if c.Accum().At(cx, cy) == 0 {
+				t.Errorf("gap at (%d,%d)", cx, cy)
+			}
+		}
+	}
+}
+
+func TestCountersAndReset(t *testing.T) {
+	c := NewContext(8, 8)
+	c.DrawSegment(geom.Seg(geom.Pt(0, 0), geom.Pt(8, 8)))
+	if c.SegmentsDrawn != 1 || c.PixelsWritten == 0 {
+		t.Errorf("counters: segs=%d pix=%d", c.SegmentsDrawn, c.PixelsWritten)
+	}
+	c.ResetCounters()
+	if c.SegmentsDrawn != 0 || c.PixelsWritten != 0 {
+		t.Error("ResetCounters failed")
+	}
+}

@@ -1,0 +1,474 @@
+// Package rtree implements the R-tree index used by the MBR filtering step
+// of the query pipeline: Guttman insertion with quadratic split, STR bulk
+// loading, window search, and the synchronized-traversal spatial joins
+// (MBR intersection and MBR within-distance) that feed candidate pairs to
+// the intermediate filters and the refinement step.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Default node capacity. 16 entries keeps nodes around a cache line's worth
+// of rectangles while staying close to the classic page-sized fanouts.
+const (
+	DefaultMaxEntries = 16
+	DefaultMinEntries = DefaultMaxEntries * 2 / 5
+)
+
+// Entry is one indexed object: its MBR and the caller's identifier
+// (typically an index into a dataset's object slice).
+type Entry struct {
+	Bounds geom.Rect
+	ID     int
+}
+
+// rnode is an R-tree node. Leaves hold entries; internal nodes hold
+// children. bounds is the union of whatever the node holds.
+type rnode struct {
+	bounds   geom.Rect
+	entries  []Entry  // leaf level only
+	children []*rnode // internal level only
+	leaf     bool
+}
+
+// Tree is an R-tree over 2D rectangles. The zero value is not usable; build
+// trees with New or NewBulk.
+type Tree struct {
+	root       *rnode
+	size       int
+	maxEntries int
+	minEntries int
+}
+
+// New returns an empty R-tree with default node capacity.
+func New() *Tree {
+	return &Tree{
+		root:       &rnode{leaf: true, bounds: geom.EmptyRect()},
+		maxEntries: DefaultMaxEntries,
+		minEntries: DefaultMinEntries,
+	}
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Bounds returns the MBR of everything in the tree.
+func (t *Tree) Bounds() geom.Rect { return t.root.bounds }
+
+// Height returns the number of levels, 1 for a tree that is a single leaf.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Insert adds an entry using Guttman's algorithm with quadratic split.
+func (t *Tree) Insert(e Entry) {
+	t.size++
+	path := t.choosePath(e.Bounds)
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries, e)
+	leaf.bounds = leaf.bounds.Union(e.Bounds)
+
+	// Walk back up: split overflowing nodes, refresh bounds.
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		overflow := len(n.entries) > t.maxEntries || len(n.children) > t.maxEntries
+		if !overflow {
+			if i > 0 {
+				p := path[i-1]
+				p.bounds = p.bounds.Union(n.bounds)
+			}
+			continue
+		}
+		a, b := t.splitNode(n)
+		if i == 0 {
+			t.root = &rnode{children: []*rnode{a, b}, bounds: a.bounds.Union(b.bounds)}
+			return
+		}
+		p := path[i-1]
+		for j, c := range p.children {
+			if c == n {
+				p.children[j] = a
+				break
+			}
+		}
+		p.children = append(p.children, b)
+		nb := geom.EmptyRect()
+		for _, c := range p.children {
+			nb = nb.Union(c.bounds)
+		}
+		p.bounds = nb
+	}
+}
+
+// choosePath descends to the leaf whose MBR needs the least enlargement,
+// returning the root-to-leaf path.
+func (t *Tree) choosePath(r geom.Rect) []*rnode {
+	path := []*rnode{t.root}
+	n := t.root
+	for !n.leaf {
+		best := n.children[0]
+		bestEnl, bestArea := enlargement(best.bounds, r), best.bounds.Area()
+		for _, c := range n.children[1:] {
+			enl := enlargement(c.bounds, r)
+			area := c.bounds.Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = c, enl, area
+			}
+		}
+		n = best
+		path = append(path, n)
+	}
+	return path
+}
+
+func enlargement(b, r geom.Rect) float64 {
+	return b.Union(r).Area() - b.Area()
+}
+
+// splitNode performs Guttman's quadratic split, returning the two halves.
+func (t *Tree) splitNode(n *rnode) (*rnode, *rnode) {
+	if n.leaf {
+		ga, gb := quadraticSplit(len(n.entries), t.minEntries,
+			func(i int) geom.Rect { return n.entries[i].Bounds })
+		a := &rnode{leaf: true}
+		b := &rnode{leaf: true}
+		for _, i := range ga {
+			a.entries = append(a.entries, n.entries[i])
+		}
+		for _, i := range gb {
+			b.entries = append(b.entries, n.entries[i])
+		}
+		a.bounds = unionEntries(a.entries)
+		b.bounds = unionEntries(b.entries)
+		return a, b
+	}
+	ga, gb := quadraticSplit(len(n.children), t.minEntries,
+		func(i int) geom.Rect { return n.children[i].bounds })
+	a := &rnode{}
+	b := &rnode{}
+	for _, i := range ga {
+		a.children = append(a.children, n.children[i])
+	}
+	for _, i := range gb {
+		b.children = append(b.children, n.children[i])
+	}
+	a.bounds = unionChildren(a.children)
+	b.bounds = unionChildren(b.children)
+	return a, b
+}
+
+func unionEntries(es []Entry) geom.Rect {
+	u := geom.EmptyRect()
+	for _, e := range es {
+		u = u.Union(e.Bounds)
+	}
+	return u
+}
+
+func unionChildren(cs []*rnode) geom.Rect {
+	u := geom.EmptyRect()
+	for _, c := range cs {
+		u = u.Union(c.bounds)
+	}
+	return u
+}
+
+// quadraticSplit partitions indices 0..n-1 into two groups using Guttman's
+// quadratic seed-picking and least-enlargement assignment, respecting the
+// minimum fill m.
+func quadraticSplit(n, m int, rect func(int) geom.Rect) (ga, gb []int) {
+	// Pick seeds: the pair wasting the most area if grouped together.
+	s1, s2, worst := 0, 1, math.Inf(-1)
+	for i := range n {
+		for j := i + 1; j < n; j++ {
+			waste := rect(i).Union(rect(j)).Area() - rect(i).Area() - rect(j).Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	ga = append(ga, s1)
+	gb = append(gb, s2)
+	ba, bb := rect(s1), rect(s2)
+	remaining := make([]int, 0, n-2)
+	for i := range n {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		// Force assignment when one group must take all the rest to reach m.
+		if len(ga)+len(remaining) == m {
+			for _, i := range remaining {
+				ga = append(ga, i)
+			}
+			break
+		}
+		if len(gb)+len(remaining) == m {
+			for _, i := range remaining {
+				gb = append(gb, i)
+			}
+			break
+		}
+		// Pick the entry with the strongest preference for one group.
+		bestIdx, bestDiff := 0, math.Inf(-1)
+		for k, i := range remaining {
+			d1 := enlargement(ba, rect(i))
+			d2 := enlargement(bb, rect(i))
+			if diff := math.Abs(d1 - d2); diff > bestDiff {
+				bestDiff, bestIdx = diff, k
+			}
+		}
+		i := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		d1 := enlargement(ba, rect(i))
+		d2 := enlargement(bb, rect(i))
+		if d1 < d2 || (d1 == d2 && len(ga) < len(gb)) {
+			ga = append(ga, i)
+			ba = ba.Union(rect(i))
+		} else {
+			gb = append(gb, i)
+			bb = bb.Union(rect(i))
+		}
+	}
+	return ga, gb
+}
+
+// NewBulk builds a tree from entries using Sort-Tile-Recursive packing:
+// sort by x, slice into vertical strips, sort each strip by y, pack leaves,
+// then repeat upward. Produces well-clustered nodes and is the standard
+// way to load static datasets like the evaluation's.
+func NewBulk(entries []Entry) *Tree {
+	t := New()
+	if len(entries) == 0 {
+		return t
+	}
+	t.size = len(entries)
+
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	leaves := packLeaves(es, t.maxEntries)
+	level := leaves
+	for len(level) > 1 {
+		level = packInternal(level, t.maxEntries)
+	}
+	t.root = level[0]
+	return t
+}
+
+// packLeaves arranges entries into leaf nodes with STR.
+func packLeaves(es []Entry, cap_ int) []*rnode {
+	n := len(es)
+	leafCount := (n + cap_ - 1) / cap_
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * cap_
+
+	sort.Slice(es, func(i, j int) bool {
+		return es[i].Bounds.Center().X < es[j].Bounds.Center().X
+	})
+	var leaves []*rnode
+	for lo := 0; lo < n; lo += sliceSize {
+		hi := min(lo+sliceSize, n)
+		strip := es[lo:hi]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].Bounds.Center().Y < strip[j].Bounds.Center().Y
+		})
+		for s := 0; s < len(strip); s += cap_ {
+			e := min(s+cap_, len(strip))
+			leaf := &rnode{leaf: true, entries: append([]Entry(nil), strip[s:e]...)}
+			leaf.bounds = unionEntries(leaf.entries)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packInternal arranges nodes of one level into parents with STR.
+func packInternal(nodes []*rnode, cap_ int) []*rnode {
+	n := len(nodes)
+	parentCount := (n + cap_ - 1) / cap_
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	sliceSize := sliceCount * cap_
+
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].bounds.Center().X < nodes[j].bounds.Center().X
+	})
+	var parents []*rnode
+	for lo := 0; lo < n; lo += sliceSize {
+		hi := min(lo+sliceSize, n)
+		strip := nodes[lo:hi]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].bounds.Center().Y < strip[j].bounds.Center().Y
+		})
+		for s := 0; s < len(strip); s += cap_ {
+			e := min(s+cap_, len(strip))
+			p := &rnode{children: append([]*rnode(nil), strip[s:e]...)}
+			p.bounds = unionChildren(p.children)
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// Search visits every entry whose MBR intersects r. The visitor returns
+// false to stop the search early; Search reports whether it ran to
+// completion.
+func (t *Tree) Search(r geom.Rect, visit func(Entry) bool) bool {
+	return searchNode(t.root, r, visit)
+}
+
+func searchNode(n *rnode, r geom.Rect, visit func(Entry) bool) bool {
+	if !n.bounds.Intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Bounds.Intersects(r) {
+				if !visit(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchNode(c, r, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchWithin visits every entry whose MBR is within distance d of r.
+func (t *Tree) SearchWithin(r geom.Rect, d float64, visit func(Entry) bool) bool {
+	return searchWithinNode(t.root, r, d, visit)
+}
+
+func searchWithinNode(n *rnode, r geom.Rect, d float64, visit func(Entry) bool) bool {
+	if n.bounds.Dist(r) > d {
+		return true
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.Bounds.Dist(r) <= d {
+				if !visit(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !searchWithinNode(c, r, d, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join visits every pair (a, b) with a from t, b from other, whose MBRs
+// intersect, using synchronized tree traversal. The visitor returns false
+// to stop.
+func Join(t, other *Tree, visit func(a, b Entry) bool) bool {
+	return JoinWithin(t, other, 0, visit)
+}
+
+// JoinWithin visits every pair whose MBR distance is at most d. d = 0
+// degenerates to the intersection join (touching MBRs have distance 0).
+func JoinWithin(t, other *Tree, d float64, visit func(a, b Entry) bool) bool {
+	if t.size == 0 || other.size == 0 {
+		return true
+	}
+	return joinNodes(t.root, other.root, d, visit)
+}
+
+func joinNodes(a, b *rnode, d float64, visit func(a, b Entry) bool) bool {
+	if a.bounds.Dist(b.bounds) > d {
+		return true
+	}
+	switch {
+	case a.leaf && b.leaf:
+		for _, ea := range a.entries {
+			for _, eb := range b.entries {
+				if ea.Bounds.Dist(eb.Bounds) <= d {
+					if !visit(ea, eb) {
+						return false
+					}
+				}
+			}
+		}
+	case a.leaf:
+		for _, cb := range b.children {
+			if !joinNodes(a, cb, d, visit) {
+				return false
+			}
+		}
+	case b.leaf:
+		for _, ca := range a.children {
+			if !joinNodes(ca, b, d, visit) {
+				return false
+			}
+		}
+	default:
+		for _, ca := range a.children {
+			for _, cb := range b.children {
+				if !joinNodes(ca, cb, d, visit) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks structural invariants (bounds containment, fill limits,
+// uniform leaf depth) and returns an error describing the first violation.
+// Intended for tests.
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		return fmt.Errorf("rtree: nil root")
+	}
+	depth := -1
+	var walk func(n *rnode, level int) error
+	walk = func(n *rnode, level int) error {
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", depth, level)
+			}
+			for _, e := range n.entries {
+				if !n.bounds.ContainsRect(e.Bounds) {
+					return fmt.Errorf("rtree: entry %d outside leaf bounds", e.ID)
+				}
+			}
+			return nil
+		}
+		if len(n.children) == 0 {
+			return fmt.Errorf("rtree: internal node with no children")
+		}
+		if len(n.children) > t.maxEntries {
+			return fmt.Errorf("rtree: node with %d > %d children", len(n.children), t.maxEntries)
+		}
+		for _, c := range n.children {
+			if !n.bounds.ContainsRect(c.bounds) {
+				return fmt.Errorf("rtree: child bounds escape parent")
+			}
+			if err := walk(c, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0)
+}

@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// PolygonIsSimple reports whether p is a simple polygon — no two
+// non-adjacent edges share a point, and adjacent edges share only their
+// common endpoint — in O(n log n) via a Shamos–Hoey sweep. It is the
+// scalable replacement for geom.Polygon.IsSimple, whose quadratic check
+// is only practical for small inputs; the two agree on every input.
+func PolygonIsSimple(p *geom.Polygon) bool {
+	n := p.NumVerts()
+	if n < 3 {
+		return false
+	}
+	st := &sweepState{
+		segs: make([]geom.Segment, 0, n),
+		blue: make([]bool, n), // unused by the simplicity check
+	}
+	for i := range n {
+		e := p.Edge(i)
+		if e.A.Eq(e.B) {
+			return false // degenerate zero-length edge
+		}
+		st.segs = append(st.segs, normalize(e))
+	}
+
+	events := make([]event, 0, 2*n)
+	for i, s := range st.segs {
+		events = append(events,
+			event{s.A.X, evInsert, int32(i)},
+			event{s.B.X, evRemove, int32(i)},
+		)
+	}
+	slices.SortFunc(events, func(a, b event) int {
+		switch {
+		case a.x < b.x:
+			return -1
+		case a.x > b.x:
+			return 1
+		case a.kind != b.kind:
+			return int(a.kind) - int(b.kind)
+		default:
+			return 0
+		}
+	})
+
+	nodes := make([]*node, n)
+	arena := make([]node, n)
+	arenaNext := 0
+	tree := rbtree{cmp: st.compare}
+
+	// conflict reports whether edges i and j make the polygon non-simple:
+	// any contact between non-adjacent edges, or contact beyond the shared
+	// endpoint between adjacent ones.
+	conflict := func(a, b *node) bool {
+		if a == nil || b == nil {
+			return false
+		}
+		i, j := a.item, b.item
+		si, sj := p.Edge(i), p.Edge(j) // original orientation for adjacency logic
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		switch {
+		case hi == lo+1:
+			return adjacentConflict(si, sj, p.Verts[hi])
+		case lo == 0 && hi == n-1:
+			return adjacentConflict(sj, si, p.Verts[0])
+		default:
+			return si.Intersects(sj)
+		}
+	}
+
+	for _, ev := range events {
+		st.x = ev.x
+		idx := int(ev.idx)
+		if ev.kind == evInsert {
+			nd := &arena[arenaNext]
+			arenaNext++
+			*nd = node{item: idx}
+			tree.InsertNode(nd)
+			nodes[idx] = nd
+			prev, next := tree.Prev(nd), tree.Next(nd)
+			if conflict(nd, prev) || conflict(nd, next) {
+				return false
+			}
+			y := st.yAt(idx)
+			for pn := prev; pn != nil && st.yAt(pn.item) == y; pn = tree.Prev(pn) {
+				if conflict(nd, pn) {
+					return false
+				}
+			}
+			for nx := next; nx != nil && st.yAt(nx.item) == y; nx = tree.Next(nx) {
+				if conflict(nd, nx) {
+					return false
+				}
+			}
+		} else {
+			nd := nodes[idx]
+			prev, next := tree.Prev(nd), tree.Next(nd)
+			tree.Delete(nd)
+			nodes[idx] = nil
+			if conflict(prev, next) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// adjacentConflict reports whether consecutive edges a (ending at shared)
+// and b (starting at shared) touch anywhere besides their shared endpoint:
+// a proper crossing, or a collinear fold-back where one edge's far
+// endpoint lies on the other.
+func adjacentConflict(a, b geom.Segment, shared geom.Point) bool {
+	if a.IntersectsProper(b) {
+		return true
+	}
+	for _, q := range []geom.Point{a.A, a.B} {
+		if !q.Eq(shared) && geom.Orient(b.A, b.B, q) == geom.Collinear && b.Bounds().ContainsPoint(q) {
+			return true
+		}
+	}
+	for _, q := range []geom.Point{b.A, b.B} {
+		if !q.Eq(shared) && geom.Orient(a.A, a.B, q) == geom.Collinear && a.Bounds().ContainsPoint(q) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPolygonIsSimpleKnown(t *testing.T) {
+	cases := []struct {
+		name  string
+		verts []geom.Point
+		want  bool
+	}{
+		{"square", []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}, true},
+		{"L", []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}, {X: 3, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 3}, {X: 0, Y: 3}}, true},
+		{"bowtie", []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 2}, {X: 2, Y: 0}, {X: 0, Y: 2}}, false},
+		{"spike", []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 2}}, false},
+		{"pinch", []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 1, Y: 0}, {X: 0, Y: 2}}, false},
+		{"zero edge", []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 1, Y: 1}}, false},
+		{"triangle", []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 2, Y: 3}}, true},
+		{"vertical edges", []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 2}, {X: 0, Y: 2}}, true},
+	}
+	for _, tc := range cases {
+		p := &geom.Polygon{Verts: tc.verts}
+		p.Recompute()
+		if got := PolygonIsSimple(p); got != tc.want {
+			t.Errorf("%s: PolygonIsSimple = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := p.IsSimple(); got != tc.want {
+			t.Errorf("%s: quadratic IsSimple = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestPolygonIsSimpleMatchesQuadratic compares the sweep against the
+// quadratic oracle on random polygons — both simple (stars) and mostly
+// non-simple (random vertex orderings, integer grids for degeneracy).
+func TestPolygonIsSimpleMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	simpleCount, nonSimpleCount := 0, 0
+	for trial := range 800 {
+		var p *geom.Polygon
+		switch trial % 3 {
+		case 0: // star-shaped: always simple
+			n := 3 + rng.Intn(25)
+			pts := make([]geom.Point, n)
+			step := 2 * math.Pi / float64(n)
+			for i := range pts {
+				a := float64(i)*step + rng.Float64()*step*0.9
+				r := 1 + 4*rng.Float64()
+				pts[i] = geom.Pt(10+r*math.Cos(a), 10+r*math.Sin(a))
+			}
+			p = geom.MustPolygon(pts...)
+		case 1: // random float vertices: usually non-simple
+			n := 4 + rng.Intn(12)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+			}
+			p = geom.MustPolygon(pts...)
+		default: // integer grid: degenerate touches and collinearity
+			n := 4 + rng.Intn(8)
+			pts := make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Pt(float64(rng.Intn(6)), float64(rng.Intn(6)))
+			}
+			p = &geom.Polygon{Verts: pts}
+			p.Recompute()
+		}
+		want := p.IsSimple()
+		if want {
+			simpleCount++
+		} else {
+			nonSimpleCount++
+		}
+		if got := PolygonIsSimple(p); got != want {
+			t.Fatalf("trial %d: sweep = %v, quadratic = %v for %v", trial, got, want, p.Verts)
+		}
+	}
+	if simpleCount == 0 || nonSimpleCount == 0 {
+		t.Fatalf("workload unbalanced: %d simple, %d non-simple", simpleCount, nonSimpleCount)
+	}
+}
+
+func TestPolygonIsSimpleGeneratedData(t *testing.T) {
+	// All generator outputs must pass the fast check (they are simple by
+	// construction); this also exercises large inputs the quadratic oracle
+	// cannot afford.
+	rng := rand.New(rand.NewSource(132))
+	for range 20 {
+		n := 500 + rng.Intn(3000)
+		pts := make([]geom.Point, n)
+		step := 2 * math.Pi / float64(n)
+		for i := range pts {
+			a := float64(i)*step + rng.Float64()*step*0.9
+			r := 5 + 5*rng.Float64()
+			pts[i] = geom.Pt(100+r*math.Cos(a), 100+r*math.Sin(a))
+		}
+		p := geom.MustPolygon(pts...)
+		if !PolygonIsSimple(p) {
+			t.Fatal("large star rejected")
+		}
+	}
+}
+
+func BenchmarkPolygonIsSimple(b *testing.B) {
+	rng := rand.New(rand.NewSource(133))
+	n := 2000
+	pts := make([]geom.Point, n)
+	step := 2 * math.Pi / float64(n)
+	for i := range pts {
+		a := float64(i)*step + rng.Float64()*step*0.9
+		pts[i] = geom.Pt(100*math.Cos(a), 100*math.Sin(a))
+	}
+	p := geom.MustPolygon(pts...)
+	b.Run("sweep", func(b *testing.B) {
+		for range b.N {
+			PolygonIsSimple(p)
+		}
+	})
+	b.Run("quadratic", func(b *testing.B) {
+		for range b.N {
+			p.IsSimple()
+		}
+	})
+}

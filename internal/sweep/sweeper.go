@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// event is one sweep event: a segment's left or right endpoint.
+type event struct {
+	x    float64
+	kind eventKind
+	idx  int32
+}
+
+// Sweeper runs plane-sweep intersection detections with all working
+// storage (segment tables, event queue, status-tree nodes) reused across
+// runs, so a query processor performing millions of pair tests does not
+// allocate per pair. A Sweeper is not safe for concurrent use; create one
+// per worker, like a Tester.
+type Sweeper struct {
+	st     sweepState
+	events []event
+	nodes  []*node
+	arena  []node
+
+	// Candidate-edge buffers for BoundariesIntersect.
+	redBuf, blueBuf []geom.Segment
+}
+
+// NewSweeper returns a Sweeper with empty buffers; they grow to the size
+// of the largest input seen.
+func NewSweeper() *Sweeper { return &Sweeper{} }
+
+// CrossIntersects reports whether any red segment intersects any blue
+// segment; see the package-level CrossIntersects for the algorithm and its
+// preconditions.
+func (sw *Sweeper) CrossIntersects(red, blue []geom.Segment) bool {
+	if len(red) == 0 || len(blue) == 0 {
+		return false
+	}
+	n := len(red) + len(blue)
+	st := &sw.st
+	st.segs = st.segs[:0]
+	st.blue = st.blue[:0]
+	for _, s := range red {
+		st.segs = append(st.segs, normalize(s))
+		st.blue = append(st.blue, false)
+	}
+	for _, s := range blue {
+		st.segs = append(st.segs, normalize(s))
+		st.blue = append(st.blue, true)
+	}
+
+	events := sw.events[:0]
+	for i, s := range st.segs {
+		events = append(events,
+			event{s.A.X, evInsert, int32(i)},
+			event{s.B.X, evRemove, int32(i)},
+		)
+	}
+	sw.events = events
+	// Inserts before removes at equal x so that segments meeting at a
+	// point coexist in the status and get neighbor-checked.
+	slices.SortFunc(events, func(a, b event) int {
+		switch {
+		case a.x < b.x:
+			return -1
+		case a.x > b.x:
+			return 1
+		case a.kind != b.kind:
+			return int(a.kind) - int(b.kind)
+		default:
+			return 0
+		}
+	})
+
+	if cap(sw.nodes) < n {
+		sw.nodes = make([]*node, n)
+	}
+	nodes := sw.nodes[:n]
+	if cap(sw.arena) < n {
+		sw.arena = make([]node, n)
+	}
+	arena := sw.arena[:n]
+	arenaNext := 0
+
+	tree := rbtree{cmp: st.compare}
+
+	check := func(a, b *node) bool {
+		if a == nil || b == nil {
+			return false
+		}
+		if st.blue[a.item] == st.blue[b.item] {
+			return false
+		}
+		return st.segs[a.item].Intersects(st.segs[b.item])
+	}
+
+	for _, ev := range events {
+		st.x = ev.x
+		idx := int(ev.idx)
+		if ev.kind == evInsert {
+			nd := &arena[arenaNext]
+			arenaNext++
+			*nd = node{item: idx}
+			tree.InsertNode(nd)
+			nodes[idx] = nd
+			prev, next := tree.Prev(nd), tree.Next(nd)
+			if check(nd, prev) || check(nd, next) {
+				return true
+			}
+			// Walk any bundle of status items passing through the same
+			// point: ties hide cross-class touches behind same-class
+			// neighbors.
+			y := st.yAt(idx)
+			for p := prev; p != nil && st.yAt(p.item) == y; p = tree.Prev(p) {
+				if check(nd, p) {
+					return true
+				}
+			}
+			for nx := next; nx != nil && st.yAt(nx.item) == y; nx = tree.Next(nx) {
+				if check(nd, nx) {
+					return true
+				}
+			}
+		} else {
+			nd := nodes[idx]
+			prev, next := tree.Prev(nd), tree.Next(nd)
+			tree.Delete(nd)
+			nodes[idx] = nil
+			if check(prev, next) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BoundariesIntersect is the polygon-level software segment test using
+// this Sweeper's reusable storage, including reuse of the candidate-edge
+// buffers.
+func (sw *Sweeper) BoundariesIntersect(p, q *geom.Polygon, opt Options) bool {
+	if opt.Algorithm != PlaneSweep {
+		return BoundariesIntersect(p, q, opt)
+	}
+	var red, blue []geom.Segment
+	if opt.NoRestrictSearch {
+		red = appendEdgesInRect(sw.redBuf[:0], p, p.Bounds())
+		blue = appendEdgesInRect(sw.blueBuf[:0], q, q.Bounds())
+	} else {
+		red, blue = CandidateEdgesInto(p, q, sw.redBuf, sw.blueBuf)
+	}
+	if red != nil {
+		sw.redBuf = red[:0]
+	}
+	if blue != nil {
+		sw.blueBuf = blue[:0]
+	}
+	return sw.CrossIntersects(red, blue)
+}
