@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -70,7 +71,7 @@ func BenchmarkFig10(b *testing.B) {
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
 				for _, q := range queries {
-					query.IntersectionSelect(ls["WATER"], q, tester,
+					query.IntersectionSelect(context.Background(), ls["WATER"], q, tester,
 						query.SelectionOptions{InteriorLevel: level})
 				}
 			}
@@ -88,7 +89,7 @@ func BenchmarkFig11(b *testing.B) {
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
 				for _, q := range queries {
-					query.IntersectionSelect(ls[ds], q, tester, query.SelectionOptions{InteriorLevel: -1})
+					query.IntersectionSelect(context.Background(), ls[ds], q, tester, query.SelectionOptions{InteriorLevel: -1})
 				}
 			}
 		})
@@ -97,7 +98,7 @@ func BenchmarkFig11(b *testing.B) {
 				tester := core.NewTester(core.Config{Resolution: res})
 				for range b.N {
 					for _, q := range queries {
-						query.IntersectionSelect(ls[ds], q, tester, query.SelectionOptions{InteriorLevel: -1})
+						query.IntersectionSelect(context.Background(), ls[ds], q, tester, query.SelectionOptions{InteriorLevel: -1})
 					}
 				}
 			})
@@ -115,14 +116,14 @@ func BenchmarkFig12(b *testing.B) {
 		b.Run(name+"/software", func(b *testing.B) {
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
-				query.IntersectionJoin(ls[j[0]], ls[j[1]], tester)
+				query.IntersectionJoin(context.Background(), ls[j[0]], ls[j[1]], tester)
 			}
 		})
 		for _, res := range experiments.Resolutions {
 			b.Run(fmt.Sprintf("%s/hw/res=%d", name, res), func(b *testing.B) {
 				tester := core.NewTester(core.Config{Resolution: res})
 				for range b.N {
-					query.IntersectionJoin(ls[j[0]], ls[j[1]], tester)
+					query.IntersectionJoin(context.Background(), ls[j[0]], ls[j[1]], tester)
 				}
 			})
 		}
@@ -138,7 +139,7 @@ func BenchmarkFig13(b *testing.B) {
 			b.Run(fmt.Sprintf("res=%d/threshold=%d", res, th), func(b *testing.B) {
 				tester := core.NewTester(core.Config{Resolution: res, SWThreshold: th})
 				for range b.N {
-					query.IntersectionJoin(ls["LANDC"], ls["LANDO"], tester)
+					query.IntersectionJoin(context.Background(), ls["LANDC"], ls["LANDO"], tester)
 				}
 			})
 		}
@@ -157,7 +158,7 @@ func BenchmarkFig14(b *testing.B) {
 				tester := core.NewTester(core.Config{DisableHardware: true})
 				d := baseDs[j] * mult
 				for range b.N {
-					query.WithinDistanceJoin(a, c, d, tester, filters)
+					query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
 				}
 			})
 		}
@@ -175,14 +176,14 @@ func BenchmarkFig15(b *testing.B) {
 		b.Run(j+"/software", func(b *testing.B) {
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
-				query.WithinDistanceJoin(a, c, d, tester, filters)
+				query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
 			}
 		})
 		for _, res := range experiments.Resolutions {
 			b.Run(fmt.Sprintf("%s/hw/res=%d", j, res), func(b *testing.B) {
 				tester := core.NewTester(core.Config{Resolution: res})
 				for range b.N {
-					query.WithinDistanceJoin(a, c, d, tester, filters)
+					query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
 				}
 			})
 		}
@@ -202,13 +203,13 @@ func BenchmarkFig16(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/sw/D=%gxBaseD", j, mult), func(b *testing.B) {
 				tester := core.NewTester(core.Config{DisableHardware: true})
 				for range b.N {
-					query.WithinDistanceJoin(a, c, d, tester, filters)
+					query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
 				}
 			})
 			b.Run(fmt.Sprintf("%s/hw/D=%gxBaseD", j, mult), func(b *testing.B) {
 				tester := core.NewTester(core.Config{Resolution: 8, SWThreshold: 500})
 				for range b.N {
-					query.WithinDistanceJoin(a, c, d, tester, filters)
+					query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
 				}
 			})
 		}

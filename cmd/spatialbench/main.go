@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +24,16 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16 or all")
 	scale := flag.Float64("scale", experiments.DefaultScale,
 		"dataset scale in (0,1]: fraction of the paper's object counts")
+	timeout := flag.Duration("timeout", 0,
+		"overall time limit (0 = none); an expired run stops after the current point and exits nonzero")
 	flag.Parse()
 
 	r := experiments.NewRunner(*scale, os.Stdout)
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		r.Ctx = ctx
+	}
 	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull"}
 	want := map[string]bool{}
 	if *exp == "all" {
@@ -56,6 +64,10 @@ func main() {
 		}
 		start := time.Now()
 		run[name]()
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "spatialbench: %s interrupted: %v\n", name, r.Err)
+			os.Exit(1)
+		}
 		fmt.Printf("-- %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
 		ran++
 		delete(want, name)

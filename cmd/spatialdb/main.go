@@ -16,6 +16,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -33,6 +35,11 @@ import (
 type shell struct {
 	layers map[string]*query.Layer
 	out    *bufio.Writer
+
+	// timeout bounds each query; zero means none.
+	timeout time.Duration
+	// budget caps MBR-filter candidates per query; zero means unlimited.
+	budget int
 }
 
 func main() {
@@ -82,8 +89,14 @@ func (sh *shell) exec(line string) error {
 		return nil
 	case "stats":
 		return sh.stats(args)
+	case "timeout":
+		return sh.setTimeout(args)
+	case "budget":
+		return sh.setBudget(args)
 	case "join":
 		return sh.join(args)
+	case "pjoin":
+		return sh.pjoin(args)
 	case "overlay":
 		return sh.overlay(args)
 	case "within":
@@ -104,11 +117,17 @@ func (sh *shell) help() {
   layers                            list loaded layers
   stats <name>                      Table 2 statistics of a layer
   join <a> <b> [sw|hw]              intersection join (default hw)
+  pjoin <a> <b> [workers]           parallel intersection join (panic-isolating)
   overlay <a> <b>                   map overlay: per-pair intersection areas
   within <a> <b> <D> [sw|hw]        within-distance join
   select <layer> <WKT POLYGON>      intersection selection with a query polygon
   knn <layer> <WKT POLYGON> <k>     k nearest objects to a query polygon
+  timeout <duration|off>            bound each query (e.g. timeout 2s)
+  budget <n|off>                    cap MBR candidates per query
   quit                              leave
+
+Interrupted queries (timeout or budget) report their partial results and
+the typed error instead of failing silently.
 `)
 }
 
@@ -188,6 +207,65 @@ func (sh *shell) stats(args []string) error {
 	return nil
 }
 
+func (sh *shell) setTimeout(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: timeout <duration|off>")
+	}
+	if args[0] == "off" {
+		sh.timeout = 0
+		fmt.Fprintln(sh.out, "timeout off")
+		return nil
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil || d < 0 {
+		return fmt.Errorf("bad duration %q", args[0])
+	}
+	sh.timeout = d
+	fmt.Fprintf(sh.out, "timeout %v\n", d)
+	return nil
+}
+
+func (sh *shell) setBudget(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: budget <n|off>")
+	}
+	if args[0] == "off" {
+		sh.budget = 0
+		fmt.Fprintln(sh.out, "budget off")
+		return nil
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad budget %q", args[0])
+	}
+	sh.budget = n
+	fmt.Fprintf(sh.out, "budget %d candidates\n", n)
+	return nil
+}
+
+// qctx builds the per-query context from the shell's timeout setting.
+func (sh *shell) qctx() (context.Context, context.CancelFunc) {
+	if sh.timeout > 0 {
+		return context.WithTimeout(context.Background(), sh.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// note prints a query interruption (partial results were already
+// reported); budget errors are returned as hard errors by the caller.
+func (sh *shell) note(err error) {
+	if err == nil {
+		return
+	}
+	var pe *query.PartialError
+	switch {
+	case errors.As(err, &pe):
+		fmt.Fprintf(sh.out, "note: %v (results above are partial)\n", err)
+	default:
+		fmt.Fprintln(sh.out, "note:", err)
+	}
+}
+
 func testerFor(mode string) (*core.Tester, error) {
 	switch mode {
 	case "", "hw":
@@ -219,8 +297,53 @@ func (sh *shell) join(args []string) error {
 	if err != nil {
 		return err
 	}
-	pairs, cost := query.IntersectionJoin(a, b, tester)
+	ctx, cancel := sh.qctx()
+	defer cancel()
+	pairs, cost, qerr := query.IntersectionJoinOpt(ctx, a, b, tester,
+		query.JoinOptions{MaxCandidates: sh.budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return qerr
+	}
 	sh.report("join", len(pairs), cost)
+	sh.note(qerr)
+	return nil
+}
+
+func (sh *shell) pjoin(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("usage: pjoin <a> <b> [workers]")
+	}
+	a, err := sh.layer(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := sh.layer(args[1])
+	if err != nil {
+		return err
+	}
+	workers := 0
+	if len(args) == 3 {
+		if workers, err = strconv.Atoi(args[2]); err != nil || workers < 0 {
+			return fmt.Errorf("bad worker count %q", args[2])
+		}
+	}
+	ctx, cancel := sh.qctx()
+	defer cancel()
+	start := time.Now()
+	pairs, stats, qerr := query.ParallelIntersectionJoin(ctx, a, b,
+		query.ParallelOptions{Workers: workers, MaxCandidates: sh.budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return qerr
+	}
+	fmt.Fprintf(sh.out, "pjoin: %d results in %v (%d tests", len(pairs),
+		time.Since(start).Round(time.Microsecond), stats.Tests)
+	if stats.Panics > 0 || stats.Quarantined > 0 {
+		fmt.Fprintf(sh.out, "; %d panics recovered, %d pairs quarantined", stats.Panics, stats.Quarantined)
+	}
+	fmt.Fprintln(sh.out, ")")
+	sh.note(qerr)
 	return nil
 }
 
@@ -248,9 +371,16 @@ func (sh *shell) within(args []string) error {
 	if err != nil {
 		return err
 	}
-	pairs, cost := query.WithinDistanceJoin(a, b, d, tester,
-		query.DistanceFilterOptions{Use0Object: true, Use1Object: true})
+	ctx, cancel := sh.qctx()
+	defer cancel()
+	pairs, cost, qerr := query.WithinDistanceJoin(ctx, a, b, d, tester,
+		query.DistanceFilterOptions{Use0Object: true, Use1Object: true, MaxCandidates: sh.budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return qerr
+	}
 	sh.report("within", len(pairs), cost)
+	sh.note(qerr)
 	return nil
 }
 
@@ -267,7 +397,14 @@ func (sh *shell) overlay(args []string) error {
 		return err
 	}
 	tester, _ := testerFor("hw")
-	pairs, cost := query.OverlayAreaJoin(a, b, tester)
+	ctx, cancel := sh.qctx()
+	defer cancel()
+	pairs, cost, qerr := query.OverlayAreaJoin(ctx, a, b, tester)
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return qerr
+	}
+	defer sh.note(qerr)
 	var total float64
 	for _, op := range pairs {
 		total += op.Area
@@ -293,8 +430,16 @@ func (sh *shell) selectCmd(line string) error {
 		return err
 	}
 	tester, _ := testerFor("hw")
-	ids, cost := query.IntersectionSelect(l, q, tester, query.SelectionOptions{InteriorLevel: 4})
+	ctx, cancel := sh.qctx()
+	defer cancel()
+	ids, cost, qerr := query.IntersectionSelect(ctx, l, q, tester,
+		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: sh.budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return qerr
+	}
 	sh.report("select", len(ids), cost)
+	sh.note(qerr)
 	return nil
 }
 
@@ -321,11 +466,14 @@ func (sh *shell) knn(line string) error {
 		return err
 	}
 	start := time.Now()
-	neighbors := query.KNearest(l, q, k, dist.Options{})
+	ctx, cancel := sh.qctx()
+	defer cancel()
+	neighbors, qerr := query.KNearest(ctx, l, q, k, dist.Options{})
 	fmt.Fprintf(sh.out, "%d neighbors in %v:\n", len(neighbors), time.Since(start).Round(time.Microsecond))
 	for _, nb := range neighbors {
 		fmt.Fprintf(sh.out, "  object %-6d distance %.4f\n", nb.ID, nb.Distance)
 	}
+	sh.note(qerr)
 	return nil
 }
 

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +34,16 @@ func main() {
 	res := flag.Int("res", core.DefaultResolution, "hardware window resolution")
 	threshold := flag.Int("threshold", core.DefaultSWThreshold, "software threshold")
 	swOnly := flag.Bool("sw", false, "software only, skip the hardware run")
+	timeout := flag.Duration("timeout", 0, "per-run time limit (0 = none); an expired run reports its partial results")
+	budget := flag.Int("budget", 0, "max MBR candidates per run (0 = unlimited)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *aPath == "" || *bPath == "" {
 		flag.Usage()
@@ -47,48 +58,69 @@ func main() {
 		fail(err)
 	}
 
-	type runner func(*core.Tester) (int, query.Cost)
+	type runner func(*core.Tester) (int, query.Cost, error)
 	var run runner
 	switch *op {
 	case "join":
-		run = func(t *core.Tester) (int, query.Cost) {
-			pairs, cost := query.IntersectionJoin(a, b, t)
-			return len(pairs), cost
+		run = func(t *core.Tester) (int, query.Cost, error) {
+			pairs, cost, err := query.IntersectionJoinOpt(ctx, a, b, t,
+				query.JoinOptions{MaxCandidates: *budget})
+			return len(pairs), cost, err
 		}
 	case "within":
 		if *d <= 0 {
 			*d = data.BaseD(a.Data, b.Data)
 			fmt.Printf("using D = BaseD = %.4f\n", *d)
 		}
-		run = func(t *core.Tester) (int, query.Cost) {
-			pairs, cost := query.WithinDistanceJoin(a, b, *d, t,
-				query.DistanceFilterOptions{Use0Object: true, Use1Object: true})
-			return len(pairs), cost
+		run = func(t *core.Tester) (int, query.Cost, error) {
+			pairs, cost, err := query.WithinDistanceJoin(ctx, a, b, *d, t,
+				query.DistanceFilterOptions{Use0Object: true, Use1Object: true, MaxCandidates: *budget})
+			return len(pairs), cost, err
 		}
 	case "select":
 		if *queryIdx < 0 || *queryIdx >= len(b.Data.Objects) {
 			fail(fmt.Errorf("query index %d out of range (0..%d)", *queryIdx, len(b.Data.Objects)-1))
 		}
 		q := b.Data.Objects[*queryIdx]
-		run = func(t *core.Tester) (int, query.Cost) {
-			ids, cost := query.IntersectionSelect(a, q, t, query.SelectionOptions{InteriorLevel: 4})
-			return len(ids), cost
+		run = func(t *core.Tester) (int, query.Cost, error) {
+			ids, cost, err := query.IntersectionSelect(ctx, a, q, t,
+				query.SelectionOptions{InteriorLevel: 4, MaxCandidates: *budget})
+			return len(ids), cost, err
 		}
 	default:
 		fail(fmt.Errorf("unknown -op %q", *op))
 	}
 
-	swResults, swCost := run(core.NewTester(core.Config{DisableHardware: true}))
+	swResults, swCost, swErr := run(core.NewTester(core.Config{DisableHardware: true}))
 	report("software", swResults, swCost)
-	if *swOnly {
+	if interrupted(swErr) || *swOnly {
 		return
 	}
-	hwResults, hwCost := run(core.NewTester(core.Config{Resolution: *res, SWThreshold: *threshold}))
+	hwResults, hwCost, hwErr := run(core.NewTester(core.Config{Resolution: *res, SWThreshold: *threshold}))
 	report(fmt.Sprintf("hardware %dx%d threshold %d", *res, *res, *threshold), hwResults, hwCost)
+	if interrupted(hwErr) {
+		return
+	}
 	if swResults != hwResults {
 		fail(fmt.Errorf("result mismatch: sw %d vs hw %d", swResults, hwResults))
 	}
 	fmt.Println("results identical")
+}
+
+// interrupted distinguishes the two typed query errors: a partial run has
+// already reported its (incomplete) numbers, so the comparison against the
+// other path is skipped; a tripped budget is a hard failure.
+func interrupted(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *query.PartialError
+	if errors.As(err, &pe) {
+		fmt.Printf("  partial: %v\n", pe)
+		return true
+	}
+	fail(err)
+	return true
 }
 
 func loadLayer(path string) (*query.Layer, error) {

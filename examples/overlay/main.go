@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -25,8 +26,12 @@ func main() {
 	fmt.Printf("LANDC: %d objects, LANDO: %d objects\n",
 		len(landc.Data.Objects), len(lando.Data.Objects))
 
+	ctx := context.Background()
 	run := func(name string, tester *core.Tester) []query.Pair {
-		pairs, cost := query.IntersectionJoin(landc, lando, tester)
+		pairs, cost, err := query.IntersectionJoin(ctx, landc, lando, tester)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("\n%s pipeline:\n", name)
 		fmt.Printf("  MBR filter:          %10v  (%d candidate pairs)\n",
 			cost.MBRFilter.Round(time.Microsecond), cost.Candidates)
@@ -49,8 +54,11 @@ func main() {
 	fmt.Println("result sets identical: the hardware filter is exact.")
 
 	// The actual overlay: exact intersection area per intersecting pair.
-	overlayPairs, cost := query.OverlayAreaJoin(landc, lando,
+	overlayPairs, cost, err := query.OverlayAreaJoin(ctx, landc, lando,
 		core.NewTester(core.Config{Resolution: *res, SWThreshold: core.DefaultSWThreshold}))
+	if err != nil {
+		panic(err)
+	}
 	var total float64
 	for _, op := range overlayPairs {
 		total += op.Area

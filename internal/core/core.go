@@ -19,6 +19,7 @@ package core
 
 import (
 	"repro/internal/dist"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/raster"
 	"repro/internal/sweep"
@@ -60,6 +61,11 @@ type Config struct {
 	Software sweep.Options
 	// Dist selects the software distance-test options.
 	Dist dist.Options
+	// Faults, when non-nil, arms deterministic fault injection at the
+	// tester's hook sites (test entry, hardware-filter verdict, raster
+	// draw path). Production configurations leave it nil; the resilience
+	// tests use it to prove degradation semantics. See internal/faultinject.
+	Faults *faultinject.Injector
 }
 
 // Stats counts how pair tests were resolved; the evaluation harness reads
@@ -72,6 +78,14 @@ type Stats struct {
 	HWRejects   int64 // rejected by the hardware filter
 	HWPassed    int64 // hardware inconclusive, decided by software
 	HWFallbacks int64 // distance only: line width over the hardware limit
+
+	// Resilience accounting, filled by the parallel join's panic
+	// isolation (pair tests that fault are not part of the Tests
+	// partition above: a panic at the test entry fires before Tests is
+	// incremented, and a pair recovered mid-test is re-counted by its
+	// software retry).
+	Panics      int64 // refinement panics recovered and retried in software
+	Quarantined int64 // pairs dropped because the software retry panicked too
 
 	// Wall-clock decomposition of the refinement work.
 	HWTime      time.Duration // rendering + buffer search
@@ -88,6 +102,8 @@ func (s *Stats) Add(other Stats) {
 	s.HWRejects += other.HWRejects
 	s.HWPassed += other.HWPassed
 	s.HWFallbacks += other.HWFallbacks
+	s.Panics += other.Panics
+	s.Quarantined += other.Quarantined
 	s.HWTime += other.HWTime
 	s.SWTime += other.SWTime
 	s.CollectTime += other.CollectTime
@@ -116,6 +132,9 @@ func NewTester(cfg Config) *Tester {
 	t := &Tester{cfg: cfg}
 	if !cfg.DisableHardware {
 		t.ctx = raster.NewContext(cfg.Resolution, cfg.Resolution)
+		if cfg.Faults != nil {
+			t.ctx.Hook = cfg.Faults.Hook()
+		}
 		if cfg.LineWidth > 0 {
 			if err := t.ctx.SetLineWidth(cfg.LineWidth); err != nil {
 				// Cap at the hardware limit rather than failing: the caller
@@ -145,6 +164,11 @@ func (t *Tester) ResetStats() {
 // Intersects is Algorithm 3.1: it reports whether the closed regions of p
 // and q share at least one point, exactly.
 func (t *Tester) Intersects(p, q *geom.Polygon) bool {
+	// The fault hook runs before any counter moves, so an injected panic
+	// leaves the Stats partition (Tests == sum of resolution paths) intact.
+	if t.cfg.Faults != nil {
+		t.cfg.Faults.Apply(faultinject.SiteIntersects)
+	}
 	t.Stats.Tests++
 	if !p.Bounds().Intersects(q.Bounds()) {
 		t.Stats.MBRRejects++
@@ -208,6 +232,9 @@ func (t *Tester) Intersects(p, q *geom.Polygon) bool {
 // distance d, exactly, using the hardware widened-edge filter where
 // profitable.
 func (t *Tester) WithinDistance(p, q *geom.Polygon, d float64) bool {
+	if t.cfg.Faults != nil {
+		t.cfg.Faults.Apply(faultinject.SiteWithinDistance)
+	}
 	t.Stats.Tests++
 	if p.Bounds().Dist(q.Bounds()) > d {
 		t.Stats.MBRRejects++
@@ -302,7 +329,21 @@ func (t *Tester) softwareWithin(p, q *geom.Polygon, d float64) bool {
 // on the given edge sets under the caller-established viewport and reports
 // whether any pixel was colored by both sets. widthPx 0 uses the context's
 // anti-aliased default width.
+//
+// A wrong-answer fault armed at SiteHWFilter flips the verdict here. The
+// reject→inconclusive direction is harmless (inconclusive pairs go to the
+// exact software test); the overlap→reject direction silently loses
+// results, which is precisely the trust the engine places in conservative
+// rasterization — the fault-injection tests document that boundary.
 func (t *Tester) hwOverlap(red, blue []geom.Segment, widthPx float64) bool {
+	overlap := t.hwOverlapRaw(red, blue, widthPx)
+	if t.cfg.Faults != nil && t.cfg.Faults.Wrong(faultinject.SiteHWFilter) {
+		overlap = !overlap
+	}
+	return overlap
+}
+
+func (t *Tester) hwOverlapRaw(red, blue []geom.Segment, widthPx float64) bool {
 	ctx := t.ctx
 	ctx.Clear()
 	if t.cfg.UseAccum {

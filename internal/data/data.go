@@ -141,6 +141,10 @@ func Generate(spec Spec) (*Dataset, error) {
 	paths := buildGuidePaths(spec.Domain)
 	d := &Dataset{Name: spec.Name, Objects: make([]*geom.Polygon, 0, spec.N)}
 	for i := range spec.N {
+		var (
+			obj *geom.Polygon
+			err error
+		)
 		n := vs.sample(rng)
 		if n >= 8 && rng.Float64() < spec.WormFraction {
 			// Worms follow the shared guide paths. Span grows with
@@ -169,13 +173,17 @@ func Generate(spec Spec) (*Dataset, error) {
 				lane = -lane
 			}
 			offset := lane*0.55*radius + (rng.Float64()-0.5)*0.06*radius
-			d.Objects = append(d.Objects, pathWorm(rng, g, span, offset, thickness, n))
+			obj, err = pathWorm(rng, g, span, offset, thickness, n)
 		} else {
 			cx := spec.Domain.MinX + (float64(i%cols)+0.2+0.6*rng.Float64())*cellW
 			cy := spec.Domain.MinY + (float64(i/cols%rows)+0.2+0.6*rng.Float64())*cellH
 			aspect := 1 + rng.Float64()*(maxAspect-1)
-			d.Objects = append(d.Objects, ShapedBlob(rng, geom.Pt(cx, cy), radius, n, aspect))
+			obj, err = ShapedBlob(rng, geom.Pt(cx, cy), radius, n, aspect)
 		}
+		if err != nil {
+			return nil, fmt.Errorf("data: spec %q object %d: %w", spec.Name, i, err)
+		}
+		d.Objects = append(d.Objects, obj)
 	}
 	return d, nil
 }
@@ -185,8 +193,11 @@ func Generate(spec Spec) (*Dataset, error) {
 // smooth random function graph, rotated to a random orientation. Because
 // the top and bottom chains are offset graphs of the same function they
 // can never cross, so the polygon is simple by construction. Worms model
-// rivers, roads and precipitation bands.
-func Worm(rng *rand.Rand, center geom.Point, length, thickness float64, n int) *geom.Polygon {
+// rivers, roads and precipitation bands. A non-nil error means the sampled
+// parameters produced a degenerate vertex chain (for example a non-finite
+// coordinate from an extreme length), which callers surface instead of
+// crashing dataset generation.
+func Worm(rng *rand.Rand, center geom.Point, length, thickness float64, n int) (*geom.Polygon, error) {
 	if n < 8 {
 		n = 8
 	}
@@ -227,9 +238,9 @@ func Worm(rng *rand.Rand, center geom.Point, length, thickness float64, n int) *
 	}
 	p, err := geom.NewPolygon(verts)
 	if err != nil {
-		panic("data: worm generation produced invalid polygon: " + err.Error())
+		return nil, fmt.Errorf("data: worm generation: %w", err)
 	}
-	return p
+	return p, nil
 }
 
 // ShapedBlob builds a Blob stretched by aspect along a random axis while
@@ -237,10 +248,13 @@ func Worm(rng *rand.Rand, center geom.Point, length, thickness float64, n int) *
 // (rivers, bands, parcels along roads) that dominate real GIS layers. The
 // affine image of a star-shaped polygon is star-shaped, so the result
 // remains simple.
-func ShapedBlob(rng *rand.Rand, center geom.Point, r float64, n int, aspect float64) *geom.Polygon {
-	p := Blob(rng, geom.Pt(0, 0), r, n)
+func ShapedBlob(rng *rand.Rand, center geom.Point, r float64, n int, aspect float64) (*geom.Polygon, error) {
+	p, err := Blob(rng, geom.Pt(0, 0), r, n)
+	if err != nil {
+		return nil, err
+	}
 	if aspect <= 1 {
-		return translate(p, center)
+		return translate(p, center), nil
 	}
 	stretch := math.Sqrt(aspect)
 	theta := rng.Float64() * math.Pi
@@ -250,7 +264,7 @@ func ShapedBlob(rng *rand.Rand, center geom.Point, r float64, n int, aspect floa
 		x, y := v.X*stretch, v.Y/stretch
 		p.Verts[i] = geom.Pt(x*cos-y*sin, x*sin+y*cos)
 	}
-	return translate(p, center)
+	return translate(p, center), nil
 }
 
 func translate(p *geom.Polygon, by geom.Point) *geom.Polygon {
@@ -264,8 +278,10 @@ func translate(p *geom.Polygon, by geom.Point) *geom.Polygon {
 // Blob builds a star-shaped polygon of n vertices around center with mean
 // radius r and smoothly varying boundary (a few random harmonics), the
 // synthetic stand-in for GIS land-coverage polygons: simple, frequently
-// concave, with natural-looking wiggle that grows with vertex count.
-func Blob(rng *rand.Rand, center geom.Point, r float64, n int) *geom.Polygon {
+// concave, with natural-looking wiggle that grows with vertex count. A
+// non-nil error means the sampled parameters produced a degenerate vertex
+// chain, reported instead of panicking.
+func Blob(rng *rand.Rand, center geom.Point, r float64, n int) (*geom.Polygon, error) {
 	// Low-frequency harmonics give lobes; amplitude keeps radius positive.
 	type harmonic struct {
 		k     float64
@@ -302,9 +318,9 @@ func Blob(rng *rand.Rand, center geom.Point, r float64, n int) *geom.Polygon {
 	}
 	p, err := geom.NewPolygon(verts)
 	if err != nil {
-		panic("data: blob generation produced invalid polygon: " + err.Error())
+		return nil, fmt.Errorf("data: blob generation: %w", err)
 	}
-	return p
+	return p, nil
 }
 
 // vertexSampler draws vertex counts from a Pareto distribution with

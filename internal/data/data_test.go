@@ -197,7 +197,10 @@ func TestBlobShape(t *testing.T) {
 		n := 3 + rng.Intn(60)
 		r := 1 + rng.Float64()*10
 		c := geom.Pt(rng.Float64()*100, rng.Float64()*100)
-		b := Blob(rng, c, r, n)
+		b, err := Blob(rng, c, r, n)
+		if err != nil {
+			t.Fatalf("Blob: %v", err)
+		}
 		if b.NumVerts() != n {
 			t.Fatalf("Blob verts = %d, want %d", b.NumVerts(), n)
 		}

@@ -1,6 +1,7 @@
 package data
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -88,8 +89,10 @@ func buildGuidePaths(domain geom.Rect) []*guidePath {
 
 // pathWorm builds a worm that follows a span of the guide path at lateral
 // offset o with the given thickness. It is simple by construction: its two
-// chains are offset copies of the same function graph.
-func pathWorm(rng *rand.Rand, g *guidePath, span, offset, thickness float64, n int) *geom.Polygon {
+// chains are offset copies of the same function graph. A non-nil error
+// means the sampled parameters degenerated (reported, not panicked, so a
+// bad spec cannot crash generation).
+func pathWorm(rng *rand.Rand, g *guidePath, span, offset, thickness float64, n int) (*geom.Polygon, error) {
 	if n < 8 {
 		n = 8
 	}
@@ -109,7 +112,7 @@ func pathWorm(rng *rand.Rand, g *guidePath, span, offset, thickness float64, n i
 	}
 	p, err := geom.NewPolygon(verts)
 	if err != nil {
-		panic("data: path worm generation produced invalid polygon: " + err.Error())
+		return nil, fmt.Errorf("data: path worm generation: %w", err)
 	}
-	return p
+	return p, nil
 }

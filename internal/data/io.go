@@ -31,20 +31,80 @@ func (d *Dataset) Write(w io.Writer) error {
 	return enc.Encode(ff)
 }
 
-// Read decodes a dataset from r.
+// Limits bounds datasets read from external sources, so that a malformed
+// or hostile input fails with a clear error instead of exhausting memory.
+// A zero field means "no bound on that dimension".
+type Limits struct {
+	MaxBytes   int64 // encoded input size
+	MaxObjects int   // objects per dataset
+	MaxVerts   int   // vertices per object
+}
+
+// DefaultLimits is generous next to the paper's largest layer (WATER:
+// 21,866 objects, max 39,360 vertices) while still bounding a pathological
+// input well below memory exhaustion.
+var DefaultLimits = Limits{
+	MaxBytes:   1 << 30, // 1 GiB of encoded input
+	MaxObjects: 1 << 22, // ~4.2M objects
+	MaxVerts:   1 << 22, // ~4.2M vertices in one object
+}
+
+// countingReader tracks bytes consumed, for the MaxBytes bound.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// Read decodes a dataset from r under DefaultLimits.
 func Read(r io.Reader) (*Dataset, error) {
+	return ReadLimits(r, DefaultLimits)
+}
+
+// ReadLimits decodes a dataset from r, enforcing lim. Errors name the
+// offending object index.
+func ReadLimits(r io.Reader, lim Limits) (*Dataset, error) {
+	cr := &countingReader{r: r}
+	var in io.Reader = cr
+	if lim.MaxBytes > 0 {
+		in = io.LimitReader(cr, lim.MaxBytes+1)
+	}
 	var ff fileFormat
-	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+	if err := json.NewDecoder(in).Decode(&ff); err != nil {
+		if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
+			return nil, fmt.Errorf("data: input exceeds %d-byte limit", lim.MaxBytes)
+		}
 		return nil, fmt.Errorf("data: decode: %w", err)
+	}
+	if lim.MaxBytes > 0 && cr.n > lim.MaxBytes {
+		return nil, fmt.Errorf("data: input exceeds %d-byte limit", lim.MaxBytes)
+	}
+	if lim.MaxObjects > 0 && len(ff.Objects) > lim.MaxObjects {
+		return nil, fmt.Errorf("data: %d objects exceed the %d-object limit", len(ff.Objects), lim.MaxObjects)
 	}
 	d := &Dataset{Name: ff.Name, Objects: make([]*geom.Polygon, 0, len(ff.Objects))}
 	for i, ring := range ff.Objects {
+		if lim.MaxVerts > 0 && len(ring) > lim.MaxVerts {
+			return nil, fmt.Errorf("data: object %d has %d vertices, limit %d", i, len(ring), lim.MaxVerts)
+		}
 		verts := make([]geom.Point, len(ring))
 		for j, xy := range ring {
 			verts[j] = geom.Pt(xy[0], xy[1])
 		}
 		p, err := geom.NewPolygon(verts)
 		if err != nil {
+			// NewPolygon rejects too-few vertices and non-finite
+			// coordinates; both errors name the offending object here.
+			return nil, fmt.Errorf("data: object %d: %w", i, err)
+		}
+		if err := p.Validate(); err != nil {
+			// Degenerate geometry (e.g. zero area) that NewPolygon
+			// tolerates is still unusable as query input.
 			return nil, fmt.Errorf("data: object %d: %w", i, err)
 		}
 		d.Objects = append(d.Objects, p)

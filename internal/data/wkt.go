@@ -24,21 +24,42 @@ func (d *Dataset) WriteWKT(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadWKT decodes a dataset from one POLYGON per line, skipping blank
-// lines and '#' comments.
+// ReadWKT decodes a dataset from one POLYGON per line under DefaultLimits,
+// skipping blank lines and '#' comments.
 func ReadWKT(name string, r io.Reader) (*Dataset, error) {
+	return ReadWKTLimits(name, r, DefaultLimits)
+}
+
+// ReadWKTLimits is ReadWKT with explicit input limits; bounds are enforced
+// incrementally, so an over-limit input fails before it is fully read.
+// Errors name the offending line.
+func ReadWKTLimits(name string, r io.Reader, lim Limits) (*Dataset, error) {
 	d := &Dataset{Name: name}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // monster polygons are long lines
 	lineNo := 0
+	var bytesRead int64
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
+		bytesRead += int64(len(line)) + 1
+		if lim.MaxBytes > 0 && bytesRead > lim.MaxBytes {
+			return nil, fmt.Errorf("data: line %d: input exceeds %d-byte limit", lineNo, lim.MaxBytes)
+		}
 		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
+		if lim.MaxObjects > 0 && len(d.Objects) >= lim.MaxObjects {
+			return nil, fmt.Errorf("data: line %d: dataset exceeds the %d-object limit", lineNo, lim.MaxObjects)
+		}
 		p, err := geom.ParsePolygonWKT(line)
 		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+		}
+		if lim.MaxVerts > 0 && p.NumVerts() > lim.MaxVerts {
+			return nil, fmt.Errorf("data: line %d: object has %d vertices, limit %d", lineNo, p.NumVerts(), lim.MaxVerts)
+		}
+		if err := p.Validate(); err != nil {
 			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
 		}
 		d.Objects = append(d.Objects, p)

@@ -73,7 +73,10 @@ func TestWormShape(t *testing.T) {
 		n := 8 + rng.Intn(200)
 		length := 5 + rng.Float64()*50
 		thickness := 0.2 + rng.Float64()*2
-		w := Worm(rng, geom.Pt(rng.Float64()*100, rng.Float64()*100), length, thickness, n)
+		w, err := Worm(rng, geom.Pt(rng.Float64()*100, rng.Float64()*100), length, thickness, n)
+		if err != nil {
+			t.Fatalf("Worm: %v", err)
+		}
 		if w.NumVerts() != 2*(n/2) {
 			t.Fatalf("Worm verts = %d for n = %d", w.NumVerts(), n)
 		}

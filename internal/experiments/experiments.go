@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -44,6 +45,15 @@ type Runner struct {
 	Scale  float64
 	W      io.Writer
 	layers map[string]*query.Layer
+
+	// Ctx bounds every query the runner issues; nil means Background.
+	// Cancelling it (or letting a deadline expire) ends the current
+	// experiment early: the figure functions return the points completed
+	// so far and record the interruption in Err.
+	Ctx context.Context
+	// Err holds the first query interruption (a *query.PartialError or
+	// *query.BudgetError); nil after a full run.
+	Err error
 }
 
 // NewRunner builds a Runner at the given dataset scale writing reports to w.
@@ -70,6 +80,27 @@ func (r *Runner) Layer(name string) *query.Layer {
 
 func (r *Runner) printf(format string, args ...any) {
 	fmt.Fprintf(r.W, format, args...)
+}
+
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// check records a query interruption and reports whether the experiment
+// should stop. The first error is kept in r.Err; partial figure data
+// gathered before the interruption remains valid.
+func (r *Runner) check(err error) bool {
+	if err == nil {
+		return false
+	}
+	if r.Err == nil {
+		r.Err = err
+	}
+	r.printf("  interrupted: %v\n", err)
+	return true
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -128,7 +159,10 @@ func (r *Runner) Fig10() []Fig10Result {
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			var sum query.Cost
 			for _, q := range queries.Objects {
-				_, c := query.IntersectionSelect(layer, q, tester, query.SelectionOptions{InteriorLevel: level})
+				_, c, err := query.IntersectionSelect(r.ctx(), layer, q, tester, query.SelectionOptions{InteriorLevel: level})
+				if r.check(err) {
+					return out
+				}
 				sum.Add(c)
 			}
 			avg := sum.Scale(len(queries.Objects))
@@ -174,7 +208,10 @@ func (r *Runner) Fig11() []SweepResult {
 		swTester := core.NewTester(core.Config{DisableHardware: true})
 		var swSum query.Cost
 		for _, q := range queries.Objects {
-			_, c := query.IntersectionSelect(layer, q, swTester, query.SelectionOptions{InteriorLevel: -1})
+			_, c, err := query.IntersectionSelect(r.ctx(), layer, q, swTester, query.SelectionOptions{InteriorLevel: -1})
+			if r.check(err) {
+				return out
+			}
 			swSum.Add(c)
 		}
 		res.SW = swSum.Scale(len(queries.Objects)).GeometryComparison
@@ -185,7 +222,10 @@ func (r *Runner) Fig11() []SweepResult {
 			tester := core.NewTester(core.Config{Resolution: resn})
 			var sum query.Cost
 			for _, q := range queries.Objects {
-				_, c := query.IntersectionSelect(layer, q, tester, query.SelectionOptions{InteriorLevel: -1})
+				_, c, err := query.IntersectionSelect(r.ctx(), layer, q, tester, query.SelectionOptions{InteriorLevel: -1})
+				if r.check(err) {
+					return out
+				}
 				sum.Add(c)
 			}
 			hw := sum.Scale(len(queries.Objects)).GeometryComparison
@@ -217,7 +257,10 @@ func (r *Runner) joinSweep(title string, joins [][2]string, swThreshold int) []S
 		res := SweepResult{Workload: j[0] + "⋈" + j[1]}
 
 		swTester := core.NewTester(core.Config{DisableHardware: true})
-		_, swCost := query.IntersectionJoin(a, b, swTester)
+		_, swCost, err := query.IntersectionJoin(r.ctx(), a, b, swTester)
+		if r.check(err) {
+			return out
+		}
 		res.SW = swCost.GeometryComparison
 
 		r.printf("\n%s (%s): intersection join geometry comparison (sw_threshold=%d)\n",
@@ -225,7 +268,10 @@ func (r *Runner) joinSweep(title string, joins [][2]string, swThreshold int) []S
 		r.printf("%6s %12s %12s %9s\n", "res", "sw(ms)", "hw(ms)", "hw/sw")
 		for _, resn := range Resolutions {
 			tester := core.NewTester(core.Config{Resolution: resn, SWThreshold: swThreshold})
-			_, hwCost := query.IntersectionJoin(a, b, tester)
+			_, hwCost, err := query.IntersectionJoin(r.ctx(), a, b, tester)
+			if r.check(err) {
+				return out
+			}
 			res.Points = append(res.Points, ResolutionPoint{
 				Resolution: resn, SW: res.SW, HW: hwCost.GeometryComparison, HWStats: tester.Stats,
 			})
@@ -257,10 +303,12 @@ type Fig13Result struct {
 // 8×8 and 16×16 windows.
 func (r *Runner) Fig13() []Fig13Result {
 	a, b := r.Layer("LANDC"), r.Layer("LANDO")
-	swTester := core.NewTester(core.Config{DisableHardware: true})
-	_, swCost := query.IntersectionJoin(a, b, swTester)
-
 	var out []Fig13Result
+	swTester := core.NewTester(core.Config{DisableHardware: true})
+	_, swCost, err := query.IntersectionJoin(r.ctx(), a, b, swTester)
+	if r.check(err) {
+		return out
+	}
 	for _, resn := range []int{8, 16} {
 		res := Fig13Result{Resolution: resn, SW: swCost.GeometryComparison}
 		r.printf("\nFigure 13 (LANDC⋈LANDO, %dx%d): sw_threshold sweep, sw=%.3f ms\n",
@@ -268,7 +316,10 @@ func (r *Runner) Fig13() []Fig13Result {
 		r.printf("%10s %12s %9s\n", "threshold", "hw(ms)", "hw/sw")
 		for _, th := range Thresholds {
 			tester := core.NewTester(core.Config{Resolution: resn, SWThreshold: th})
-			_, hwCost := query.IntersectionJoin(a, b, tester)
+			_, hwCost, err := query.IntersectionJoin(r.ctx(), a, b, tester)
+			if r.check(err) {
+				return out
+			}
 			res.Points = append(res.Points, ThresholdPoint{Threshold: th, HW: hwCost.GeometryComparison})
 			r.printf("%10d %12.3f %9.2f\n",
 				th, ms(hwCost.GeometryComparison), ratio(hwCost.GeometryComparison, res.SW))
@@ -309,8 +360,11 @@ func (r *Runner) Fig14() []Fig14Result {
 		for _, m := range DistanceMultipliers {
 			d := baseD * m
 			tester := core.NewTester(core.Config{DisableHardware: true})
-			_, c := query.WithinDistanceJoin(a, b, d, tester,
+			_, c, err := query.WithinDistanceJoin(r.ctx(), a, b, d, tester,
 				query.DistanceFilterOptions{Use0Object: true, Use1Object: true})
+			if r.check(err) {
+				return out
+			}
 			res.Points = append(res.Points, Fig14Point{Multiplier: m, D: d, Cost: c})
 			r.printf("%8.1f %10.3f %10.3f %10.3f %10.3f %8d %8d\n",
 				m, ms(c.MBRFilter), ms(c.IntermediateFilter), ms(c.GeometryComparison),
@@ -335,14 +389,20 @@ func (r *Runner) Fig15() []SweepResult {
 		res := SweepResult{Workload: j[0] + "⋈dis" + j[1]}
 
 		swTester := core.NewTester(core.Config{DisableHardware: true})
-		_, swCost := query.WithinDistanceJoin(a, b, d, swTester, filters)
+		_, swCost, err := query.WithinDistanceJoin(r.ctx(), a, b, d, swTester, filters)
+		if r.check(err) {
+			return out
+		}
 		res.SW = swCost.GeometryComparison
 
 		r.printf("\nFigure 15 (%s): within-distance geometry comparison, D=1×BaseD\n", res.Workload)
 		r.printf("%6s %12s %12s %9s\n", "res", "sw(ms)", "hw(ms)", "hw/sw")
 		for _, resn := range Resolutions {
 			tester := core.NewTester(core.Config{Resolution: resn})
-			_, hwCost := query.WithinDistanceJoin(a, b, d, tester, filters)
+			_, hwCost, err := query.WithinDistanceJoin(r.ctx(), a, b, d, tester, filters)
+			if r.check(err) {
+				return out
+			}
 			res.Points = append(res.Points, ResolutionPoint{
 				Resolution: resn, SW: res.SW, HW: hwCost.GeometryComparison, HWStats: tester.Stats,
 			})
@@ -385,9 +445,15 @@ func (r *Runner) Fig16() []Fig16Result {
 		for _, m := range DistanceMultipliers {
 			d := baseD * m
 			swTester := core.NewTester(core.Config{DisableHardware: true})
-			_, swCost := query.WithinDistanceJoin(a, b, d, swTester, filters)
+			_, swCost, err := query.WithinDistanceJoin(r.ctx(), a, b, d, swTester, filters)
+			if r.check(err) {
+				return out
+			}
 			hwTester := core.NewTester(core.Config{Resolution: 8, SWThreshold: 500})
-			_, hwCost := query.WithinDistanceJoin(a, b, d, hwTester, filters)
+			_, hwCost, err := query.WithinDistanceJoin(r.ctx(), a, b, d, hwTester, filters)
+			if r.check(err) {
+				return out
+			}
 			res.Points = append(res.Points, Fig16Point{
 				Multiplier: m,
 				SW:         swCost.GeometryComparison,

@@ -52,7 +52,10 @@ func (r *Runner) ExtraHull() []HullResult {
 		}
 		for _, c := range configs {
 			tester := core.NewTester(c.cfg)
-			_, cost := query.IntersectionJoinOpt(a, b, tester, c.opt)
+			_, cost, err := query.IntersectionJoinOpt(r.ctx(), a, b, tester, c.opt)
+			if r.check(err) {
+				return out
+			}
 			res.Points = append(res.Points, HullPoint{
 				Config:  c.name,
 				Geom:    cost.GeometryComparison,

@@ -1,0 +1,270 @@
+// Package faultinject provides deterministic fault injection for the
+// refinement pipeline. Tests install an Injector into core.Config to make
+// refinement tests panic, stall, or — at the hardware-filter site — return
+// the wrong verdict, with every decision a pure function of the injector's
+// seed and the per-site call sequence. That determinism is what lets the
+// resilience tests assert exact degradation semantics: the same seed
+// replays the same fault schedule.
+//
+// # Trust boundary
+//
+// The engine compensates for injected panics and delays: a panicking
+// refinement test is quarantined and retried on the software path, so with
+// faults limited to KindPanic and KindDelay the result set is exactly the
+// software-only result set. A KindWrongAnswer fault at SiteHWFilter is
+// different: the design trusts the conservative rasterization guarantee,
+// so a filter verdict flipped from "overlap" to "no overlap" silently
+// drops results — there is no oracle cheaper than the software test that
+// could catch it. The flip in the other direction (reject → inconclusive)
+// is absorbed, because inconclusive pairs always go to the exact software
+// test. Tests use both directions to document this boundary; see
+// DESIGN.md §7.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the fault classes an Injector can produce.
+type Kind int
+
+const (
+	// KindPanic makes the instrumented call panic with a Panic value.
+	KindPanic Kind = iota
+	// KindDelay makes the instrumented call sleep for the injector's
+	// configured delay before proceeding.
+	KindDelay
+	// KindWrongAnswer flips the hardware filter's verdict. Only the
+	// SiteHWFilter hook consults it.
+	KindWrongAnswer
+
+	numKinds
+)
+
+// String names the kind for error messages and test output.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindWrongAnswer:
+		return "wrong-answer"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Hook sites instrumented by the engine. Sites are plain strings so that
+// packages below core (internal/raster) can fire hooks without importing
+// this package.
+const (
+	// SiteIntersects fires at the top of Tester.Intersects, before any
+	// counter is touched, so a panicking test is never half-counted.
+	SiteIntersects = "tester.intersects"
+	// SiteWithinDistance fires at the top of Tester.WithinDistance.
+	SiteWithinDistance = "tester.withindistance"
+	// SiteHWFilter decides whether the hardware overlap verdict is flipped.
+	SiteHWFilter = "tester.hwfilter"
+	// SiteRenderDraw fires inside the raster draw calls (mid-test), the
+	// hook point for faults that strike after counters moved.
+	SiteRenderDraw = "raster.draw"
+)
+
+// Panic is the value thrown by an injected KindPanic fault. Recovery code
+// can use IsInjected to distinguish scheduled faults from genuine bugs.
+type Panic struct {
+	Site string
+	Seq  uint64 // the site-local call number that fired
+}
+
+// Error makes Panic usable as an error when callers convert the recovered
+// value.
+func (p Panic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (call %d)", p.Site, p.Seq)
+}
+
+// IsInjected reports whether a recovered panic value came from an
+// Injector.
+func IsInjected(r any) bool {
+	_, ok := r.(Panic)
+	return ok
+}
+
+type rule struct {
+	kind Kind
+	rate float64
+}
+
+// Injector decides, deterministically by seed and per-site call count,
+// which instrumented calls fault. The zero value is unusable; build with
+// New. An Injector is safe for concurrent use by many testers; decisions
+// stay deterministic in aggregate (the n-th call at a site always gets the
+// same verdict), though which goroutine makes the n-th call depends on
+// scheduling.
+type Injector struct {
+	seed  int64
+	delay time.Duration
+
+	mu    sync.Mutex
+	rules map[string][]rule
+	seq   map[string]uint64
+	fired map[string]map[Kind]int64
+}
+
+// New builds an empty injector: no sites fault until Inject is called.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:  seed,
+		delay: time.Millisecond,
+		rules: map[string][]rule{},
+		seq:   map[string]uint64{},
+		fired: map[string]map[Kind]int64{},
+	}
+}
+
+// Inject arms a fault kind at a site with the given firing probability in
+// [0, 1]. Rate 1 fires on every call. Returns the injector for chaining.
+func (in *Injector) Inject(site string, kind Kind, rate float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[site] = append(in.rules[site], rule{kind: kind, rate: rate})
+	return in
+}
+
+// SetDelay sets the stall duration of KindDelay faults (default 1ms).
+func (in *Injector) SetDelay(d time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.delay = d
+	return in
+}
+
+// Fired returns how many faults of the kind have fired at the site.
+func (in *Injector) Fired(site string, kind Kind) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site][kind]
+}
+
+// FiredTotal returns the total number of faults fired across all sites.
+func (in *Injector) FiredTotal() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, kinds := range in.fired {
+		for _, c := range kinds {
+			n += c
+		}
+	}
+	return n
+}
+
+// decide advances the site's call counter and returns which kinds fire on
+// this call, plus the call number and the configured delay.
+func (in *Injector) decide(site string) (kinds []Kind, seq uint64, delay time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seq = in.seq[site]
+	in.seq[site] = seq + 1
+	for _, r := range in.rules[site] {
+		if fires(in.seed, site, r.kind, seq, r.rate) {
+			kinds = append(kinds, r.kind)
+			m := in.fired[site]
+			if m == nil {
+				m = map[Kind]int64{}
+				in.fired[site] = m
+			}
+			m[r.kind]++
+		}
+	}
+	return kinds, seq, in.delay
+}
+
+// Apply evaluates the site's panic and delay rules for this call: it
+// sleeps first if a delay fires (outside the injector lock, so stalls
+// overlap across workers), then panics with a Panic value if a panic
+// fires. Wrong-answer rules are not evaluated here; see Wrong.
+func (in *Injector) Apply(site string) {
+	kinds, seq, delay := in.decide(site)
+	doPanic := false
+	for _, k := range kinds {
+		switch k {
+		case KindDelay:
+			time.Sleep(delay)
+		case KindPanic:
+			doPanic = true
+		}
+	}
+	if doPanic {
+		panic(Panic{Site: site, Seq: seq})
+	}
+}
+
+// Wrong reports whether a wrong-answer fault fires at the site on this
+// call. Panic and delay rules armed at the same site also take effect, in
+// Apply order (delay, then panic).
+func (in *Injector) Wrong(site string) bool {
+	kinds, seq, delay := in.decide(site)
+	wrong, doPanic := false, false
+	for _, k := range kinds {
+		switch k {
+		case KindDelay:
+			time.Sleep(delay)
+		case KindPanic:
+			doPanic = true
+		case KindWrongAnswer:
+			wrong = true
+		}
+	}
+	if doPanic {
+		panic(Panic{Site: site, Seq: seq})
+	}
+	return wrong
+}
+
+// Hook adapts the injector to the raster package's hook field
+// (func(site string)), so render-path faults can be armed without raster
+// importing this package.
+func (in *Injector) Hook() func(site string) {
+	return in.Apply
+}
+
+// fires is the deterministic decision function: a splitmix64-style hash of
+// (seed, site, kind, call number) mapped to [0, 1) and compared to rate.
+func fires(seed int64, site string, kind Kind, seq uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := uint64(seed) ^ hashString(site) ^ (seq*uint64(numKinds) + uint64(kind))
+	h = splitmix64(h)
+	u := float64(h>>11) / float64(1<<53)
+	return u < rate
+}
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// splitmix64 is the standard 64-bit finalizer used as a stateless PRNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -36,6 +36,15 @@ func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
 // Dot returns the dot product of p and q viewed as vectors.
 func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
 
+// IsFinite reports whether both coordinates are finite (neither NaN nor
+// ±Inf). Non-finite coordinates poison every downstream predicate — MBR
+// comparisons, orientation tests, the rasterizer's viewport transform — so
+// input paths reject them at construction time.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
 // Cross returns the z component of the cross product of p and q viewed as
 // vectors.
 func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }

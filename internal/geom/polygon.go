@@ -19,11 +19,16 @@ type Polygon struct {
 }
 
 // NewPolygon builds a polygon from verts. It returns an error when fewer
-// than three vertices are supplied. The vertex slice is used directly, not
-// copied.
+// than three vertices are supplied or when any vertex has a non-finite
+// (NaN or ±Inf) coordinate. The vertex slice is used directly, not copied.
 func NewPolygon(verts []Point) (*Polygon, error) {
 	if len(verts) < 3 {
 		return nil, fmt.Errorf("geom: polygon needs at least 3 vertices, got %d", len(verts))
+	}
+	for i, v := range verts {
+		if !v.IsFinite() {
+			return nil, fmt.Errorf("geom: vertex %d has non-finite coordinate (%v, %v)", i, v.X, v.Y)
+		}
 	}
 	p := &Polygon{Verts: verts}
 	p.Recompute()
@@ -191,6 +196,11 @@ var ErrTooFewVertices = errors.New("geom: polygon needs at least 3 vertices")
 func (p *Polygon) Validate() error {
 	if len(p.Verts) < 3 {
 		return ErrTooFewVertices
+	}
+	for i, v := range p.Verts {
+		if !v.IsFinite() {
+			return fmt.Errorf("geom: vertex %d has non-finite coordinate (%v, %v)", i, v.X, v.Y)
+		}
 	}
 	if p.Area() == 0 {
 		return errors.New("geom: polygon has zero area")

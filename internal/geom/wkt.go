@@ -149,7 +149,12 @@ func parseCoord(s string) (Point, error) {
 	if err != nil {
 		return Point{}, fmt.Errorf("geom: bad y coordinate %q: %w", fields[1], err)
 	}
-	return Point{X: x, Y: y}, nil
+	p := Point{X: x, Y: y}
+	if !p.IsFinite() {
+		// ParseFloat accepts "NaN" and "Inf" spellings; geometry does not.
+		return Point{}, fmt.Errorf("geom: non-finite coordinate %q", truncateForError(s))
+	}
+	return p, nil
 }
 
 func truncateForError(s string) string {

@@ -1,0 +1,43 @@
+package query
+
+import "fmt"
+
+// BudgetError reports a query that failed fast because MBR filtering
+// produced more candidates than the configured budget allows — the guard
+// against pathological MBR skew (one enormous object overlapping
+// everything) turning a join into an OOM. The query performed no
+// refinement work; rerun with a larger budget or better-filtered inputs.
+type BudgetError struct {
+	Op         string // "join", "within-join", "select", ...
+	Candidates int    // candidates seen when the budget tripped
+	Budget     int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("query: %s aborted: MBR filtering exceeded the %d-candidate budget", e.Op, e.Budget)
+}
+
+// PartialError reports a query interrupted by context cancellation or
+// deadline expiry. The results returned alongside it are valid but
+// incomplete: Done of Total refinement units (candidate objects or pairs)
+// were fully processed before the interruption. It unwraps to the
+// context's error, so errors.Is(err, context.Canceled) and
+// context.DeadlineExceeded work as expected.
+type PartialError struct {
+	Op   string
+	Done int // refinement units completed
+	Total int
+	Err  error // the context's error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("query: %s interrupted after %d/%d refinements: %v", e.Op, e.Done, e.Total, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// cancelStride is how many refinement units are processed between context
+// checks on the serial paths — the "chunk granularity" of cancellation.
+// One ctx.Err() per stride keeps the hot loop overhead unmeasurable while
+// bounding cancellation latency to a stride of pair tests.
+const cancelStride = 64

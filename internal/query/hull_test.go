@@ -8,8 +8,14 @@ import (
 
 func TestHullFilterPreservesResults(t *testing.T) {
 	sw := core.NewTester(core.Config{DisableHardware: true})
-	want, plainCost := IntersectionJoin(layerA, layerB, sw)
-	got, hullCost := IntersectionJoinOpt(layerA, layerB, sw, JoinOptions{UseHullFilter: true})
+	want, plainCost, err := IntersectionJoin(bg, layerA, layerB, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, hullCost, err := IntersectionJoinOpt(bg, layerA, layerB, sw, JoinOptions{UseHullFilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	g, w := sortedPairs(got), sortedPairs(want)
 	if len(g) != len(w) {
 		t.Fatalf("hull filter changed results: %d vs %d", len(g), len(w))

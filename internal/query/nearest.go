@@ -1,6 +1,9 @@
 package query
 
 import (
+	"context"
+	"math"
+
 	"repro/internal/dist"
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -20,18 +23,36 @@ type Neighbor struct {
 // R-tree's best-first traversal supplies MBR-distance lower bounds and
 // Chan's minDist refines survivors, so only objects that could still make
 // the top k are ever refined.
-func KNearest(layer *Layer, q *geom.Polygon, k int, opt dist.Options) []Neighbor {
+//
+// A cancelled or expired context stops the traversal and returns the
+// neighbors confirmed so far (still in order) plus a *PartialError.
+func KNearest(ctx context.Context, layer *Layer, q *geom.Polygon, k int, opt dist.Options) ([]Neighbor, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]Neighbor, 0, k)
+	cancelled := false
 	layer.Index.NearestBy(q.Bounds(),
 		func(e rtree.Entry) float64 {
+			// The exact-distance callback is the expensive step, so the
+			// context is checked before every refinement. Once cancelled,
+			// +Inf pushes the entry past every finite bound and the visit
+			// callback terminates the traversal without another refinement.
+			if cancelled || ctx.Err() != nil {
+				cancelled = true
+				return math.Inf(1)
+			}
 			return dist.MinDist(q, layer.Data.Objects[e.ID], opt)
 		},
 		func(e rtree.Entry, d float64) bool {
+			if cancelled || math.IsInf(d, 1) {
+				return false
+			}
 			out = append(out, Neighbor{ID: e.ID, Distance: d})
 			return len(out) < k
 		})
-	return out
+	if cancelled {
+		return out, &PartialError{Op: "knn", Done: len(out), Total: k, Err: ctx.Err()}
+	}
+	return out, nil
 }

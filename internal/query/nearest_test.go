@@ -25,7 +25,10 @@ func TestKNearestMatchesBrute(t *testing.T) {
 	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
 
 	for _, k := range []int{1, 3, 10} {
-		got := KNearest(layerA, q, k, dist.Options{})
+		got, err := KNearest(bg, layerA, q, k, dist.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != k {
 			t.Fatalf("k=%d: %d results", k, len(got))
 		}
@@ -39,8 +42,8 @@ func TestKNearestMatchesBrute(t *testing.T) {
 			t.Fatal("results not sorted by distance")
 		}
 	}
-	if got := KNearest(layerA, q, 0, dist.Options{}); got != nil {
-		t.Error("k=0 returned results")
+	if got, err := KNearest(bg, layerA, q, 0, dist.Options{}); got != nil || err != nil {
+		t.Errorf("k=0 returned %v, %v", got, err)
 	}
 }
 
@@ -52,7 +55,10 @@ func TestKNearestIntersectingIsZero(t *testing.T) {
 		geom.Pt(b.MinX, b.MinY), geom.Pt(b.MaxX, b.MinY),
 		geom.Pt(b.MaxX, b.MaxY), geom.Pt(b.MinX, b.MaxY),
 	)
-	got := KNearest(layerA, q, 1, dist.Options{})
+	got, err := KNearest(bg, layerA, q, 1, dist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 1 || got[0].Distance != 0 {
 		t.Fatalf("nearest to containing query = %+v, want distance 0", got)
 	}

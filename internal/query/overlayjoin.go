@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -22,14 +23,27 @@ type OverlayPair struct {
 // it is precisely the kind of intermediate result that did not exist
 // before the query ran, which is why pre-computed approximations cannot
 // help and runtime filtering can.
-func OverlayAreaJoin(a, b *Layer, tester *core.Tester) ([]OverlayPair, Cost) {
-	pairs, cost := IntersectionJoin(a, b, tester)
+//
+// Cancellation is honored both inside the join and between overlay
+// computations: an interrupted call returns the overlays finished so far
+// plus a *PartialError.
+func OverlayAreaJoin(ctx context.Context, a, b *Layer, tester *core.Tester) ([]OverlayPair, Cost, error) {
+	pairs, cost, err := IntersectionJoin(ctx, a, b, tester)
+	if err != nil {
+		return nil, cost, err
+	}
 	start := time.Now()
 	out := make([]OverlayPair, 0, len(pairs))
-	for _, pr := range pairs {
+	for i, pr := range pairs {
+		// Each overlay is a full slab decomposition — expensive enough to
+		// justify a context check per pair rather than per stride.
+		if ctx.Err() != nil {
+			cost.GeometryComparison += time.Since(start)
+			return out, cost, &PartialError{Op: "overlay-join", Done: i, Total: len(pairs), Err: ctx.Err()}
+		}
 		area := overlay.IntersectionArea(a.Data.Objects[pr.A], b.Data.Objects[pr.B])
 		out = append(out, OverlayPair{A: pr.A, B: pr.B, Area: area})
 	}
 	cost.GeometryComparison += time.Since(start)
-	return out, cost
+	return out, cost, nil
 }

@@ -11,10 +11,16 @@ import (
 func TestOverlayAreaJoin(t *testing.T) {
 	sw := core.NewTester(core.Config{DisableHardware: true})
 	hw := core.NewTester(core.Config{Resolution: 8})
-	wantPairs, _ := IntersectionJoin(layerA, layerB, sw)
+	wantPairs, _, err := IntersectionJoin(bg, layerA, layerB, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, tester := range []*core.Tester{sw, hw} {
-		got, cost := OverlayAreaJoin(layerA, layerB, tester)
+		got, cost, err := OverlayAreaJoin(bg, layerA, layerB, tester)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(wantPairs) {
 			t.Fatalf("overlay join: %d pairs, intersection join %d", len(got), len(wantPairs))
 		}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -16,6 +17,9 @@ type ParallelOptions struct {
 	// its own (a Tester owns a rendering context, like a per-thread GL
 	// context); nil means hardware-assisted defaults.
 	Tester func() *core.Tester
+	// MaxCandidates, when positive, aborts the join with a *BudgetError
+	// if the MBR join yields more candidate pairs than this.
+	MaxCandidates int
 }
 
 func (o ParallelOptions) workers() int {
@@ -38,42 +42,81 @@ func (o ParallelOptions) newTester() *core.Tester {
 // are distributed in chunks, and per-worker testers keep the hot path
 // contention-free. Pair order in the result is unspecified. The summed
 // per-worker stats are returned alongside.
-func ParallelIntersectionJoin(a, b *Layer, opt ParallelOptions) ([]Pair, core.Stats) {
-	var candidates []Pair
+//
+// The join is resilient: a refinement test that panics (a poisoned
+// geometry, a faulting hardware path) is retried once on the pure
+// software path and, failing that, quarantined — counted in
+// Stats.Quarantined and excluded from the result, never killing the join
+// or leaking its worker. Cancelling ctx stops all workers within one
+// chunk of tests and returns the pairs found so far with a *PartialError.
+func ParallelIntersectionJoin(ctx context.Context, a, b *Layer, opt ParallelOptions) ([]Pair, core.Stats, error) {
+	col := collector[Pair]{ctx: ctx, op: "parallel-join", budget: opt.MaxCandidates}
 	rtree.Join(a.Index, b.Index, func(ea, eb rtree.Entry) bool {
-		candidates = append(candidates, Pair{ea.ID, eb.ID})
-		return true
+		return col.add(Pair{ea.ID, eb.ID})
 	})
-	return parallelRefine(candidates, opt, func(t *core.Tester, pr Pair) bool {
+	if col.err != nil {
+		return nil, core.Stats{}, col.err
+	}
+	return parallelRefine(ctx, col.items, opt, "parallel-join", func(t *core.Tester, pr Pair) bool {
 		return t.Intersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B])
 	})
 }
 
 // ParallelWithinDistanceJoin is the parallel counterpart of
 // WithinDistanceJoin (without intermediate filters; compose them by
-// pre-filtering candidates if needed).
-func ParallelWithinDistanceJoin(a, b *Layer, d float64, opt ParallelOptions) ([]Pair, core.Stats) {
-	var candidates []Pair
+// pre-filtering candidates if needed). Resilience semantics match
+// ParallelIntersectionJoin.
+func ParallelWithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, opt ParallelOptions) ([]Pair, core.Stats, error) {
+	col := collector[Pair]{ctx: ctx, op: "parallel-within-join", budget: opt.MaxCandidates}
 	rtree.JoinWithin(a.Index, b.Index, d, func(ea, eb rtree.Entry) bool {
-		candidates = append(candidates, Pair{ea.ID, eb.ID})
-		return true
+		return col.add(Pair{ea.ID, eb.ID})
 	})
-	return parallelRefine(candidates, opt, func(t *core.Tester, pr Pair) bool {
+	if col.err != nil {
+		return nil, core.Stats{}, col.err
+	}
+	return parallelRefine(ctx, col.items, opt, "parallel-within-join", func(t *core.Tester, pr Pair) bool {
 		return t.WithinDistance(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d)
 	})
 }
 
+// safeTest runs one refinement test with panic isolation. It never lets a
+// panic escape: the pair's verdict and whether the test panicked are
+// reported to the caller instead.
+func safeTest(t *core.Tester, pr Pair, test func(*core.Tester, Pair) bool) (keep, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			keep = false
+			panicked = true
+		}
+	}()
+	return test(t, pr), false
+}
+
 // parallelRefine fans candidate pairs out over workers, each owning one
 // tester, and gathers positives and summed stats.
-func parallelRefine(candidates []Pair, opt ParallelOptions, test func(*core.Tester, Pair) bool) ([]Pair, core.Stats) {
+//
+// Failure semantics, per worker:
+//
+//   - A pair whose test panics is recorded in Stats.Panics and retried
+//     exactly once on a fresh software-only tester (DisableHardware, no
+//     fault injection) built from the worker tester's own configuration —
+//     the hw→sw degradation path. If the retry also panics the pair is
+//     quarantined (Stats.Quarantined) and dropped from the result.
+//   - Workers check ctx between pairs; the feeder selects on ctx.Done
+//     while sending. On cancellation everything winds down through the
+//     normal close/WaitGroup path — no goroutine outlives the call — and
+//     the partial result is returned with a *PartialError counting fully
+//     processed pairs.
+func parallelRefine(ctx context.Context, candidates []Pair, opt ParallelOptions, op string, test func(*core.Tester, Pair) bool) ([]Pair, core.Stats, error) {
 	workers := min(opt.workers(), max(1, len(candidates)))
 	// Chunked work distribution: big enough to amortize channel traffic,
 	// small enough to balance skewed pair costs (one monster pair can be
-	// a thousand times a typical one).
+	// a thousand times a typical one) and to bound cancellation latency.
 	const chunk = 64
 	type result struct {
-		pairs []Pair
-		stats core.Stats
+		pairs     []Pair
+		stats     core.Stats
+		processed int
 	}
 	work := make(chan []Pair, workers)
 	results := make(chan result, workers)
@@ -83,19 +126,59 @@ func parallelRefine(candidates []Pair, opt ParallelOptions, test func(*core.Test
 		go func() {
 			defer wg.Done()
 			tester := opt.newTester()
+			// swRetry is built lazily on the first panic: the same
+			// configuration degraded to the pure software path, with fault
+			// injection disarmed so an injected fault cannot re-fire.
+			var swRetry *core.Tester
 			var out []Pair
+			processed := 0
+			res := func() {
+				stats := tester.Stats
+				if swRetry != nil {
+					stats.Add(swRetry.Stats)
+				}
+				results <- result{pairs: out, stats: stats, processed: processed}
+			}
+		drain:
 			for pairs := range work {
 				for _, pr := range pairs {
-					if test(tester, pr) {
+					if ctx.Err() != nil {
+						break drain
+					}
+					keep, panicked := safeTest(tester, pr, test)
+					if panicked {
+						tester.Stats.Panics++
+						if swRetry == nil {
+							cfg := tester.Config()
+							cfg.DisableHardware = true
+							cfg.Faults = nil
+							swRetry = core.NewTester(cfg)
+						}
+						keep, panicked = safeTest(swRetry, pr, test)
+						if panicked {
+							// The geometry itself is poisoned: both the
+							// primary and the software path blew up on it.
+							tester.Stats.Quarantined++
+							processed++
+							continue
+						}
+					}
+					if keep {
 						out = append(out, pr)
 					}
+					processed++
 				}
 			}
-			results <- result{pairs: out, stats: tester.Stats}
+			res()
 		}()
 	}
+feed:
 	for lo := 0; lo < len(candidates); lo += chunk {
-		work <- candidates[lo:min(lo+chunk, len(candidates))]
+		select {
+		case work <- candidates[lo:min(lo+chunk, len(candidates))]:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -103,9 +186,14 @@ func parallelRefine(candidates []Pair, opt ParallelOptions, test func(*core.Test
 
 	var all []Pair
 	var stats core.Stats
+	processed := 0
 	for r := range results {
 		all = append(all, r.pairs...)
 		stats.Add(r.stats)
+		processed += r.processed
 	}
-	return all, stats
+	if err := ctx.Err(); err != nil {
+		return all, stats, &PartialError{Op: op, Done: processed, Total: len(candidates), Err: err}
+	}
+	return all, stats, nil
 }

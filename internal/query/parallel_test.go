@@ -9,9 +9,15 @@ import (
 
 func TestParallelIntersectionJoinMatchesSerial(t *testing.T) {
 	sw := core.NewTester(core.Config{DisableHardware: true})
-	want, _ := IntersectionJoin(layerA, layerB, sw)
+	want, _, err := IntersectionJoin(bg, layerA, layerB, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, workers := range []int{0, 1, 2, 7} {
-		got, stats := ParallelIntersectionJoin(layerA, layerB, ParallelOptions{Workers: workers})
+		got, stats, err := ParallelIntersectionJoin(bg, layerA, layerB, ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
 		g, w := sortedPairs(got), sortedPairs(want)
 		if len(g) != len(w) {
 			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(g), len(w))
@@ -30,8 +36,14 @@ func TestParallelIntersectionJoinMatchesSerial(t *testing.T) {
 func TestParallelWithinDistanceJoinMatchesSerial(t *testing.T) {
 	d := data.BaseD(layerA.Data, layerB.Data)
 	sw := core.NewTester(core.Config{DisableHardware: true})
-	want, _ := WithinDistanceJoin(layerA, layerB, d, sw, DistanceFilterOptions{})
-	got, stats := ParallelWithinDistanceJoin(layerA, layerB, d, ParallelOptions{Workers: 4})
+	want, _, err := WithinDistanceJoin(bg, layerA, layerB, d, sw, DistanceFilterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ParallelWithinDistanceJoin(bg, layerA, layerB, d, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	g, w := sortedPairs(got), sortedPairs(want)
 	if len(g) != len(w) {
 		t.Fatalf("%d pairs, want %d", len(g), len(w))
@@ -58,7 +70,9 @@ func TestParallelCustomTester(t *testing.T) {
 			return core.NewTester(core.Config{DisableHardware: true})
 		},
 	}
-	ParallelIntersectionJoin(layerA, layerB, opt)
+	if _, _, err := ParallelIntersectionJoin(bg, layerA, layerB, opt); err != nil {
+		t.Fatal(err)
+	}
 	if made != 3 {
 		t.Errorf("tester factory called %d times, want 3", made)
 	}
@@ -66,7 +80,10 @@ func TestParallelCustomTester(t *testing.T) {
 
 func TestParallelEmptyLayers(t *testing.T) {
 	empty := NewLayer(&data.Dataset{Name: "empty"})
-	pairs, _ := ParallelIntersectionJoin(empty, layerB, ParallelOptions{})
+	pairs, _, err := ParallelIntersectionJoin(bg, empty, layerB, ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pairs) != 0 {
 		t.Error("empty layer produced pairs")
 	}
@@ -76,7 +93,7 @@ func BenchmarkParallelJoin(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(b.Name()+"-w"+string(rune('0'+workers)), func(b *testing.B) {
 			for range b.N {
-				ParallelIntersectionJoin(layerA, layerB, ParallelOptions{Workers: workers})
+				_, _, _ = ParallelIntersectionJoin(bg, layerA, layerB, ParallelOptions{Workers: workers})
 			}
 		})
 	}

@@ -5,9 +5,24 @@
 // with either the software tests or the hardware-assisted tests from
 // internal/core. Each stage's wall-clock cost and candidate counts are
 // recorded, which is what the evaluation figures plot.
+//
+// # Failure semantics
+//
+// Every query takes a context.Context and honors cancellation and
+// deadlines at chunk granularity (cancelStride refinement units between
+// checks): an interrupted query returns the results computed so far plus
+// a *PartialError that unwraps to the context's error, and leaks no
+// goroutines. Queries with a candidate budget fail fast with a
+// *BudgetError before any refinement work when MBR filtering overflows
+// the budget. The parallel joins additionally isolate panicking
+// refinement tests: a pair whose test panics is retried once on the exact
+// software path and, failing that, quarantined (counted in core.Stats,
+// excluded from the result set) — one poisoned geometry pair can no
+// longer take down a join. See DESIGN.md §7.
 package query
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -101,23 +116,58 @@ type SelectionOptions struct {
 	// disables the intermediate filter entirely (the paper's level-0 runs
 	// build a 1×1 tiling).
 	InteriorLevel int
+	// MaxCandidates, when positive, aborts the selection with a
+	// *BudgetError if MBR filtering yields more candidates than this.
+	MaxCandidates int
+}
+
+// collectBudget gathers MBR-filter output while enforcing a candidate
+// budget and periodic context checks inside the index traversal. The
+// returned visit wrapper is handed to the index; after traversal the
+// caller consults err.
+type collector[T any] struct {
+	ctx    context.Context
+	op     string
+	budget int
+	items  []T
+	err    error
+	visits int
+}
+
+func (c *collector[T]) add(item T) bool {
+	c.visits++
+	if c.visits&1023 == 0 && c.ctx.Err() != nil {
+		c.err = &PartialError{Op: c.op, Done: 0, Total: len(c.items), Err: c.ctx.Err()}
+		return false
+	}
+	if c.budget > 0 && len(c.items) >= c.budget {
+		c.err = &BudgetError{Op: c.op, Candidates: len(c.items) + 1, Budget: c.budget}
+		return false
+	}
+	c.items = append(c.items, item)
+	return true
 }
 
 // IntersectionSelect returns the IDs of the layer's objects whose regions
 // intersect the query polygon, processed through the three-stage pipeline.
-// The tester decides software vs hardware-assisted refinement.
-func IntersectionSelect(layer *Layer, query *geom.Polygon, tester *core.Tester, opt SelectionOptions) ([]int, Cost) {
+// The tester decides software vs hardware-assisted refinement. A
+// cancelled or expired context yields the results so far plus a
+// *PartialError; an overflowing candidate budget yields a *BudgetError.
+func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, tester *core.Tester, opt SelectionOptions) ([]int, Cost, error) {
 	var cost Cost
 
 	// Stage 1: MBR filtering.
 	start := time.Now()
-	var candidates []int
+	col := collector[int]{ctx: ctx, op: "select", budget: opt.MaxCandidates}
 	layer.Index.Search(query.Bounds(), func(e rtree.Entry) bool {
-		candidates = append(candidates, e.ID)
-		return true
+		return col.add(e.ID)
 	})
+	candidates := col.items
 	cost.MBRFilter = time.Since(start)
 	cost.Candidates = len(candidates)
+	if col.err != nil {
+		return nil, cost, col.err
+	}
 
 	var results []int
 
@@ -140,9 +190,15 @@ func IntersectionSelect(layer *Layer, query *geom.Polygon, tester *core.Tester, 
 		cost.FilterHits = len(results)
 	}
 
-	// Stage 3: geometry comparison.
+	// Stage 3: geometry comparison, cancellable every cancelStride tests.
 	start = time.Now()
-	for _, id := range remaining {
+	for i, id := range remaining {
+		if i%cancelStride == 0 && ctx.Err() != nil {
+			cost.GeometryComparison = time.Since(start)
+			cost.Compared = i
+			cost.Results = len(results)
+			return results, cost, &PartialError{Op: "select", Done: i, Total: len(remaining), Err: ctx.Err()}
+		}
 		if tester.Intersects(query, layer.Data.Objects[id]) {
 			results = append(results, id)
 		}
@@ -150,25 +206,29 @@ func IntersectionSelect(layer *Layer, query *geom.Polygon, tester *core.Tester, 
 	cost.GeometryComparison = time.Since(start)
 	cost.Compared = len(remaining)
 	cost.Results = len(results)
-	return results, cost
+	return results, cost, nil
 }
 
 // WithinDistanceSelect returns the IDs of the layer's objects whose
 // regions lie within distance d of the query polygon — the buffer query
 // restricted to one query object. The pipeline mirrors the join: MBR
 // distance filtering via the index, the 0-Object/1-Object upper-bound
-// filters, then geometry comparison.
-func WithinDistanceSelect(layer *Layer, query *geom.Polygon, d float64, tester *core.Tester, opt DistanceFilterOptions) ([]int, Cost) {
+// filters, then geometry comparison. Cancellation and budget semantics
+// match IntersectionSelect.
+func WithinDistanceSelect(ctx context.Context, layer *Layer, query *geom.Polygon, d float64, tester *core.Tester, opt DistanceFilterOptions) ([]int, Cost, error) {
 	var cost Cost
 
 	start := time.Now()
-	var candidates []int
+	col := collector[int]{ctx: ctx, op: "within-select", budget: opt.MaxCandidates}
 	layer.Index.SearchWithin(query.Bounds(), d, func(e rtree.Entry) bool {
-		candidates = append(candidates, e.ID)
-		return true
+		return col.add(e.ID)
 	})
+	candidates := col.items
 	cost.MBRFilter = time.Since(start)
 	cost.Candidates = len(candidates)
+	if col.err != nil {
+		return nil, cost, col.err
+	}
 
 	var results []int
 	remaining := candidates
@@ -192,7 +252,13 @@ func WithinDistanceSelect(layer *Layer, query *geom.Polygon, d float64, tester *
 	}
 
 	start = time.Now()
-	for _, id := range remaining {
+	for i, id := range remaining {
+		if i%cancelStride == 0 && ctx.Err() != nil {
+			cost.GeometryComparison = time.Since(start)
+			cost.Compared = i
+			cost.Results = len(results)
+			return results, cost, &PartialError{Op: "within-select", Done: i, Total: len(remaining), Err: ctx.Err()}
+		}
 		if tester.WithinDistance(query, layer.Data.Objects[id], d) {
 			results = append(results, id)
 		}
@@ -200,7 +266,7 @@ func WithinDistanceSelect(layer *Layer, query *geom.Polygon, d float64, tester *
 	cost.GeometryComparison = time.Since(start)
 	cost.Compared = len(remaining)
 	cost.Results = len(results)
-	return results, cost
+	return results, cost, nil
 }
 
 // Pair is one join result: indices into the two layers' object slices.
@@ -208,7 +274,8 @@ type Pair struct {
 	A, B int
 }
 
-// JoinOptions configure an intersection join's intermediate filtering.
+// JoinOptions configure an intersection join's intermediate filtering and
+// resource guards.
 type JoinOptions struct {
 	// UseHullFilter enables Brinkhoff's geometric filter: candidate pairs
 	// whose pre-computed convex hulls are disjoint are rejected before
@@ -216,27 +283,36 @@ type JoinOptions struct {
 	// paper's hardware technique avoids) happens lazily on first use and
 	// is charged to the intermediate-filter stage of that first query.
 	UseHullFilter bool
+	// MaxCandidates, when positive, aborts the join with a *BudgetError
+	// if the MBR join yields more candidate pairs than this — the guard
+	// against pathological MBR skew materializing an unbounded pair list.
+	MaxCandidates int
 }
 
 // IntersectionJoin returns all pairs (a from layer a, b from layer b)
-// whose regions intersect.
-func IntersectionJoin(a, b *Layer, tester *core.Tester) ([]Pair, Cost) {
-	return IntersectionJoinOpt(a, b, tester, JoinOptions{})
+// whose regions intersect. A cancelled or expired context yields the
+// pairs found so far plus a *PartialError.
+func IntersectionJoin(ctx context.Context, a, b *Layer, tester *core.Tester) ([]Pair, Cost, error) {
+	return IntersectionJoinOpt(ctx, a, b, tester, JoinOptions{})
 }
 
-// IntersectionJoinOpt is IntersectionJoin with intermediate-filter options.
-func IntersectionJoinOpt(a, b *Layer, tester *core.Tester, opt JoinOptions) ([]Pair, Cost) {
+// IntersectionJoinOpt is IntersectionJoin with intermediate-filter options
+// and resource guards.
+func IntersectionJoinOpt(ctx context.Context, a, b *Layer, tester *core.Tester, opt JoinOptions) ([]Pair, Cost, error) {
 	var cost Cost
 
 	// Stage 1: MBR join via synchronized R-tree traversal.
 	start := time.Now()
-	var candidates []Pair
+	col := collector[Pair]{ctx: ctx, op: "join", budget: opt.MaxCandidates}
 	rtree.Join(a.Index, b.Index, func(ea, eb rtree.Entry) bool {
-		candidates = append(candidates, Pair{ea.ID, eb.ID})
-		return true
+		return col.add(Pair{ea.ID, eb.ID})
 	})
+	candidates := col.items
 	cost.MBRFilter = time.Since(start)
 	cost.Candidates = len(candidates)
+	if col.err != nil {
+		return nil, cost, col.err
+	}
 
 	// Stage 2: the optional geometric (convex hull) filter rejects
 	// provably disjoint pairs. (The paper evaluates its joins without an
@@ -256,10 +332,16 @@ func IntersectionJoinOpt(a, b *Layer, tester *core.Tester, opt JoinOptions) ([]P
 		cost.FilterRejects = len(candidates) - len(remaining)
 	}
 
-	// Stage 3: geometry comparison.
+	// Stage 3: geometry comparison, cancellable every cancelStride pairs.
 	start = time.Now()
 	var results []Pair
-	for _, pr := range remaining {
+	for i, pr := range remaining {
+		if i%cancelStride == 0 && ctx.Err() != nil {
+			cost.GeometryComparison = time.Since(start)
+			cost.Compared = i
+			cost.Results = len(results)
+			return results, cost, &PartialError{Op: "join", Done: i, Total: len(remaining), Err: ctx.Err()}
+		}
 		if tester.Intersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B]) {
 			results = append(results, pr)
 		}
@@ -267,35 +349,42 @@ func IntersectionJoinOpt(a, b *Layer, tester *core.Tester, opt JoinOptions) ([]P
 	cost.GeometryComparison = time.Since(start)
 	cost.Compared = len(remaining)
 	cost.Results = len(results)
-	return results, cost
+	return results, cost, nil
 }
 
 // DistanceFilterOptions configure the within-distance join's intermediate
-// filters.
+// filters and resource guards.
 type DistanceFilterOptions struct {
 	// Use0Object enables the MBR-only distance upper-bound filter.
 	Use0Object bool
 	// Use1Object enables the upper bound using the larger object's actual
 	// geometry (paper §4.1.1: "very aggressive filtering").
 	Use1Object bool
+	// MaxCandidates, when positive, aborts the query with a *BudgetError
+	// if MBR filtering yields more candidates than this.
+	MaxCandidates int
 }
 
 // WithinDistanceJoin returns all pairs whose regions are within distance d
 // of each other (the buffer query), processed through the three-stage
-// pipeline with the 0-Object and 1-Object filters.
-func WithinDistanceJoin(a, b *Layer, d float64, tester *core.Tester, opt DistanceFilterOptions) ([]Pair, Cost) {
+// pipeline with the 0-Object and 1-Object filters. Cancellation and
+// budget semantics match IntersectionJoinOpt.
+func WithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, tester *core.Tester, opt DistanceFilterOptions) ([]Pair, Cost, error) {
 	var cost Cost
 
 	// Stage 1: MBR distance join. MBR distance lower-bounds object
 	// distance, so no within-distance pair is lost.
 	start := time.Now()
-	var candidates []Pair
+	col := collector[Pair]{ctx: ctx, op: "within-join", budget: opt.MaxCandidates}
 	rtree.JoinWithin(a.Index, b.Index, d, func(ea, eb rtree.Entry) bool {
-		candidates = append(candidates, Pair{ea.ID, eb.ID})
-		return true
+		return col.add(Pair{ea.ID, eb.ID})
 	})
+	candidates := col.items
 	cost.MBRFilter = time.Since(start)
 	cost.Candidates = len(candidates)
+	if col.err != nil {
+		return nil, cost, col.err
+	}
 
 	// Stage 2: distance upper bounds identify positives early.
 	var results []Pair
@@ -327,9 +416,15 @@ func WithinDistanceJoin(a, b *Layer, d float64, tester *core.Tester, opt Distanc
 		cost.FilterHits = len(results)
 	}
 
-	// Stage 3: geometry comparison.
+	// Stage 3: geometry comparison, cancellable every cancelStride pairs.
 	start = time.Now()
-	for _, pr := range remaining {
+	for i, pr := range remaining {
+		if i%cancelStride == 0 && ctx.Err() != nil {
+			cost.GeometryComparison = time.Since(start)
+			cost.Compared = i
+			cost.Results = len(results)
+			return results, cost, &PartialError{Op: "within-join", Done: i, Total: len(remaining), Err: ctx.Err()}
+		}
 		if tester.WithinDistance(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d) {
 			results = append(results, pr)
 		}
@@ -337,5 +432,5 @@ func WithinDistanceJoin(a, b *Layer, d float64, tester *core.Tester, opt Distanc
 	cost.GeometryComparison = time.Since(start)
 	cost.Compared = len(remaining)
 	cost.Results = len(results)
-	return results, cost
+	return results, cost, nil
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -16,6 +17,10 @@ var (
 	layerA = NewLayer(data.MustLoad("LANDC", 0.004)) // ~58 objects
 	layerB = NewLayer(data.MustLoad("LANDO", 0.002)) // ~67 objects
 )
+
+// bg is the uncancellable context used by the correctness tests; the
+// cancellation paths are exercised in resilient_test.go.
+var bg = context.Background()
 
 func sortedIDs(ids []int) []int {
 	out := append([]int(nil), ids...)
@@ -54,7 +59,10 @@ func TestIntersectionSelectMatchesOracle(t *testing.T) {
 		want := oracleSelect(layerA, q)
 		for _, tester := range []*core.Tester{sw, hw} {
 			for _, level := range []int{-1, 0, 2, 4} {
-				got, cost := IntersectionSelect(layerA, q, tester, SelectionOptions{InteriorLevel: level})
+				got, cost, err := IntersectionSelect(bg, layerA, q, tester, SelectionOptions{InteriorLevel: level})
+				if err != nil {
+					t.Fatal(err)
+				}
 				g := sortedIDs(got)
 				if len(g) != len(want) {
 					t.Fatalf("query %d level %d: %d results, oracle %d", qi, level, len(g), len(want))
@@ -93,7 +101,10 @@ func TestIntersectionJoinMatchesOracle(t *testing.T) {
 	hw := core.NewTester(core.Config{Resolution: 8})
 	hwT := core.NewTester(core.Config{Resolution: 16, SWThreshold: 100})
 	for _, tester := range []*core.Tester{sw, hw, hwT} {
-		got, cost := IntersectionJoin(layerA, layerB, tester)
+		got, cost, err := IntersectionJoin(bg, layerA, layerB, tester)
+		if err != nil {
+			t.Fatal(err)
+		}
 		g, w := sortedPairs(got), sortedPairs(want)
 		if len(g) != len(w) {
 			t.Fatalf("join: %d pairs, oracle %d", len(g), len(w))
@@ -131,7 +142,10 @@ func TestWithinDistanceJoinMatchesOracle(t *testing.T) {
 		}
 		for _, tester := range []*core.Tester{sw, hw} {
 			for _, opt := range opts {
-				got, cost := WithinDistanceJoin(layerA, layerB, d, tester, opt)
+				got, cost, err := WithinDistanceJoin(bg, layerA, layerB, d, tester, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
 				g, w := sortedPairs(got), sortedPairs(want)
 				if len(g) != len(w) {
 					t.Fatalf("d=%.2f opt=%+v: %d pairs, oracle %d", d, opt, len(g), len(w))
@@ -152,9 +166,15 @@ func TestWithinDistanceJoinMatchesOracle(t *testing.T) {
 func TestFiltersReduceComparisons(t *testing.T) {
 	baseD := data.BaseD(layerA.Data, layerB.Data)
 	sw := core.NewTester(core.Config{DisableHardware: true})
-	_, noFilter := WithinDistanceJoin(layerA, layerB, baseD, sw, DistanceFilterOptions{})
-	_, filtered := WithinDistanceJoin(layerA, layerB, baseD, sw,
+	_, noFilter, err := WithinDistanceJoin(bg, layerA, layerB, baseD, sw, DistanceFilterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, filtered, err := WithinDistanceJoin(bg, layerA, layerB, baseD, sw,
 		DistanceFilterOptions{Use0Object: true, Use1Object: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if filtered.Compared >= noFilter.Compared {
 		t.Errorf("filters did not reduce comparisons: %d vs %d", filtered.Compared, noFilter.Compared)
 	}

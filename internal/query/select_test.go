@@ -27,7 +27,10 @@ func TestWithinDistanceSelectMatchesOracle(t *testing.T) {
 			opts := []DistanceFilterOptions{{}, {Use0Object: true, Use1Object: true}}
 			for _, tester := range []*core.Tester{sw, hw} {
 				for _, opt := range opts {
-					got, cost := WithinDistanceSelect(layerA, q, d, tester, opt)
+					got, cost, err := WithinDistanceSelect(bg, layerA, q, d, tester, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
 					g := sortedIDs(got)
 					if len(g) != len(want) {
 						t.Fatalf("query %d d=%.2f opt=%+v: %d results, oracle %d",
@@ -53,8 +56,14 @@ func TestWithinDistanceSelectZeroDistanceIsIntersection(t *testing.T) {
 		geom.Pt(50, 50), geom.Pt(150, 50), geom.Pt(150, 150), geom.Pt(50, 150),
 	)
 	sw := core.NewTester(core.Config{DisableHardware: true})
-	wantIDs, _ := IntersectionSelect(layerA, q, sw, SelectionOptions{InteriorLevel: -1})
-	gotIDs, _ := WithinDistanceSelect(layerA, q, 0, sw, DistanceFilterOptions{})
+	wantIDs, _, err := IntersectionSelect(bg, layerA, q, sw, SelectionOptions{InteriorLevel: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, _, err := WithinDistanceSelect(bg, layerA, q, 0, sw, DistanceFilterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	g, w := sortedIDs(gotIDs), sortedIDs(wantIDs)
 	if len(g) != len(w) {
 		t.Fatalf("d=0 select: %d results, intersection %d", len(g), len(w))

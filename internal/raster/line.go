@@ -57,6 +57,9 @@ func (c *Context) DrawPolygonEdges(p *geom.Polygon) {
 // inner loop is a handful of flops per column. This is the simulated card's fill path; the exact-coverage
 // reference implementation drawCapsuleExact backs the tests.
 func (c *Context) drawCapsule(a, b geom.Point, hw float64) {
+	if c.Hook != nil {
+		c.Hook("raster.draw")
+	}
 	c.SegmentsDrawn++
 	w, h := c.color.W, c.color.H
 	fw, fh := float64(w), float64(h)

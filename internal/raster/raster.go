@@ -95,6 +95,13 @@ type Context struct {
 	// Counters for the evaluation harness.
 	PixelsWritten int64 // cells colored by draw calls
 	SegmentsDrawn int64
+
+	// Hook, when non-nil, is called with a site name ("raster.draw") once
+	// per rasterized primitive, before any buffer is touched. It exists
+	// for fault injection (internal/faultinject installs it via
+	// core.Config.Faults) and may panic or stall; the render path makes no
+	// attempt to recover — isolation is the caller's job.
+	Hook func(site string)
 }
 
 // NewContext creates a context with a w×h window, a unit viewport, color

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the full local gate: vet, race-enabled tests, and a short
+# fuzz smoke pass over the input parsers. Run from the repo root.
+#
+#   scripts/check.sh              # everything (~2-3 min)
+#   FUZZTIME=30s scripts/check.sh # longer fuzz pass
+set -eu
+
+cd "$(dirname "$0")/.."
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== fuzz smoke (${FUZZTIME} each)"
+go test ./internal/data/ -fuzz FuzzDataRead -fuzztime "$FUZZTIME"
+go test ./internal/data/ -fuzz FuzzWKTParse -fuzztime "$FUZZTIME"
+
+echo "== all checks passed"
