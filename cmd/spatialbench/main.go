@@ -1,16 +1,20 @@
 // Command spatialbench reproduces the paper's evaluation: it runs any (or
 // all) of Table 2 and Figures 10–16 on the synthetic evaluation datasets
-// and prints the same series the paper plots.
+// and prints the same series the paper plots. With -json it additionally
+// writes every measured point as a machine-readable BenchRecord, so the
+// repository's performance trajectory can be tracked run over run.
 //
 // Usage:
 //
 //	spatialbench -exp all            # everything, default scale
 //	spatialbench -exp fig12 -scale 0.1
 //	spatialbench -exp table2,fig10,fig11
+//	spatialbench -exp fig12 -json BENCH_fig12.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +30,8 @@ func main() {
 		"dataset scale in (0,1]: fraction of the paper's object counts")
 	timeout := flag.Duration("timeout", 0,
 		"overall time limit (0 = none); an expired run stops after the current point and exits nonzero")
+	jsonOut := flag.String("json", "",
+		"write machine-readable BenchRecord measurements to this file (e.g. BENCH_all.json)")
 	flag.Parse()
 
 	r := experiments.NewRunner(*scale, os.Stdout)
@@ -46,24 +52,26 @@ func main() {
 		}
 	}
 
-	run := map[string]func(){
-		"table2": func() { r.Table2() },
-		"fig10":  func() { r.Fig10() },
-		"fig11":  func() { r.Fig11() },
-		"fig12":  func() { r.Fig12() },
-		"fig13":  func() { r.Fig13() },
-		"fig14":  func() { r.Fig14() },
-		"fig15":  func() { r.Fig15() },
-		"fig16":  func() { r.Fig16() },
-		"hull":   func() { r.ExtraHull() },
+	sc := *scale
+	run := map[string]func() []experiments.BenchRecord{
+		"table2": func() []experiments.BenchRecord { return experiments.Table2Records(r.Table2(), sc) },
+		"fig10":  func() []experiments.BenchRecord { return experiments.Fig10Records(r.Fig10(), sc) },
+		"fig11":  func() []experiments.BenchRecord { return experiments.SweepRecords("fig11", r.Fig11(), sc) },
+		"fig12":  func() []experiments.BenchRecord { return experiments.SweepRecords("fig12", r.Fig12(), sc) },
+		"fig13":  func() []experiments.BenchRecord { return experiments.Fig13Records(r.Fig13(), sc) },
+		"fig14":  func() []experiments.BenchRecord { return experiments.Fig14Records(r.Fig14(), sc) },
+		"fig15":  func() []experiments.BenchRecord { return experiments.SweepRecords("fig15", r.Fig15(), sc) },
+		"fig16":  func() []experiments.BenchRecord { return experiments.Fig16Records(r.Fig16(), sc) },
+		"hull":   func() []experiments.BenchRecord { return experiments.HullRecords(r.ExtraHull(), sc) },
 	}
+	var records []experiments.BenchRecord
 	ran := 0
 	for _, name := range all {
 		if !want[name] {
 			continue
 		}
 		start := time.Now()
-		run[name]()
+		records = append(records, run[name]()...)
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "spatialbench: %s interrupted: %v\n", name, r.Err)
 			os.Exit(1)
@@ -81,4 +89,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spatialbench: nothing to run")
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := writeRecords(*jsonOut, records); err != nil {
+			fmt.Fprintln(os.Stderr, "spatialbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- wrote %d records to %s\n", len(records), *jsonOut)
+	}
+}
+
+func writeRecords(path string, records []experiments.BenchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

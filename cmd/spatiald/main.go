@@ -1,0 +1,193 @@
+// Command spatiald serves the spatial query engine over the network: a
+// line-oriented TCP wire protocol speaking the same command grammar as
+// the spatialdb shell, plus an HTTP/JSON endpoint with /metrics and
+// /healthz. It is the multi-user front door to the engine — concurrent
+// sessions share one copy-on-write layer catalog, refinement work passes
+// an admission-control semaphore, and shutdown drains in-flight queries
+// into partial results.
+//
+// Serve:
+//
+//	spatiald -addr :7878 -http :7879 -preload water=WATER:0.02,prism=PRISM:0.02
+//
+// Talk to it (the same grammar as spatialdb — netcat works too):
+//
+//	spatiald -connect localhost:7878 -e "join water prism hw"
+//	echo "knn water POLYGON ((200 150, 220 150, 220 170, 200 170)) 5" | spatiald -connect localhost:7878
+//	curl -s 'http://localhost:7879/query?cmd=join+water+prism+hw'
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7878", "TCP wire-protocol listen address")
+	httpAddr := flag.String("http", ":7879", `HTTP listen address for /query, /metrics, /healthz ("" disables)`)
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent refinement-running queries (0 = GOMAXPROCS)")
+	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit query may wait before the typed overload rejection")
+	maxLayers := flag.Int("max-layers", 64, "catalog layer limit")
+	timeout := flag.Duration("timeout", 0, "default per-query timeout seeded into each session (0 = none)")
+	budget := flag.Int("budget", 0, "default per-query MBR candidate budget (0 = unlimited)")
+	drain := flag.Duration("drain", 2*time.Second, "shutdown grace before in-flight queries are cancelled into partial results")
+	preload := flag.String("preload", "", "layers to generate at startup: name=DATASET:scale[,name=DATASET:scale...]")
+	quiet := flag.Bool("quiet", false, "suppress the per-command access log on stdout")
+	connect := flag.String("connect", "", "client mode: dial a running spatiald instead of serving")
+	exec := flag.String("e", "", `client mode: run these ";"-separated commands and exit (default: read stdin)`)
+	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runClient(*connect, *exec))
+	}
+
+	cfg := server.Config{
+		Addr:           *addr,
+		HTTPAddr:       *httpAddr,
+		MaxConcurrent:  *maxConcurrent,
+		QueueWait:      *queueWait,
+		MaxLayers:      *maxLayers,
+		DefaultTimeout: *timeout,
+		DefaultBudget:  *budget,
+		DrainGrace:     *drain,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stdout
+	}
+	srv := server.New(cfg)
+	if err := preloadLayers(srv.Catalog(), *preload); err != nil {
+		fmt.Fprintln(os.Stderr, "spatiald: preload:", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "spatiald:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "spatiald: serving wire protocol on %v", srv.Addr())
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Fprintf(os.Stderr, ", http on %v", a)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "spatiald: shutting down (draining in-flight queries)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "spatiald: shutdown:", err)
+		os.Exit(1)
+	}
+}
+
+// preloadLayers parses "name=DATASET:scale,..." and generates each layer
+// into the catalog before the listeners open.
+func preloadLayers(cat *server.Catalog, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		name, gen, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return fmt.Errorf("bad preload entry %q (want name=DATASET:scale)", entry)
+		}
+		ds, scaleStr, ok := strings.Cut(gen, ":")
+		if !ok {
+			return fmt.Errorf("bad preload entry %q (want name=DATASET:scale)", entry)
+		}
+		scale, err := strconv.ParseFloat(scaleStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad scale in %q: %w", entry, err)
+		}
+		d, err := data.Load(strings.ToUpper(ds), scale)
+		if err != nil {
+			return err
+		}
+		if err := cat.Set(name, query.NewLayer(d)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spatiald: preloaded %q: %d objects\n", name, len(d.Objects))
+	}
+	return nil
+}
+
+// runClient dials a spatiald, sends commands (from -e or stdin), and
+// prints each response through its status line. Exit code 1 reports any
+// command that ended in "error:".
+func runClient(addr, script string) int {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spatiald:", err)
+		return 1
+	}
+	defer conn.Close()
+	rd := bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	if !rd.Scan() { // greeting
+		fmt.Fprintln(os.Stderr, "spatiald: no greeting from server")
+		return 1
+	}
+	w := bufio.NewWriter(conn)
+	failed := false
+	run := func(line string) bool {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			return true
+		}
+		fmt.Fprintf(w, "%s\n", line)
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald:", err)
+			failed = true
+			return false
+		}
+		for rd.Scan() {
+			resp := rd.Text()
+			fmt.Println(resp)
+			if resp == "ok" || strings.HasPrefix(resp, "partial:") {
+				return true
+			}
+			if strings.HasPrefix(resp, "error:") {
+				failed = true
+				return true
+			}
+		}
+		fmt.Fprintln(os.Stderr, "spatiald: connection closed mid-response")
+		failed = true
+		return false
+	}
+	if script != "" {
+		for _, line := range strings.Split(script, ";") {
+			if !run(line) {
+				break
+			}
+		}
+	} else {
+		in := bufio.NewScanner(os.Stdin)
+		in.Buffer(make([]byte, 0, 64<<10), 1<<24)
+		for in.Scan() {
+			if !run(in.Text()) {
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "quit\n")
+	w.Flush()
+	if failed {
+		return 1
+	}
+	return 0
+}

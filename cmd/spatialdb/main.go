@@ -11,477 +11,47 @@
 //	> knn water POLYGON ((200 150, 220 150, 220 170, 200 170)) 5
 //	> help
 //
-// Commands can also be piped on stdin for scripting.
+// Commands can also be piped on stdin for scripting. The command grammar
+// lives in internal/shellcmd and is shared verbatim with the spatiald
+// network service: a script written for the shell runs unchanged against
+// a server.
 package main
 
 import (
 	"bufio"
 	"context"
-	"errors"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
 	"strings"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/data"
-	"repro/internal/dist"
-	"repro/internal/geom"
-	"repro/internal/query"
+	"repro/internal/shellcmd"
 )
 
-type shell struct {
-	layers map[string]*query.Layer
-	out    *bufio.Writer
-
-	// timeout bounds each query; zero means none.
-	timeout time.Duration
-	// budget caps MBR-filter candidates per query; zero means unlimited.
-	budget int
-}
-
 func main() {
-	sh := &shell{
-		layers: map[string]*query.Layer{},
-		out:    bufio.NewWriter(os.Stdout),
-	}
+	eng := &shellcmd.Engine{Store: shellcmd.MapStore{}}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	fmt.Fprintln(sh.out, `spatialdb — type "help" for commands`)
-	sh.prompt()
+	fmt.Fprintln(out, `spatialdb — type "help" for commands`)
+	prompt(out)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
-			sh.prompt()
+			prompt(out)
 			continue
 		}
 		if line == "quit" || line == "exit" {
 			break
 		}
-		if err := sh.exec(line); err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+		if _, err := eng.Exec(context.Background(), line, out); err != nil {
+			fmt.Fprintln(out, "error:", err)
 		}
-		sh.prompt()
-	}
-	sh.out.Flush()
-}
-
-func (sh *shell) prompt() {
-	fmt.Fprint(sh.out, "> ")
-	sh.out.Flush()
-}
-
-func (sh *shell) exec(line string) error {
-	fields := strings.Fields(line)
-	cmd, args := fields[0], fields[1:]
-	switch cmd {
-	case "help":
-		sh.help()
-		return nil
-	case "gen":
-		return sh.gen(args)
-	case "load":
-		return sh.load(args)
-	case "layers":
-		sh.listLayers()
-		return nil
-	case "stats":
-		return sh.stats(args)
-	case "timeout":
-		return sh.setTimeout(args)
-	case "budget":
-		return sh.setBudget(args)
-	case "join":
-		return sh.join(args)
-	case "pjoin":
-		return sh.pjoin(args)
-	case "overlay":
-		return sh.overlay(args)
-	case "within":
-		return sh.within(args)
-	case "select":
-		return sh.selectCmd(line)
-	case "knn":
-		return sh.knn(line)
-	default:
-		return fmt.Errorf("unknown command %q (try help)", cmd)
+		prompt(out)
 	}
 }
 
-func (sh *shell) help() {
-	fmt.Fprint(sh.out, `commands:
-  gen <name> <DATASET> <scale>      generate a synthetic layer (LANDC, LANDO, STATES50, PRISM, WATER)
-  load <name> <path>                load a layer from .json or .wkt
-  layers                            list loaded layers
-  stats <name>                      Table 2 statistics of a layer
-  join <a> <b> [sw|hw]              intersection join (default hw)
-  pjoin <a> <b> [workers]           parallel intersection join (panic-isolating)
-  overlay <a> <b>                   map overlay: per-pair intersection areas
-  within <a> <b> <D> [sw|hw]        within-distance join
-  select <layer> <WKT POLYGON>      intersection selection with a query polygon
-  knn <layer> <WKT POLYGON> <k>     k nearest objects to a query polygon
-  timeout <duration|off>            bound each query (e.g. timeout 2s)
-  budget <n|off>                    cap MBR candidates per query
-  quit                              leave
-
-Interrupted queries (timeout or budget) report their partial results and
-the typed error instead of failing silently.
-`)
-}
-
-func (sh *shell) layer(name string) (*query.Layer, error) {
-	l, ok := sh.layers[name]
-	if !ok {
-		return nil, fmt.Errorf("no layer %q (see layers)", name)
-	}
-	return l, nil
-}
-
-func (sh *shell) gen(args []string) error {
-	if len(args) != 3 {
-		return fmt.Errorf("usage: gen <name> <DATASET> <scale>")
-	}
-	scale, err := strconv.ParseFloat(args[2], 64)
-	if err != nil {
-		return fmt.Errorf("bad scale: %w", err)
-	}
-	d, err := data.Load(strings.ToUpper(args[1]), scale)
-	if err != nil {
-		return err
-	}
-	sh.layers[args[0]] = query.NewLayer(d)
-	fmt.Fprintf(sh.out, "layer %q: %d objects\n", args[0], len(d.Objects))
-	return nil
-}
-
-func (sh *shell) load(args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: load <name> <path>")
-	}
-	var (
-		d   *data.Dataset
-		err error
-	)
-	if strings.HasSuffix(args[1], ".wkt") {
-		d, err = data.LoadWKTFile(args[1])
-	} else {
-		d, err = data.LoadFile(args[1])
-	}
-	if err != nil {
-		return err
-	}
-	sh.layers[args[0]] = query.NewLayer(d)
-	fmt.Fprintf(sh.out, "layer %q: %d objects\n", args[0], len(d.Objects))
-	return nil
-}
-
-func (sh *shell) listLayers() {
-	if len(sh.layers) == 0 {
-		fmt.Fprintln(sh.out, "(no layers; use gen or load)")
-		return
-	}
-	names := make([]string, 0, len(sh.layers))
-	for n := range sh.layers {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		l := sh.layers[n]
-		fmt.Fprintf(sh.out, "%-12s %6d objects  bounds %v\n", n, len(l.Data.Objects), l.Data.Bounds())
-	}
-}
-
-func (sh *shell) stats(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: stats <name>")
-	}
-	l, err := sh.layer(args[0])
-	if err != nil {
-		return err
-	}
-	s := l.Data.Stats()
-	fmt.Fprintf(sh.out, "N=%d vertices min/avg/max = %d/%.0f/%d total=%d avgMBR=%.2fx%.2f\n",
-		s.N, s.MinVerts, s.AvgVerts, s.MaxVerts, s.TotalVerts, s.AvgMBRWidth, s.AvgMBRHeight)
-	return nil
-}
-
-func (sh *shell) setTimeout(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: timeout <duration|off>")
-	}
-	if args[0] == "off" {
-		sh.timeout = 0
-		fmt.Fprintln(sh.out, "timeout off")
-		return nil
-	}
-	d, err := time.ParseDuration(args[0])
-	if err != nil || d < 0 {
-		return fmt.Errorf("bad duration %q", args[0])
-	}
-	sh.timeout = d
-	fmt.Fprintf(sh.out, "timeout %v\n", d)
-	return nil
-}
-
-func (sh *shell) setBudget(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: budget <n|off>")
-	}
-	if args[0] == "off" {
-		sh.budget = 0
-		fmt.Fprintln(sh.out, "budget off")
-		return nil
-	}
-	n, err := strconv.Atoi(args[0])
-	if err != nil || n < 0 {
-		return fmt.Errorf("bad budget %q", args[0])
-	}
-	sh.budget = n
-	fmt.Fprintf(sh.out, "budget %d candidates\n", n)
-	return nil
-}
-
-// qctx builds the per-query context from the shell's timeout setting.
-func (sh *shell) qctx() (context.Context, context.CancelFunc) {
-	if sh.timeout > 0 {
-		return context.WithTimeout(context.Background(), sh.timeout)
-	}
-	return context.Background(), func() {}
-}
-
-// note prints a query interruption (partial results were already
-// reported); budget errors are returned as hard errors by the caller.
-func (sh *shell) note(err error) {
-	if err == nil {
-		return
-	}
-	var pe *query.PartialError
-	switch {
-	case errors.As(err, &pe):
-		fmt.Fprintf(sh.out, "note: %v (results above are partial)\n", err)
-	default:
-		fmt.Fprintln(sh.out, "note:", err)
-	}
-}
-
-func testerFor(mode string) (*core.Tester, error) {
-	switch mode {
-	case "", "hw":
-		return core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold}), nil
-	case "sw":
-		return core.NewTester(core.Config{DisableHardware: true}), nil
-	default:
-		return nil, fmt.Errorf("mode must be sw or hw, got %q", mode)
-	}
-}
-
-func (sh *shell) join(args []string) error {
-	if len(args) < 2 || len(args) > 3 {
-		return fmt.Errorf("usage: join <a> <b> [sw|hw]")
-	}
-	a, err := sh.layer(args[0])
-	if err != nil {
-		return err
-	}
-	b, err := sh.layer(args[1])
-	if err != nil {
-		return err
-	}
-	mode := ""
-	if len(args) == 3 {
-		mode = args[2]
-	}
-	tester, err := testerFor(mode)
-	if err != nil {
-		return err
-	}
-	ctx, cancel := sh.qctx()
-	defer cancel()
-	pairs, cost, qerr := query.IntersectionJoinOpt(ctx, a, b, tester,
-		query.JoinOptions{MaxCandidates: sh.budget})
-	var be *query.BudgetError
-	if errors.As(qerr, &be) {
-		return qerr
-	}
-	sh.report("join", len(pairs), cost)
-	sh.note(qerr)
-	return nil
-}
-
-func (sh *shell) pjoin(args []string) error {
-	if len(args) < 2 || len(args) > 3 {
-		return fmt.Errorf("usage: pjoin <a> <b> [workers]")
-	}
-	a, err := sh.layer(args[0])
-	if err != nil {
-		return err
-	}
-	b, err := sh.layer(args[1])
-	if err != nil {
-		return err
-	}
-	workers := 0
-	if len(args) == 3 {
-		if workers, err = strconv.Atoi(args[2]); err != nil || workers < 0 {
-			return fmt.Errorf("bad worker count %q", args[2])
-		}
-	}
-	ctx, cancel := sh.qctx()
-	defer cancel()
-	start := time.Now()
-	pairs, stats, qerr := query.ParallelIntersectionJoin(ctx, a, b,
-		query.ParallelOptions{Workers: workers, MaxCandidates: sh.budget})
-	var be *query.BudgetError
-	if errors.As(qerr, &be) {
-		return qerr
-	}
-	fmt.Fprintf(sh.out, "pjoin: %d results in %v (%d tests", len(pairs),
-		time.Since(start).Round(time.Microsecond), stats.Tests)
-	if stats.Panics > 0 || stats.Quarantined > 0 {
-		fmt.Fprintf(sh.out, "; %d panics recovered, %d pairs quarantined", stats.Panics, stats.Quarantined)
-	}
-	fmt.Fprintln(sh.out, ")")
-	sh.note(qerr)
-	return nil
-}
-
-func (sh *shell) within(args []string) error {
-	if len(args) < 3 || len(args) > 4 {
-		return fmt.Errorf("usage: within <a> <b> <D> [sw|hw]")
-	}
-	a, err := sh.layer(args[0])
-	if err != nil {
-		return err
-	}
-	b, err := sh.layer(args[1])
-	if err != nil {
-		return err
-	}
-	d, err := strconv.ParseFloat(args[2], 64)
-	if err != nil {
-		return fmt.Errorf("bad distance: %w", err)
-	}
-	mode := ""
-	if len(args) == 4 {
-		mode = args[3]
-	}
-	tester, err := testerFor(mode)
-	if err != nil {
-		return err
-	}
-	ctx, cancel := sh.qctx()
-	defer cancel()
-	pairs, cost, qerr := query.WithinDistanceJoin(ctx, a, b, d, tester,
-		query.DistanceFilterOptions{Use0Object: true, Use1Object: true, MaxCandidates: sh.budget})
-	var be *query.BudgetError
-	if errors.As(qerr, &be) {
-		return qerr
-	}
-	sh.report("within", len(pairs), cost)
-	sh.note(qerr)
-	return nil
-}
-
-func (sh *shell) overlay(args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: overlay <a> <b>")
-	}
-	a, err := sh.layer(args[0])
-	if err != nil {
-		return err
-	}
-	b, err := sh.layer(args[1])
-	if err != nil {
-		return err
-	}
-	tester, _ := testerFor("hw")
-	ctx, cancel := sh.qctx()
-	defer cancel()
-	pairs, cost, qerr := query.OverlayAreaJoin(ctx, a, b, tester)
-	var be *query.BudgetError
-	if errors.As(qerr, &be) {
-		return qerr
-	}
-	defer sh.note(qerr)
-	var total float64
-	for _, op := range pairs {
-		total += op.Area
-	}
-	fmt.Fprintf(sh.out, "overlay: %d overlapping pairs, %.4f units² shared area (total %v)\n",
-		len(pairs), total, cost.Total().Round(time.Millisecond))
-	return nil
-}
-
-// selectCmd and knn take the raw line because WKT contains spaces.
-func (sh *shell) selectCmd(line string) error {
-	rest := strings.TrimSpace(strings.TrimPrefix(line, "select"))
-	name, wkt, ok := strings.Cut(rest, " ")
-	if !ok {
-		return fmt.Errorf("usage: select <layer> <WKT POLYGON>")
-	}
-	l, err := sh.layer(name)
-	if err != nil {
-		return err
-	}
-	q, err := geom.ParsePolygonWKT(wkt)
-	if err != nil {
-		return err
-	}
-	tester, _ := testerFor("hw")
-	ctx, cancel := sh.qctx()
-	defer cancel()
-	ids, cost, qerr := query.IntersectionSelect(ctx, l, q, tester,
-		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: sh.budget})
-	var be *query.BudgetError
-	if errors.As(qerr, &be) {
-		return qerr
-	}
-	sh.report("select", len(ids), cost)
-	sh.note(qerr)
-	return nil
-}
-
-func (sh *shell) knn(line string) error {
-	rest := strings.TrimSpace(strings.TrimPrefix(line, "knn"))
-	name, rest, ok := strings.Cut(rest, " ")
-	if !ok {
-		return fmt.Errorf("usage: knn <layer> <WKT POLYGON> <k>")
-	}
-	l, err := sh.layer(name)
-	if err != nil {
-		return err
-	}
-	i := strings.LastIndexByte(rest, ' ')
-	if i < 0 {
-		return fmt.Errorf("usage: knn <layer> <WKT POLYGON> <k>")
-	}
-	k, err := strconv.Atoi(strings.TrimSpace(rest[i+1:]))
-	if err != nil {
-		return fmt.Errorf("bad k: %w", err)
-	}
-	q, err := geom.ParsePolygonWKT(rest[:i])
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	ctx, cancel := sh.qctx()
-	defer cancel()
-	neighbors, qerr := query.KNearest(ctx, l, q, k, dist.Options{})
-	fmt.Fprintf(sh.out, "%d neighbors in %v:\n", len(neighbors), time.Since(start).Round(time.Microsecond))
-	for _, nb := range neighbors {
-		fmt.Fprintf(sh.out, "  object %-6d distance %.4f\n", nb.ID, nb.Distance)
-	}
-	sh.note(qerr)
-	return nil
-}
-
-func (sh *shell) report(op string, results int, cost query.Cost) {
-	fmt.Fprintf(sh.out, "%s: %d results (mbr %v, filter %v, geometry %v; %d candidates, %d compared)\n",
-		op, results,
-		cost.MBRFilter.Round(time.Microsecond),
-		cost.IntermediateFilter.Round(time.Microsecond),
-		cost.GeometryComparison.Round(time.Microsecond),
-		cost.Candidates, cost.Compared)
+func prompt(out *bufio.Writer) {
+	fmt.Fprint(out, "> ")
+	out.Flush()
 }

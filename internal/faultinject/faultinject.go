@@ -39,6 +39,10 @@ const (
 	// KindWrongAnswer flips the hardware filter's verdict. Only the
 	// SiteHWFilter hook consults it.
 	KindWrongAnswer
+	// KindDisconnect makes the network server drop the connection at the
+	// instrumented protocol site (mid-response, mid-read). Only the
+	// server's Disconnect checks consult it.
+	KindDisconnect
 
 	numKinds
 )
@@ -52,6 +56,8 @@ func (k Kind) String() string {
 		return "delay"
 	case KindWrongAnswer:
 		return "wrong-answer"
+	case KindDisconnect:
+		return "disconnect"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -71,6 +77,21 @@ const (
 	// SiteRenderDraw fires inside the raster draw calls (mid-test), the
 	// hook point for faults that strike after counters moved.
 	SiteRenderDraw = "raster.draw"
+
+	// Server protocol sites, instrumented by internal/server's TCP
+	// sessions. Delay faults model slow networks and slow clients; panic
+	// faults model session-handler bugs (the server must contain them);
+	// disconnect faults model clients vanishing mid-exchange.
+	//
+	// SiteServerAccept fires once per accepted connection, before the
+	// session greets the client.
+	SiteServerAccept = "server.accept"
+	// SiteServerRead fires before each command read (a delay here is a
+	// slow client holding a session open).
+	SiteServerRead = "server.read"
+	// SiteServerWrite fires per response line as it is written; a
+	// disconnect here severs the connection mid-response.
+	SiteServerWrite = "server.write"
 )
 
 // Panic is the value thrown by an injected KindPanic fault. Recovery code
@@ -207,22 +228,36 @@ func (in *Injector) Apply(site string) {
 // call. Panic and delay rules armed at the same site also take effect, in
 // Apply order (delay, then panic).
 func (in *Injector) Wrong(site string) bool {
+	return in.check(site, KindWrongAnswer)
+}
+
+// Disconnect reports whether a disconnect fault fires at the site on this
+// call, with the same delay/panic side effects as Wrong. The server's
+// session loop consults it at the protocol sites and severs the
+// connection on true.
+func (in *Injector) Disconnect(site string) bool {
+	return in.check(site, KindDisconnect)
+}
+
+// check evaluates the site's rules for this call, applying delay and
+// panic side effects, and reports whether the wanted kind fired.
+func (in *Injector) check(site string, want Kind) bool {
 	kinds, seq, delay := in.decide(site)
-	wrong, doPanic := false, false
+	hit, doPanic := false, false
 	for _, k := range kinds {
-		switch k {
-		case KindDelay:
+		switch {
+		case k == KindDelay:
 			time.Sleep(delay)
-		case KindPanic:
+		case k == KindPanic:
 			doPanic = true
-		case KindWrongAnswer:
-			wrong = true
+		case k == want:
+			hit = true
 		}
 	}
 	if doPanic {
 		panic(Panic{Site: site, Seq: seq})
 	}
-	return wrong
+	return hit
 }
 
 // Hook adapts the injector to the raster package's hook field

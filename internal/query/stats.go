@@ -1,0 +1,82 @@
+package query
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Stats is the uniform per-query statistics record exposed to serving
+// layers: one flat, JSON-marshalable struct combining the pipeline's
+// stage cost breakdown (Cost) with the refinement tester's resolution
+// counters (core.Stats), regardless of which query ran. The shell, the
+// network server's access log, its /metrics surface and the HTTP/JSON
+// endpoint all consume this one shape, so a serial select, a parallel
+// join and a kNN query report through the same fields.
+type Stats struct {
+	Op      string `json:"op"`
+	Results int    `json:"results"`
+
+	// Pipeline stage counters (from Cost; zero for kNN, which has no
+	// staged cost breakdown).
+	Candidates    int `json:"candidates"`
+	FilterHits    int `json:"filter_hits,omitempty"`
+	FilterRejects int `json:"filter_rejects,omitempty"`
+	Compared      int `json:"compared"`
+
+	// Pipeline stage wall-clock, milliseconds.
+	MBRFilterMS    float64 `json:"mbr_filter_ms"`
+	IntermediateMS float64 `json:"intermediate_filter_ms"`
+	GeometryMS     float64 `json:"geometry_ms"`
+
+	// Refinement resolution counters (from core.Stats; zero when no
+	// tester ran).
+	Tests       int64 `json:"tests"`
+	MBRRejects  int64 `json:"mbr_rejects"`
+	PIPHits     int64 `json:"pip_hits"`
+	SWDirect    int64 `json:"sw_direct"`
+	HWRejects   int64 `json:"hw_rejects"`
+	HWPassed    int64 `json:"hw_passed"`
+	HWFallbacks int64 `json:"hw_fallbacks"`
+	Panics      int64 `json:"panics"`
+	Quarantined int64 `json:"quarantined"`
+}
+
+// NewStats flattens a query's cost breakdown and tester counters into the
+// uniform serving record.
+func NewStats(op string, results int, cost Cost, refine core.Stats) Stats {
+	return Stats{
+		Op:             op,
+		Results:        results,
+		Candidates:     cost.Candidates,
+		FilterHits:     cost.FilterHits,
+		FilterRejects:  cost.FilterRejects,
+		Compared:       cost.Compared,
+		MBRFilterMS:    float64(cost.MBRFilter) / float64(time.Millisecond),
+		IntermediateMS: float64(cost.IntermediateFilter) / float64(time.Millisecond),
+		GeometryMS:     float64(cost.GeometryComparison) / float64(time.Millisecond),
+		Tests:          refine.Tests,
+		MBRRejects:     refine.MBRRejects,
+		PIPHits:        refine.PIPHits,
+		SWDirect:       refine.SWDirect,
+		HWRejects:      refine.HWRejects,
+		HWPassed:       refine.HWPassed,
+		HWFallbacks:    refine.HWFallbacks,
+		Panics:         refine.Panics,
+		Quarantined:    refine.Quarantined,
+	}
+}
+
+// SWFallbacks counts pair tests that reached the hardware path but were
+// decided in software: inconclusive filter verdicts plus line-width
+// fallbacks.
+func (s Stats) SWFallbacks() int64 { return s.HWPassed + s.HWFallbacks }
+
+// HWRejectRate is the fraction of started pair tests the hardware filter
+// rejected; zero when no tests ran.
+func (s Stats) HWRejectRate() float64 {
+	if s.Tests == 0 {
+		return 0
+	}
+	return float64(s.HWRejects) / float64(s.Tests)
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/shellcmd"
+)
+
+// QueryResponse is the JSON shape of POST/GET /query: the command's
+// shell-identical text output, its terminal status, and the uniform
+// per-query statistics record.
+type QueryResponse struct {
+	Status string       `json:"status"` // "ok", "partial", "error", "overload"
+	Output string       `json:"output,omitempty"`
+	Error  string       `json:"error,omitempty"`
+	Stats  *query.Stats `json:"stats,omitempty"`
+}
+
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s.lim.inFlight(), s.catalog.Len())
+}
+
+// handleQuery runs one command per request: the cmd string comes from a
+// JSON body {"cmd": "..."} on POST or the ?cmd= parameter on GET. Each
+// request gets a fresh single-command engine over the shared catalog
+// with the server's default settings, so HTTP callers are stateless
+// peers of TCP sessions — same grammar, same admission control, same
+// stats.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.HTTPRequests.Add(1)
+	var cmd string
+	switch r.Method {
+	case http.MethodPost:
+		var body struct {
+			Cmd string `json:"cmd"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<24)).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, QueryResponse{Status: "error", Error: "bad request body: " + err.Error()})
+			return
+		}
+		cmd = body.Cmd
+	case http.MethodGet:
+		cmd = r.URL.Query().Get("cmd")
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, QueryResponse{Status: "error", Error: "use GET ?cmd= or POST {\"cmd\": ...}"})
+		return
+	}
+	verb := shellcmd.Verb(cmd)
+	if verb == "" {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Status: "error", Error: "empty command"})
+		return
+	}
+
+	start := time.Now()
+	if shellcmd.IsQuery(verb) {
+		if err := s.lim.acquire(s.baseCtx); err != nil {
+			st := query.Stats{Op: verb}
+			status := StatusError
+			var oe *OverloadError
+			if errors.As(err, &oe) {
+				status = StatusOverload
+			}
+			s.metrics.observe(st, status, time.Since(start))
+			s.logCommand(r.RemoteAddr, st, status, time.Since(start))
+			writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Status: string(status), Error: err.Error()})
+			return
+		}
+		defer s.lim.release()
+	}
+
+	// The command context follows both server shutdown (baseCtx) and the
+	// client going away (request context).
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+
+	eng := s.newEngine()
+	var buf bytes.Buffer
+	res, err := eng.Exec(ctx, cmd, &buf)
+
+	st := res.Stats
+	if st.Op == "" {
+		st.Op = verb
+	}
+	dur := time.Since(start)
+	resp := QueryResponse{Status: string(StatusOK), Output: buf.String(), Stats: &st}
+	code := http.StatusOK
+	status := StatusOK
+	switch {
+	case err != nil:
+		status = StatusError
+		resp.Status = string(StatusError)
+		resp.Error = err.Error()
+		resp.Stats = nil
+		code = http.StatusBadRequest
+	case res.Partial != nil:
+		status = StatusPartial
+		resp.Status = string(StatusPartial)
+		resp.Error = res.Partial.Error()
+	}
+	s.metrics.observe(st, status, dur)
+	s.logCommand(r.RemoteAddr, st, status, dur)
+	writeJSON(w, code, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

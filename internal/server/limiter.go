@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// OverloadError is the typed admission rejection: the server already has
+// its configured maximum of refinement-running queries in flight and the
+// caller's grace period (QueueWait) elapsed without a slot freeing.
+// Clients should back off and retry; the request did no query work.
+type OverloadError struct {
+	Limit int
+	Wait  time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.Wait > 0 {
+		return fmt.Sprintf("overloaded: %d queries in flight, no slot within %v", e.Limit, e.Wait)
+	}
+	return fmt.Sprintf("overloaded: %d queries in flight", e.Limit)
+}
+
+// limiter is the admission-control semaphore bounding concurrent
+// refinement work. Rejection is typed and prompt — an over-limit query
+// waits at most the configured grace, never queuing unboundedly.
+type limiter struct {
+	sem  chan struct{}
+	wait time.Duration
+}
+
+func newLimiter(slots int, wait time.Duration) *limiter {
+	return &limiter{sem: make(chan struct{}, slots), wait: wait}
+}
+
+// acquire claims a slot, waiting at most the limiter's grace period.
+// It returns a *OverloadError on admission failure, or the context's
+// error if ctx ends first (server shutdown).
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.wait <= 0 {
+		return &OverloadError{Limit: cap(l.sem)}
+	}
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return &OverloadError{Limit: cap(l.sem), Wait: l.wait}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// inFlight reports the currently claimed slots (for /metrics).
+func (l *limiter) inFlight() int { return len(l.sem) }

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+)
+
+// Status classifies how a command ended, for metrics and the access log.
+type Status string
+
+const (
+	// StatusOK is a fully completed command.
+	StatusOK Status = "ok"
+	// StatusPartial is a query interrupted by timeout or shutdown drain:
+	// its results were returned but are incomplete.
+	StatusPartial Status = "partial"
+	// StatusError is a hard failure (syntax, unknown layer, budget).
+	StatusError Status = "error"
+	// StatusOverload is a typed admission rejection; no query work ran.
+	StatusOverload Status = "overload"
+)
+
+// Metrics aggregates the server's counters. All fields are atomics so
+// sessions update them without shared locks; WritePrometheus renders the
+// exposition-format snapshot served at /metrics.
+type Metrics struct {
+	start time.Time
+
+	ConnsAccepted  atomic.Int64
+	SessionsActive atomic.Int64
+	HTTPRequests   atomic.Int64
+	Commands       atomic.Int64
+
+	QueriesOK      atomic.Int64
+	QueriesPartial atomic.Int64
+	QueriesError   atomic.Int64
+	Overloads      atomic.Int64
+	QueryNanos     atomic.Int64
+
+	// Refinement counters summed from the uniform query.Stats records.
+	Candidates  atomic.Int64
+	Tests       atomic.Int64
+	HWRejects   atomic.Int64
+	SWFallbacks atomic.Int64
+	Panics      atomic.Int64
+	Quarantined atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// observe folds one finished command into the counters.
+func (m *Metrics) observe(st query.Stats, status Status, dur time.Duration) {
+	m.Commands.Add(1)
+	switch status {
+	case StatusOK:
+		m.QueriesOK.Add(1)
+	case StatusPartial:
+		m.QueriesPartial.Add(1)
+	case StatusError:
+		m.QueriesError.Add(1)
+	case StatusOverload:
+		m.Overloads.Add(1)
+	}
+	m.QueryNanos.Add(int64(dur))
+	m.Candidates.Add(int64(st.Candidates))
+	m.Tests.Add(st.Tests)
+	m.HWRejects.Add(st.HWRejects)
+	m.SWFallbacks.Add(st.SWFallbacks())
+	m.Panics.Add(st.Panics)
+	m.Quarantined.Add(st.Quarantined)
+}
+
+// WritePrometheus renders the counters in Prometheus exposition format.
+// inFlight and layers are point-in-time gauges supplied by the server.
+func (m *Metrics) WritePrometheus(w io.Writer, inFlight, layers int) {
+	g := func(name string, v any) { fmt.Fprintf(w, "%s %v\n", name, v) }
+	g("spatiald_uptime_seconds", int64(time.Since(m.start).Seconds()))
+	g("spatiald_connections_accepted_total", m.ConnsAccepted.Load())
+	g("spatiald_sessions_active", m.SessionsActive.Load())
+	g("spatiald_http_requests_total", m.HTTPRequests.Load())
+	g("spatiald_commands_total", m.Commands.Load())
+	g(`spatiald_queries_total{status="ok"}`, m.QueriesOK.Load())
+	g(`spatiald_queries_total{status="partial"}`, m.QueriesPartial.Load())
+	g(`spatiald_queries_total{status="error"}`, m.QueriesError.Load())
+	g(`spatiald_queries_total{status="overload"}`, m.Overloads.Load())
+	g("spatiald_query_seconds_total", float64(m.QueryNanos.Load())/float64(time.Second))
+	g("spatiald_queries_in_flight", inFlight)
+	g("spatiald_catalog_layers", layers)
+	g("spatiald_refine_candidates_total", m.Candidates.Load())
+	g("spatiald_refine_tests_total", m.Tests.Load())
+	g("spatiald_refine_hw_rejects_total", m.HWRejects.Load())
+	g("spatiald_refine_sw_fallbacks_total", m.SWFallbacks.Load())
+	g("spatiald_refine_panics_total", m.Panics.Load())
+	g("spatiald_refine_quarantined_total", m.Quarantined.Load())
+}

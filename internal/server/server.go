@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/query"
+	"repro/internal/shellcmd"
+)
+
+// Config controls a Server. The zero value serves the TCP wire protocol
+// on an ephemeral port with GOMAXPROCS admission slots and no HTTP
+// listener.
+type Config struct {
+	// Addr is the TCP wire-protocol listen address; "" means ":0"
+	// (ephemeral, for tests and embedding).
+	Addr string
+	// HTTPAddr is the HTTP listen address for /query, /metrics and
+	// /healthz; "" disables the HTTP listener.
+	HTTPAddr string
+
+	// MaxConcurrent bounds refinement-running queries across all
+	// sessions (the admission semaphore); 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// QueueWait is how long an over-limit query may wait for a slot
+	// before the typed overload rejection; 0 rejects immediately.
+	QueueWait time.Duration
+	// MaxLayers bounds the shared catalog; 0 means 64.
+	MaxLayers int
+
+	// DefaultTimeout seeds each session's timeout setting (sessions may
+	// change it with the timeout command); 0 means none.
+	DefaultTimeout time.Duration
+	// DefaultBudget seeds each session's candidate budget; 0 means
+	// unlimited.
+	DefaultBudget int
+
+	// DrainGrace is how long graceful shutdown lets in-flight queries
+	// finish naturally before cancelling them into partial results;
+	// 0 means 250ms. Negative cancels immediately.
+	DrainGrace time.Duration
+
+	// AccessLog receives one structured line per executed command; nil
+	// discards.
+	AccessLog io.Writer
+
+	// Faults arms fault injection for resilience tests: the server
+	// protocol sites (accept delay/panic, slow reads, mid-response
+	// disconnects) and the refinement testers built for each command
+	// (so injected query-path faults exercise the serving layer's
+	// containment). Nil in production.
+	Faults *faultinject.Injector
+}
+
+// Server is a spatiald instance: listeners, shared catalog, admission
+// control, metrics, and the session set.
+type Server struct {
+	cfg     Config
+	catalog *Catalog
+	lim     *limiter
+	metrics *Metrics
+
+	// baseCtx parents every command context; cancelled to force
+	// in-flight queries into partial results during shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	ln      net.Listener
+	httpSrv *http.Server
+	httpLn  net.Listener
+
+	wg    sync.WaitGroup
+	logMu sync.Mutex
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	started  bool
+	shutdown chan struct{}
+}
+
+// New builds an unstarted server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":0"
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxLayers == 0 {
+		cfg.MaxLayers = 64
+	}
+	if cfg.DrainGrace == 0 {
+		cfg.DrainGrace = 250 * time.Millisecond
+	}
+	if cfg.AccessLog == nil {
+		cfg.AccessLog = io.Discard
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:      cfg,
+		catalog:  NewCatalog(cfg.MaxLayers),
+		lim:      newLimiter(cfg.MaxConcurrent, cfg.QueueWait),
+		metrics:  newMetrics(),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		conns:    map[net.Conn]struct{}{},
+		shutdown: make(chan struct{}),
+	}
+}
+
+// Catalog exposes the shared layer catalog, e.g. for preloading layers
+// before Start.
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// Metrics exposes the server's counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Start opens the configured listeners and begins serving. It returns
+// once listening (use Addr / HTTPAddr for the bound addresses); serving
+// continues until Shutdown.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	if s.cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("server: listen http %s: %w", s.cfg.HTTPAddr, err)
+		}
+		s.httpLn = hln
+		s.httpSrv = &http.Server{Handler: s.httpHandler()}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			// Serve returns ErrServerClosed on Shutdown; other errors
+			// mean the listener died, which shutdown will surface by the
+			// connection refusals that follow.
+			_ = s.httpSrv.Serve(hln)
+		}()
+	}
+	s.started = true
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound wire-protocol address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// HTTPAddr returns the bound HTTP address (nil when HTTP is disabled).
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or a transient accept error;
+			// either way, stop on closure and retry otherwise.
+			select {
+			case <-s.shutdown:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.metrics.ConnsAccepted.Add(1)
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.shutdown:
+		return true
+	default:
+		return false
+	}
+}
+
+// Shutdown gracefully stops the server: listeners close, idle sessions
+// end, in-flight queries get DrainGrace to finish naturally and are then
+// cancelled so their partial results flow back to clients (PartialError
+// semantics), and all session goroutines are reaped. ctx bounds the
+// whole wait; on expiry remaining connections are severed. Shutdown is
+// idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return errors.New("server: not started")
+	}
+	select {
+	case <-s.shutdown:
+		s.mu.Unlock()
+		return nil
+	default:
+	}
+	close(s.shutdown)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock sessions parked in Read: the past deadline fails pending
+	// and future reads, while in-flight command execution and response
+	// writes proceed.
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	httpSrv := s.httpSrv
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+
+	if s.cfg.DrainGrace > 0 {
+		t := time.NewTimer(s.cfg.DrainGrace)
+		select {
+		case <-done:
+			t.Stop()
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+	// Cancel what's still running: queries return their partial results,
+	// sessions write them and exit.
+	s.cancel()
+	if httpSrv != nil {
+		_ = httpSrv.Shutdown(ctx)
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// newEngine builds a per-session (or per-HTTP-request) command engine
+// over the shared catalog with the server's default settings. With
+// faults configured, the engine's testers carry the injector so query-
+// path faults strike inside served commands.
+func (s *Server) newEngine() *shellcmd.Engine {
+	eng := &shellcmd.Engine{
+		Store: s.catalog,
+		Settings: shellcmd.Settings{
+			Timeout: s.cfg.DefaultTimeout,
+			Budget:  s.cfg.DefaultBudget,
+		},
+	}
+	if inj := s.cfg.Faults; inj != nil {
+		eng.NewTester = func(mode string) (*core.Tester, error) {
+			switch mode {
+			case "", "hw":
+				return core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold, Faults: inj}), nil
+			case "sw":
+				return core.NewTester(core.Config{DisableHardware: true, Faults: inj}), nil
+			default:
+				return nil, fmt.Errorf("mode must be sw or hw, got %q", mode)
+			}
+		}
+	}
+	return eng
+}
+
+// logCommand writes one structured access-log line. The log writer is
+// shared by all sessions, so writes are serialized.
+func (s *Server) logCommand(remote string, st query.Stats, status Status, dur time.Duration) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.cfg.AccessLog,
+		"time=%s remote=%s op=%s status=%s dur=%s results=%d candidates=%d tests=%d hw_rejects=%d sw_fallbacks=%d panics=%d quarantined=%d\n",
+		time.Now().UTC().Format(time.RFC3339Nano), remote, st.Op, status,
+		dur.Round(time.Microsecond), st.Results, st.Candidates, st.Tests,
+		st.HWRejects, st.SWFallbacks(), st.Panics, st.Quarantined)
+}

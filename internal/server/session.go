@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/query"
+	"repro/internal/shellcmd"
+)
+
+// Wire protocol: on connect the server sends one greeting line
+// ("spatiald ready"). The client then sends one command per line in the
+// shellcmd grammar; the server answers with zero or more data lines —
+// byte-identical to what the spatialdb shell would print — followed by
+// exactly one status line:
+//
+//	ok                   command completed
+//	partial: <reason>    query interrupted; data lines above are valid but incomplete
+//	error: <reason>      hard failure (syntax, unknown layer, budget, overload); no results
+//
+// No data line ever begins with "ok", "partial:" or "error:", so clients
+// frame responses by scanning for those prefixes. "quit" (or "exit")
+// answers "ok" and closes the connection.
+
+// serveConn runs one TCP session. Any panic — an injected accept-site
+// fault or a session-handler bug — is contained here: the connection
+// closes, shared state (catalog, limiter, metrics) is untouched beyond
+// already-completed commands, and no goroutine leaks.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	s.metrics.SessionsActive.Add(1)
+	defer func() {
+		_ = recover()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.metrics.SessionsActive.Add(-1)
+	}()
+	if inj := s.cfg.Faults; inj != nil {
+		inj.Apply(faultinject.SiteServerAccept)
+	}
+
+	eng := s.newEngine()
+	w := bufio.NewWriter(conn)
+	if s.send(conn, w, "spatiald ready") != nil {
+		return
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	for {
+		if s.draining() {
+			_ = s.send(conn, w, "error: shutting down")
+			return
+		}
+		if inj := s.cfg.Faults; inj != nil && inj.Disconnect(faultinject.SiteServerRead) {
+			return
+		}
+		if !sc.Scan() {
+			return // EOF, read error, or shutdown deadline
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			_ = s.send(conn, w, "ok")
+			return
+		}
+		if !s.runCommand(eng, conn, w, line) {
+			return
+		}
+	}
+}
+
+// runCommand executes one wire command end to end: admission control for
+// query verbs, execution against the shared catalog, metrics and access
+// logging, and the framed response. It reports whether the session can
+// continue (false on write failure or injected disconnect).
+func (s *Server) runCommand(eng *shellcmd.Engine, conn net.Conn, w *bufio.Writer, line string) bool {
+	start := time.Now()
+	remote := conn.RemoteAddr().String()
+	verb := shellcmd.Verb(line)
+	if verb == "" || strings.HasPrefix(verb, "#") {
+		return s.send(conn, w, "ok") == nil
+	}
+
+	acquired := false
+	if shellcmd.IsQuery(verb) {
+		if err := s.lim.acquire(s.baseCtx); err != nil {
+			st := query.Stats{Op: verb}
+			status := StatusError
+			msg := "error: shutting down"
+			var oe *OverloadError
+			if errors.As(err, &oe) {
+				status = StatusOverload
+				msg = "error: " + oe.Error()
+			}
+			s.metrics.observe(st, status, time.Since(start))
+			s.logCommand(remote, st, status, time.Since(start))
+			return s.send(conn, w, msg) == nil
+		}
+		acquired = true
+	}
+	// The deferred release keeps a panicking Exec — contained by the
+	// session's recover — from leaking its admission slot.
+	var buf bytes.Buffer
+	res, err := func() (shellcmd.Result, error) {
+		if acquired {
+			defer s.lim.release()
+		}
+		return eng.Exec(s.baseCtx, line, &buf)
+	}()
+
+	status, statusLine := StatusOK, "ok"
+	switch {
+	case err != nil:
+		status, statusLine = StatusError, "error: "+err.Error()
+	case res.Partial != nil:
+		status, statusLine = StatusPartial, "partial: "+res.Partial.Error()
+	}
+	st := res.Stats
+	if st.Op == "" {
+		st.Op = verb
+	}
+	dur := time.Since(start)
+	s.metrics.observe(st, status, dur)
+	s.logCommand(remote, st, status, dur)
+
+	if buf.Len() > 0 {
+		if s.sendText(conn, w, buf.String()) != nil {
+			return false
+		}
+	}
+	return s.send(conn, w, statusLine) == nil
+}
+
+// send writes one protocol line and flushes. A disconnect fault armed at
+// the write site severs the connection instead — the mid-response
+// disconnect clients must survive.
+func (s *Server) send(conn net.Conn, w *bufio.Writer, line string) error {
+	if inj := s.cfg.Faults; inj != nil && inj.Disconnect(faultinject.SiteServerWrite) {
+		conn.Close()
+		return net.ErrClosed
+	}
+	if _, err := w.WriteString(line); err != nil {
+		return err
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// sendText writes a multi-line body as individual protocol lines, so
+// write-site faults can strike between any two of them.
+func (s *Server) sendText(conn net.Conn, w *bufio.Writer, text string) error {
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if err := s.send(conn, w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

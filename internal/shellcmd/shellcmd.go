@@ -1,0 +1,566 @@
+// Package shellcmd is the one command grammar shared by the interactive
+// spatialdb shell and spatiald's network wire protocol: a line-oriented
+// language over the query engine (gen, load, layers, stats, join, pjoin,
+// overlay, within, select, knn, timeout, budget, help). Extracting it
+// keeps the two front ends from drifting — a command behaves identically
+// typed at the shell prompt, piped over TCP, or posted to the HTTP
+// endpoint, and every query reports through the uniform query.Stats
+// record that the serving layer logs and aggregates.
+//
+// An Engine executes one command at a time against a Store (the layer
+// namespace). Single-user callers use a MapStore; concurrent callers
+// provide a Store whose View method returns a read-consistent snapshot so
+// that a join reads both its layers from the same catalog generation.
+package shellcmd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/dist"
+	"repro/internal/geom"
+	"repro/internal/query"
+)
+
+// Store is the layer namespace a command executes against.
+type Store interface {
+	Get(name string) (*query.Layer, bool)
+	// Set binds a name to a layer; implementations may refuse (e.g. a
+	// bounded server catalog).
+	Set(name string, l *query.Layer) error
+	Names() []string
+}
+
+// Viewer is optionally implemented by stores that can produce a
+// read-consistent view for the duration of one command. The Engine takes
+// one view per Exec, so a two-layer query never mixes catalog
+// generations.
+type Viewer interface {
+	View() Store
+}
+
+// MapStore is the plain single-session Store used by the interactive
+// shell and by stateless one-shot callers.
+type MapStore map[string]*query.Layer
+
+// Get looks the name up.
+func (m MapStore) Get(name string) (*query.Layer, bool) { l, ok := m[name]; return l, ok }
+
+// Set binds the name; a MapStore never refuses.
+func (m MapStore) Set(name string, l *query.Layer) error { m[name] = l; return nil }
+
+// Names lists the bound names, sorted.
+func (m MapStore) Names() []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Settings are the per-session query guards, mutated by the timeout and
+// budget commands.
+type Settings struct {
+	// Timeout bounds each query; zero means none.
+	Timeout time.Duration
+	// Budget caps MBR-filter candidates per query; zero means unlimited.
+	Budget int
+}
+
+// Result reports what one executed command did, in the uniform serving
+// shape.
+type Result struct {
+	// Stats is the query's uniform statistics record; for non-query
+	// commands only Op is set.
+	Stats query.Stats
+	// Partial is non-nil when the query was interrupted (timeout or
+	// cancellation): the output above it is valid but incomplete.
+	Partial *query.PartialError
+	// Mutation reports that the command changed the store or settings.
+	Mutation bool
+}
+
+// Engine executes commands against a store with per-session settings.
+// An Engine is not safe for concurrent use; give each session its own.
+type Engine struct {
+	Store    Store
+	Settings Settings
+	// NewTester overrides refinement tester construction for the "sw"/
+	// "hw" (default) modes; nil uses hardware-assisted defaults.
+	NewTester func(mode string) (*core.Tester, error)
+}
+
+// IsQuery reports whether the verb runs the refinement pipeline (and so
+// should pass a server's admission control), as opposed to an
+// administrative command.
+func IsQuery(verb string) bool {
+	switch verb {
+	case "join", "pjoin", "overlay", "within", "select", "knn":
+		return true
+	}
+	return false
+}
+
+// Verb returns the command word of a line ("" for blank lines).
+func Verb(line string) string {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return ""
+	}
+	return f[0]
+}
+
+// Exec runs one command line, writing its human-readable output to out.
+// Hard failures (bad syntax, unknown layers, budget overflows) are
+// returned as errors with nothing of substance written; interruptions
+// are soft — partial output is written, a note line records the
+// interruption, and Result.Partial carries the typed error.
+func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return Result{}, nil
+	}
+	cmd, args := fields[0], fields[1:]
+	store := e.Store
+	if v, ok := store.(Viewer); ok {
+		store = v.View()
+	}
+	switch cmd {
+	case "help":
+		fmt.Fprint(out, Help)
+		return Result{Stats: query.Stats{Op: "help"}}, nil
+	case "gen":
+		return e.gen(store, args, out)
+	case "load":
+		return e.load(store, args, out)
+	case "layers":
+		e.listLayers(store, out)
+		return Result{Stats: query.Stats{Op: "layers"}}, nil
+	case "stats":
+		return e.layerStats(store, args, out)
+	case "timeout":
+		return e.setTimeout(args, out)
+	case "budget":
+		return e.setBudget(args, out)
+	case "join":
+		return e.join(ctx, store, args, out)
+	case "pjoin":
+		return e.pjoin(ctx, store, args, out)
+	case "overlay":
+		return e.overlay(ctx, store, args, out)
+	case "within":
+		return e.within(ctx, store, args, out)
+	case "select":
+		return e.selectCmd(ctx, store, line, out)
+	case "knn":
+		return e.knn(ctx, store, line, out)
+	default:
+		return Result{}, fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+// Help is the grammar reference printed by the help command.
+const Help = `commands:
+  gen <name> <DATASET> <scale>      generate a synthetic layer (LANDC, LANDO, STATES50, PRISM, WATER)
+  load <name> <path>                load a layer from .json or .wkt
+  layers                            list loaded layers
+  stats <name>                      Table 2 statistics of a layer
+  join <a> <b> [sw|hw]              intersection join (default hw)
+  pjoin <a> <b> [workers]           parallel intersection join (panic-isolating)
+  overlay <a> <b>                   map overlay: per-pair intersection areas
+  within <a> <b> <D> [sw|hw]        within-distance join
+  select <layer> <WKT POLYGON>      intersection selection with a query polygon
+  knn <layer> <WKT POLYGON> <k>     k nearest objects to a query polygon
+  timeout <duration|off>            bound each query (e.g. timeout 2s)
+  budget <n|off>                    cap MBR candidates per query
+  quit                              leave
+
+Interrupted queries (timeout or budget) report their partial results and
+the typed error instead of failing silently.
+`
+
+func layerOf(store Store, name string) (*query.Layer, error) {
+	l, ok := store.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("no layer %q (see layers)", name)
+	}
+	return l, nil
+}
+
+func (e *Engine) gen(store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 3 {
+		return Result{}, fmt.Errorf("usage: gen <name> <DATASET> <scale>")
+	}
+	scale, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad scale: %w", err)
+	}
+	d, err := data.Load(strings.ToUpper(args[1]), scale)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := store.Set(args[0], query.NewLayer(d)); err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(out, "layer %q: %d objects\n", args[0], len(d.Objects))
+	return Result{Stats: query.Stats{Op: "gen", Results: len(d.Objects)}, Mutation: true}, nil
+}
+
+func (e *Engine) load(store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 2 {
+		return Result{}, fmt.Errorf("usage: load <name> <path>")
+	}
+	var (
+		d   *data.Dataset
+		err error
+	)
+	if strings.HasSuffix(args[1], ".wkt") {
+		d, err = data.LoadWKTFile(args[1])
+	} else {
+		d, err = data.LoadFile(args[1])
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if err := store.Set(args[0], query.NewLayer(d)); err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(out, "layer %q: %d objects\n", args[0], len(d.Objects))
+	return Result{Stats: query.Stats{Op: "load", Results: len(d.Objects)}, Mutation: true}, nil
+}
+
+func (e *Engine) listLayers(store Store, out io.Writer) {
+	names := store.Names()
+	if len(names) == 0 {
+		fmt.Fprintln(out, "(no layers; use gen or load)")
+		return
+	}
+	for _, n := range names {
+		if l, ok := store.Get(n); ok {
+			fmt.Fprintf(out, "%-12s %6d objects  bounds %v\n", n, len(l.Data.Objects), l.Data.Bounds())
+		}
+	}
+}
+
+func (e *Engine) layerStats(store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 1 {
+		return Result{}, fmt.Errorf("usage: stats <name>")
+	}
+	l, err := layerOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	s := l.Data.Stats()
+	fmt.Fprintf(out, "N=%d vertices min/avg/max = %d/%.0f/%d total=%d avgMBR=%.2fx%.2f\n",
+		s.N, s.MinVerts, s.AvgVerts, s.MaxVerts, s.TotalVerts, s.AvgMBRWidth, s.AvgMBRHeight)
+	return Result{Stats: query.Stats{Op: "stats"}}, nil
+}
+
+func (e *Engine) setTimeout(args []string, out io.Writer) (Result, error) {
+	if len(args) != 1 {
+		return Result{}, fmt.Errorf("usage: timeout <duration|off>")
+	}
+	if args[0] == "off" {
+		e.Settings.Timeout = 0
+		fmt.Fprintln(out, "timeout off")
+		return Result{Stats: query.Stats{Op: "timeout"}, Mutation: true}, nil
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil || d < 0 {
+		return Result{}, fmt.Errorf("bad duration %q", args[0])
+	}
+	e.Settings.Timeout = d
+	fmt.Fprintf(out, "timeout %v\n", d)
+	return Result{Stats: query.Stats{Op: "timeout"}, Mutation: true}, nil
+}
+
+func (e *Engine) setBudget(args []string, out io.Writer) (Result, error) {
+	if len(args) != 1 {
+		return Result{}, fmt.Errorf("usage: budget <n|off>")
+	}
+	if args[0] == "off" {
+		e.Settings.Budget = 0
+		fmt.Fprintln(out, "budget off")
+		return Result{Stats: query.Stats{Op: "budget"}, Mutation: true}, nil
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		return Result{}, fmt.Errorf("bad budget %q", args[0])
+	}
+	e.Settings.Budget = n
+	fmt.Fprintf(out, "budget %d candidates\n", n)
+	return Result{Stats: query.Stats{Op: "budget"}, Mutation: true}, nil
+}
+
+// qctx derives the per-query context from the session's timeout setting.
+func (e *Engine) qctx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.Settings.Timeout > 0 {
+		return context.WithTimeout(ctx, e.Settings.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// note writes the interruption note (partial results were already
+// reported) and extracts the typed partial error for the Result.
+func note(out io.Writer, err error) *query.PartialError {
+	if err == nil {
+		return nil
+	}
+	var pe *query.PartialError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(out, "note: %v (results above are partial)\n", err)
+		return pe
+	}
+	fmt.Fprintln(out, "note:", err)
+	return nil
+}
+
+func (e *Engine) tester(mode string) (*core.Tester, error) {
+	if e.NewTester != nil {
+		return e.NewTester(mode)
+	}
+	switch mode {
+	case "", "hw":
+		return core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold}), nil
+	case "sw":
+		return core.NewTester(core.Config{DisableHardware: true}), nil
+	default:
+		return nil, fmt.Errorf("mode must be sw or hw, got %q", mode)
+	}
+}
+
+func (e *Engine) join(ctx context.Context, store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return Result{}, fmt.Errorf("usage: join <a> <b> [sw|hw]")
+	}
+	a, err := layerOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := layerOf(store, args[1])
+	if err != nil {
+		return Result{}, err
+	}
+	mode := ""
+	if len(args) == 3 {
+		mode = args[2]
+	}
+	tester, err := e.tester(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	pairs, cost, qerr := query.IntersectionJoinOpt(qctx, a, b, tester,
+		query.JoinOptions{MaxCandidates: e.Settings.Budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return Result{}, qerr
+	}
+	report(out, "join", len(pairs), cost)
+	return Result{
+		Stats:   query.NewStats("join", len(pairs), cost, tester.Stats),
+		Partial: note(out, qerr),
+	}, nil
+}
+
+func (e *Engine) pjoin(ctx context.Context, store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return Result{}, fmt.Errorf("usage: pjoin <a> <b> [workers]")
+	}
+	a, err := layerOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := layerOf(store, args[1])
+	if err != nil {
+		return Result{}, err
+	}
+	workers := 0
+	if len(args) == 3 {
+		if workers, err = strconv.Atoi(args[2]); err != nil || workers < 0 {
+			return Result{}, fmt.Errorf("bad worker count %q", args[2])
+		}
+	}
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	start := time.Now()
+	pairs, stats, qerr := query.ParallelIntersectionJoin(qctx, a, b,
+		query.ParallelOptions{Workers: workers, MaxCandidates: e.Settings.Budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return Result{}, qerr
+	}
+	fmt.Fprintf(out, "pjoin: %d results in %v (%d tests", len(pairs),
+		time.Since(start).Round(time.Microsecond), stats.Tests)
+	if stats.Panics > 0 || stats.Quarantined > 0 {
+		fmt.Fprintf(out, "; %d panics recovered, %d pairs quarantined", stats.Panics, stats.Quarantined)
+	}
+	fmt.Fprintln(out, ")")
+	return Result{
+		Stats:   query.NewStats("pjoin", len(pairs), query.Cost{}, stats),
+		Partial: note(out, qerr),
+	}, nil
+}
+
+func (e *Engine) within(ctx context.Context, store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) < 3 || len(args) > 4 {
+		return Result{}, fmt.Errorf("usage: within <a> <b> <D> [sw|hw]")
+	}
+	a, err := layerOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := layerOf(store, args[1])
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := strconv.ParseFloat(args[2], 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad distance: %w", err)
+	}
+	mode := ""
+	if len(args) == 4 {
+		mode = args[3]
+	}
+	tester, err := e.tester(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	pairs, cost, qerr := query.WithinDistanceJoin(qctx, a, b, d, tester,
+		query.DistanceFilterOptions{Use0Object: true, Use1Object: true, MaxCandidates: e.Settings.Budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return Result{}, qerr
+	}
+	report(out, "within", len(pairs), cost)
+	return Result{
+		Stats:   query.NewStats("within", len(pairs), cost, tester.Stats),
+		Partial: note(out, qerr),
+	}, nil
+}
+
+func (e *Engine) overlay(ctx context.Context, store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 2 {
+		return Result{}, fmt.Errorf("usage: overlay <a> <b>")
+	}
+	a, err := layerOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := layerOf(store, args[1])
+	if err != nil {
+		return Result{}, err
+	}
+	tester, err := e.tester("hw")
+	if err != nil {
+		return Result{}, err
+	}
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	pairs, cost, qerr := query.OverlayAreaJoin(qctx, a, b, tester)
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return Result{}, qerr
+	}
+	var total float64
+	for _, op := range pairs {
+		total += op.Area
+	}
+	fmt.Fprintf(out, "overlay: %d overlapping pairs, %.4f units² shared area (total %v)\n",
+		len(pairs), total, cost.Total().Round(time.Millisecond))
+	return Result{
+		Stats:   query.NewStats("overlay", len(pairs), cost, tester.Stats),
+		Partial: note(out, qerr),
+	}, nil
+}
+
+// selectCmd and knn take the raw line because WKT contains spaces.
+func (e *Engine) selectCmd(ctx context.Context, store Store, line string, out io.Writer) (Result, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "select"))
+	name, wkt, ok := strings.Cut(rest, " ")
+	if !ok {
+		return Result{}, fmt.Errorf("usage: select <layer> <WKT POLYGON>")
+	}
+	l, err := layerOf(store, name)
+	if err != nil {
+		return Result{}, err
+	}
+	q, err := geom.ParsePolygonWKT(wkt)
+	if err != nil {
+		return Result{}, err
+	}
+	tester, err := e.tester("hw")
+	if err != nil {
+		return Result{}, err
+	}
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	ids, cost, qerr := query.IntersectionSelect(qctx, l, q, tester,
+		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: e.Settings.Budget})
+	var be *query.BudgetError
+	if errors.As(qerr, &be) {
+		return Result{}, qerr
+	}
+	report(out, "select", len(ids), cost)
+	return Result{
+		Stats:   query.NewStats("select", len(ids), cost, tester.Stats),
+		Partial: note(out, qerr),
+	}, nil
+}
+
+func (e *Engine) knn(ctx context.Context, store Store, line string, out io.Writer) (Result, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "knn"))
+	name, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return Result{}, fmt.Errorf("usage: knn <layer> <WKT POLYGON> <k>")
+	}
+	l, err := layerOf(store, name)
+	if err != nil {
+		return Result{}, err
+	}
+	i := strings.LastIndexByte(rest, ' ')
+	if i < 0 {
+		return Result{}, fmt.Errorf("usage: knn <layer> <WKT POLYGON> <k>")
+	}
+	k, err := strconv.Atoi(strings.TrimSpace(rest[i+1:]))
+	if err != nil {
+		return Result{}, fmt.Errorf("bad k: %w", err)
+	}
+	q, err := geom.ParsePolygonWKT(rest[:i])
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	neighbors, qerr := query.KNearest(qctx, l, q, k, dist.Options{})
+	fmt.Fprintf(out, "%d neighbors in %v:\n", len(neighbors), time.Since(start).Round(time.Microsecond))
+	for _, nb := range neighbors {
+		fmt.Fprintf(out, "  object %-6d distance %.4f\n", nb.ID, nb.Distance)
+	}
+	return Result{
+		Stats:   query.Stats{Op: "knn", Results: len(neighbors)},
+		Partial: note(out, qerr),
+	}, nil
+}
+
+func report(out io.Writer, op string, results int, cost query.Cost) {
+	fmt.Fprintf(out, "%s: %d results (mbr %v, filter %v, geometry %v; %d candidates, %d compared)\n",
+		op, results,
+		cost.MBRFilter.Round(time.Microsecond),
+		cost.IntermediateFilter.Round(time.Microsecond),
+		cost.GeometryComparison.Round(time.Microsecond),
+		cost.Candidates, cost.Compared)
+}

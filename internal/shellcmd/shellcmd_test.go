@@ -1,0 +1,173 @@
+package shellcmd
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/query"
+)
+
+func exec(t *testing.T, e *Engine, line string) (string, Result) {
+	t.Helper()
+	var sb strings.Builder
+	res, err := e.Exec(context.Background(), line, &sb)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", line, err)
+	}
+	return sb.String(), res
+}
+
+func TestGrammarEndToEnd(t *testing.T) {
+	e := &Engine{Store: MapStore{}}
+
+	out, res := exec(t, e, "gen water WATER 0.01")
+	if !strings.Contains(out, `layer "water"`) {
+		t.Errorf("gen output = %q", out)
+	}
+	if !res.Mutation || res.Stats.Op != "gen" {
+		t.Errorf("gen result = %+v", res)
+	}
+	exec(t, e, "gen prism PRISM 0.01")
+
+	out, _ = exec(t, e, "layers")
+	if !strings.Contains(out, "water") || !strings.Contains(out, "prism") {
+		t.Errorf("layers output = %q", out)
+	}
+
+	out, res = exec(t, e, "join water prism hw")
+	if !strings.HasPrefix(out, "join: ") {
+		t.Errorf("join output = %q", out)
+	}
+	if res.Stats.Op != "join" || res.Stats.Results == 0 || res.Stats.Candidates == 0 {
+		t.Errorf("join stats = %+v", res.Stats)
+	}
+	if res.Stats.Tests == 0 {
+		t.Error("join stats recorded no refinement tests")
+	}
+
+	// The hardware and software modes agree (the filter is exact).
+	_, sw := exec(t, e, "join water prism sw")
+	if sw.Stats.Results != res.Stats.Results {
+		t.Errorf("sw join %d results, hw join %d", sw.Stats.Results, res.Stats.Results)
+	}
+
+	// pjoin agrees with join.
+	_, pj := exec(t, e, "pjoin water prism 2")
+	if pj.Stats.Results != res.Stats.Results {
+		t.Errorf("pjoin %d results, join %d", pj.Stats.Results, res.Stats.Results)
+	}
+
+	out, knn := exec(t, e, "knn water POLYGON ((200 150, 220 150, 220 170, 200 170)) 5")
+	if knn.Stats.Op != "knn" || knn.Stats.Results != 5 {
+		t.Errorf("knn stats = %+v (output %q)", knn.Stats, out)
+	}
+
+	out, sel := exec(t, e, "select water POLYGON ((0 0, 500 0, 500 500, 0 500))")
+	if sel.Stats.Op != "select" || !strings.HasPrefix(out, "select: ") {
+		t.Errorf("select = %+v, output %q", sel.Stats, out)
+	}
+}
+
+func TestSettingsCommands(t *testing.T) {
+	e := &Engine{Store: MapStore{}}
+	exec(t, e, "timeout 250ms")
+	if e.Settings.Timeout != 250*time.Millisecond {
+		t.Errorf("Timeout = %v", e.Settings.Timeout)
+	}
+	exec(t, e, "budget 10")
+	if e.Settings.Budget != 10 {
+		t.Errorf("Budget = %d", e.Settings.Budget)
+	}
+	exec(t, e, "timeout off")
+	exec(t, e, "budget off")
+	if e.Settings.Timeout != 0 || e.Settings.Budget != 0 {
+		t.Errorf("off did not reset: %+v", e.Settings)
+	}
+}
+
+func TestBudgetIsHardError(t *testing.T) {
+	e := &Engine{Store: MapStore{}}
+	exec(t, e, "gen water WATER 0.01")
+	exec(t, e, "gen prism PRISM 0.01")
+	exec(t, e, "budget 3")
+	var sb strings.Builder
+	_, err := e.Exec(context.Background(), "join water prism", &sb)
+	var be *query.BudgetError
+	if err == nil || !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *query.BudgetError", err)
+	}
+}
+
+func TestErrorsAndEmptyLines(t *testing.T) {
+	e := &Engine{Store: MapStore{}}
+	for _, line := range []string{"bogus", "join", "join nosuch other", "gen x", "stats nosuch"} {
+		var sb strings.Builder
+		if _, err := e.Exec(context.Background(), line, &sb); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", line)
+		}
+	}
+	var sb strings.Builder
+	if _, err := e.Exec(context.Background(), "   ", &sb); err != nil || sb.Len() != 0 {
+		t.Errorf("blank line: err=%v out=%q", err, sb.String())
+	}
+	if _, err := e.Exec(context.Background(), "# comment", &sb); err != nil || sb.Len() != 0 {
+		t.Errorf("comment line: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestTimeoutYieldsPartial(t *testing.T) {
+	e := &Engine{Store: MapStore{}}
+	exec(t, e, "gen water WATER 0.02")
+	exec(t, e, "gen prism PRISM 0.02")
+	exec(t, e, "timeout 1ns")
+	// With a 1ns deadline every stride check fires; pjoin checks context
+	// per pair, so the interruption is deterministic.
+	out, res := exec(t, e, "pjoin water prism 1")
+	if res.Partial == nil {
+		t.Fatalf("no Partial on 1ns timeout (output %q)", out)
+	}
+	if !strings.Contains(out, "note:") {
+		t.Errorf("no interruption note in %q", out)
+	}
+}
+
+func TestIsQueryAndVerb(t *testing.T) {
+	for _, v := range []string{"join", "pjoin", "overlay", "within", "select", "knn"} {
+		if !IsQuery(v) {
+			t.Errorf("IsQuery(%q) = false", v)
+		}
+	}
+	for _, v := range []string{"gen", "load", "layers", "stats", "timeout", "budget", "help", ""} {
+		if IsQuery(v) {
+			t.Errorf("IsQuery(%q) = true", v)
+		}
+	}
+	if Verb("  join a b  ") != "join" || Verb("") != "" {
+		t.Error("Verb misparsed")
+	}
+}
+
+// TestParityWithDirectCalls pins the shared grammar to the library: the
+// engine's join must return exactly the pairs a direct query call finds.
+func TestParityWithDirectCalls(t *testing.T) {
+	a := query.NewLayer(data.MustLoad("WATER", 0.01))
+	b := query.NewLayer(data.MustLoad("PRISM", 0.01))
+	tester := core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold})
+	pairs, _, err := query.IntersectionJoin(context.Background(), a, b, tester)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := &Engine{Store: MapStore{}}
+	exec(t, e, "gen water WATER 0.01")
+	exec(t, e, "gen prism PRISM 0.01")
+	_, res := exec(t, e, "join water prism")
+	if res.Stats.Results != len(pairs) {
+		t.Errorf("engine join = %d results, direct join = %d", res.Stats.Results, len(pairs))
+	}
+}

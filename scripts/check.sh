@@ -15,6 +15,15 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== spatiald e2e (concurrent clients, drain, fault containment)"
+go test -race -count 1 ./internal/server/ -run 'TestE2EConcurrentClients|TestShutdownDrainsPartialResults|TestFault'
+
+echo "== spatialbench -json smoke"
+BENCH_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+go run ./cmd/spatialbench -exp table2 -scale 0.02 -json "$BENCH_JSON" >/dev/null
+grep -q '"experiment"' "$BENCH_JSON" || { echo "no records in $BENCH_JSON"; exit 1; }
+rm -f "$BENCH_JSON"
+
 echo "== fuzz smoke (${FUZZTIME} each)"
 go test ./internal/data/ -fuzz FuzzDataRead -fuzztime "$FUZZTIME"
 go test ./internal/data/ -fuzz FuzzWKTParse -fuzztime "$FUZZTIME"
