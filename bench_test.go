@@ -51,6 +51,7 @@ func benchLayers() map[string]*query.Layer {
 func BenchmarkTable2(b *testing.B) {
 	for _, name := range data.Names {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for range b.N {
 				d := data.MustLoad(name, benchScale)
 				if len(d.Objects) == 0 {
@@ -68,6 +69,7 @@ func BenchmarkFig10(b *testing.B) {
 	queries := ls["STATES50"].Data.Objects
 	for _, level := range experiments.TilingLevels {
 		b.Run(fmt.Sprintf("WATER/level=%d", level), func(b *testing.B) {
+			b.ReportAllocs()
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
 				for _, q := range queries {
@@ -86,6 +88,7 @@ func BenchmarkFig11(b *testing.B) {
 	queries := ls["STATES50"].Data.Objects
 	for _, ds := range []string{"WATER", "PRISM"} {
 		b.Run(ds+"/software", func(b *testing.B) {
+			b.ReportAllocs()
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
 				for _, q := range queries {
@@ -95,6 +98,7 @@ func BenchmarkFig11(b *testing.B) {
 		})
 		for _, res := range experiments.Resolutions {
 			b.Run(fmt.Sprintf("%s/hw/res=%d", ds, res), func(b *testing.B) {
+				b.ReportAllocs()
 				tester := core.NewTester(core.Config{Resolution: res})
 				for range b.N {
 					for _, q := range queries {
@@ -114,6 +118,7 @@ func BenchmarkFig12(b *testing.B) {
 	for _, j := range joins {
 		name := j[0] + "-" + j[1]
 		b.Run(name+"/software", func(b *testing.B) {
+			b.ReportAllocs()
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
 				query.IntersectionJoin(context.Background(), ls[j[0]], ls[j[1]], tester)
@@ -121,6 +126,7 @@ func BenchmarkFig12(b *testing.B) {
 		})
 		for _, res := range experiments.Resolutions {
 			b.Run(fmt.Sprintf("%s/hw/res=%d", name, res), func(b *testing.B) {
+				b.ReportAllocs()
 				tester := core.NewTester(core.Config{Resolution: res})
 				for range b.N {
 					query.IntersectionJoin(context.Background(), ls[j[0]], ls[j[1]], tester)
@@ -137,6 +143,7 @@ func BenchmarkFig13(b *testing.B) {
 	for _, res := range []int{8, 16} {
 		for _, th := range experiments.Thresholds {
 			b.Run(fmt.Sprintf("res=%d/threshold=%d", res, th), func(b *testing.B) {
+				b.ReportAllocs()
 				tester := core.NewTester(core.Config{Resolution: res, SWThreshold: th})
 				for range b.N {
 					query.IntersectionJoin(context.Background(), ls["LANDC"], ls["LANDO"], tester)
@@ -155,6 +162,7 @@ func BenchmarkFig14(b *testing.B) {
 		a, c := splitJoin(ls, j)
 		for _, mult := range experiments.DistanceMultipliers {
 			b.Run(fmt.Sprintf("%s/D=%gxBaseD", j, mult), func(b *testing.B) {
+				b.ReportAllocs()
 				tester := core.NewTester(core.Config{DisableHardware: true})
 				d := baseDs[j] * mult
 				for range b.N {
@@ -174,6 +182,7 @@ func BenchmarkFig15(b *testing.B) {
 		a, c := splitJoin(ls, j)
 		d := baseDs[j]
 		b.Run(j+"/software", func(b *testing.B) {
+			b.ReportAllocs()
 			tester := core.NewTester(core.Config{DisableHardware: true})
 			for range b.N {
 				query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
@@ -181,6 +190,7 @@ func BenchmarkFig15(b *testing.B) {
 		})
 		for _, res := range experiments.Resolutions {
 			b.Run(fmt.Sprintf("%s/hw/res=%d", j, res), func(b *testing.B) {
+				b.ReportAllocs()
 				tester := core.NewTester(core.Config{Resolution: res})
 				for range b.N {
 					query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
@@ -201,18 +211,54 @@ func BenchmarkFig16(b *testing.B) {
 		for _, mult := range experiments.DistanceMultipliers {
 			d := baseDs[j] * mult
 			b.Run(fmt.Sprintf("%s/sw/D=%gxBaseD", j, mult), func(b *testing.B) {
+				b.ReportAllocs()
 				tester := core.NewTester(core.Config{DisableHardware: true})
 				for range b.N {
 					query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
 				}
 			})
 			b.Run(fmt.Sprintf("%s/hw/D=%gxBaseD", j, mult), func(b *testing.B) {
+				b.ReportAllocs()
 				tester := core.NewTester(core.Config{Resolution: 8, SWThreshold: 500})
 				for range b.N {
 					query.WithinDistanceJoin(context.Background(), a, c, d, tester, filters)
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkJoinLocality is the refinement hot path A/B: the LANDC⋈LANDO
+// intersection join with the edge-indexed, locality-scheduled,
+// adaptively-dispatched refinement (indexed) against the pre-edge-index
+// path — linear candidate scans, plane-sweep-only cross tests, R-tree
+// emission order (baseline). Same window and threshold, identical result
+// set — the delta is pure hot-path work.
+func BenchmarkJoinLocality(b *testing.B) {
+	ls := benchLayers()
+	for _, cfg := range []struct {
+		name string
+		core core.Config
+		opt  query.JoinOptions
+	}{
+		{
+			"baseline",
+			core.Config{Resolution: 8, SWThreshold: core.DefaultSWThreshold, CrossCutoff: -1},
+			query.JoinOptions{NoEdgeIndex: true, NoLocalityOrder: true},
+		},
+		{
+			"indexed",
+			core.Config{Resolution: 8, SWThreshold: core.DefaultSWThreshold},
+			query.JoinOptions{},
+		},
+	} {
+		b.Run("LANDC-LANDO/"+cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			tester := core.NewTester(cfg.core)
+			for range b.N {
+				query.IntersectionJoinOpt(context.Background(), ls["LANDC"], ls["LANDO"], tester, cfg.opt)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,107 @@
+// Command benchdiff compares two BenchRecord JSON files written by
+// spatialbench -json and flags wall-clock regressions. Records are matched
+// on (experiment, workload, tester, param); points present in only one
+// file are listed but never fail the run. Exit status 1 means at least one
+// matched point regressed beyond the threshold.
+//
+// Usage:
+//
+//	benchdiff BENCH_baseline.json BENCH_current.json
+//	benchdiff -threshold 5 -min-ms 2 old.json new.json
+//
+// Wall-clock comparisons across machines are noise; the intended use is
+// same-machine runs (scripts/benchdiff.sh, the check.sh smoke).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 10,
+		"regression threshold in percent: fail when current exceeds baseline by more")
+	minMS := flag.Float64("min-ms", 1,
+		"ignore points whose baseline wall time is below this (too noisy to judge)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	compared := 0
+	fmt.Printf("%-58s %10s %10s %8s\n", "point", "base(ms)", "cur(ms)", "delta")
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			fmt.Printf("%-58s %10.3f %10s %8s\n", k, b.WallMS, "-", "gone")
+			continue
+		}
+		if b.WallMS < *minMS {
+			continue
+		}
+		compared++
+		delta := 100 * (c.WallMS - b.WallMS) / b.WallMS
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-58s %10.3f %10.3f %+7.1f%%%s\n", k, b.WallMS, c.WallMS, delta, mark)
+	}
+	for k, c := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("%-58s %10s %10.3f %8s\n", k, "-", c.WallMS, "new")
+		}
+	}
+	fmt.Printf("-- %d points compared, %d regression(s) beyond +%.0f%%\n",
+		compared, regressions, *threshold)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// load reads a BenchRecord array keyed by measurement point. Duplicate
+// keys keep the later record, matching how reruns append.
+func load(path string) (map[string]experiments.BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []experiments.BenchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]experiments.BenchRecord, len(records))
+	for _, r := range records {
+		out[key(r)] = r
+	}
+	return out, nil
+}
+
+func key(r experiments.BenchRecord) string {
+	return fmt.Sprintf("%s/%s/%s/%s", r.Experiment, r.Workload, r.Tester, r.Param)
+}

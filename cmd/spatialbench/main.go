@@ -10,6 +10,7 @@
 //	spatialbench -exp fig12 -scale 0.1
 //	spatialbench -exp table2,fig10,fig11
 //	spatialbench -exp fig12 -json BENCH_fig12.json
+//	spatialbench -exp locality -cpuprofile cpu.out   # hot-path diagnosis
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,14 +28,48 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16 or all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16,hull,locality or all")
 	scale := flag.Float64("scale", experiments.DefaultScale,
 		"dataset scale in (0,1]: fraction of the paper's object counts")
 	timeout := flag.Duration("timeout", 0,
 		"overall time limit (0 = none); an expired run stops after the current point and exits nonzero")
 	jsonOut := flag.String("json", "",
 		"write machine-readable BenchRecord measurements to this file (e.g. BENCH_all.json)")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a CPU profile of the experiment run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "",
+		"write an allocation profile taken at exit to this file (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatialbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "spatialbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spatialbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "spatialbench:", err)
+			}
+		}()
+	}
 
 	r := experiments.NewRunner(*scale, os.Stdout)
 	if *timeout > 0 {
@@ -40,7 +77,7 @@ func main() {
 		defer cancel()
 		r.Ctx = ctx
 	}
-	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull"}
+	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull", "locality"}
 	want := map[string]bool{}
 	if *exp == "all" {
 		for _, e := range all {
@@ -63,6 +100,9 @@ func main() {
 		"fig15":  func() []experiments.BenchRecord { return experiments.SweepRecords("fig15", r.Fig15(), sc) },
 		"fig16":  func() []experiments.BenchRecord { return experiments.Fig16Records(r.Fig16(), sc) },
 		"hull":   func() []experiments.BenchRecord { return experiments.HullRecords(r.ExtraHull(), sc) },
+		"locality": func() []experiments.BenchRecord {
+			return experiments.LocalityRecords(r.ExtraLocality(), sc)
+		},
 	}
 	var records []experiments.BenchRecord
 	ran := 0

@@ -19,6 +19,7 @@ package core
 
 import (
 	"repro/internal/dist"
+	"repro/internal/edgeindex"
 	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/raster"
@@ -32,6 +33,17 @@ import (
 const (
 	DefaultResolution  = 8
 	DefaultSWThreshold = 500
+
+	// DefaultCrossCutoff routes the software segment test to the all-pairs
+	// algorithm when len(red)·len(blue) of the restricted candidate sets is
+	// at or below it. The restricted sets are usually tiny, and below this
+	// work product the O(n·m) scan with its bbox pre-test beats the plane
+	// sweep's sort-and-tree overhead by a wide margin; above it the
+	// O((n+m)log(n+m)) sweep takes over. Both algorithms are exact, so the
+	// cutoff is purely a performance knob. 16384 (128×128 edges) captures
+	// nearly all of the all-pairs win on the evaluation joins while keeping
+	// the worst-case cross test subquadratic.
+	DefaultCrossCutoff = 16384
 )
 
 // Config controls a Tester.
@@ -57,6 +69,13 @@ type Config struct {
 	// buffer-test variants of exactly this kind; results are identical,
 	// and the accumulation path remains for the protocol ablation bench.
 	UseAccum bool
+	// CrossCutoff overrides the adaptive software cross-test dispatch:
+	// candidate-set products at or below the cutoff use the all-pairs scan,
+	// larger ones the plane sweep. Zero means DefaultCrossCutoff; negative
+	// disables the dispatch entirely (every pair goes to the sweep, the
+	// pre-edge-index behaviour the locality benchmarks use as baseline).
+	// Ignored when Software.Algorithm selects a specific algorithm.
+	CrossCutoff int
 	// Software selects the software segment-intersection algorithm.
 	Software sweep.Options
 	// Dist selects the software distance-test options.
@@ -87,6 +106,13 @@ type Stats struct {
 	Panics      int64 // refinement panics recovered and retried in software
 	Quarantined int64 // pairs dropped because the software retry panicked too
 
+	// Edge-index effectiveness (see internal/edgeindex and PairContext).
+	EdgeIndexHits         int64 // pair tests that consulted at least one edge index
+	EdgeIndexSkippedEdges int64 // edges the index hierarchies pruned unexamined
+	// DirtyClearPixelsSaved counts framebuffer pixels the dirty-region
+	// clear did not have to zero between pair tests (internal/raster).
+	DirtyClearPixelsSaved int64
+
 	// Wall-clock decomposition of the refinement work.
 	HWTime      time.Duration // rendering + buffer search
 	SWTime      time.Duration // software segment / distance tests
@@ -104,6 +130,9 @@ func (s *Stats) Add(other Stats) {
 	s.HWFallbacks += other.HWFallbacks
 	s.Panics += other.Panics
 	s.Quarantined += other.Quarantined
+	s.EdgeIndexHits += other.EdgeIndexHits
+	s.EdgeIndexSkippedEdges += other.EdgeIndexSkippedEdges
+	s.DirtyClearPixelsSaved += other.DirtyClearPixelsSaved
 	s.HWTime += other.HWTime
 	s.SWTime += other.SWTime
 	s.CollectTime += other.CollectTime
@@ -122,6 +151,21 @@ type Tester struct {
 	redBuf, blueBuf []geom.Segment
 	// sweeper reuses the plane sweep's working storage across pair tests.
 	sweeper sweep.Sweeper
+	// distScratch reuses the software distance test's frontier buffers.
+	distScratch dist.Scratch
+}
+
+// PairContext carries optional shared, read-only derived data for a pair
+// test: pre-built edge indexes for the first (PIndex) and second (QIndex)
+// polygon. Joins and selections that test one object against many mates
+// build an object's index once (see query.Layer.EdgeIndex) and pass it
+// here, turning each test's O(n+m) candidate-edge scan into an
+// output-sensitive index probe. A zero PairContext reproduces the plain
+// linear-scan behaviour; an index whose polygon does not match the tested
+// polygon is ignored. The indexes are immutable, so one PairContext may
+// be shared by concurrent workers.
+type PairContext struct {
+	PIndex, QIndex *edgeindex.Index
 }
 
 // NewTester builds a Tester from cfg, applying defaults for zero fields.
@@ -164,6 +208,14 @@ func (t *Tester) ResetStats() {
 // Intersects is Algorithm 3.1: it reports whether the closed regions of p
 // and q share at least one point, exactly.
 func (t *Tester) Intersects(p, q *geom.Polygon) bool {
+	return t.IntersectsCtx(p, q, PairContext{})
+}
+
+// IntersectsCtx is Intersects with shared per-object derived data: edge
+// indexes in pc replace the linear candidate-edge scans on both the
+// hardware and the direct-software path. The verdict is identical for any
+// pc — the indexes return exactly the edge sets the scan would.
+func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
 	// The fault hook runs before any counter moves, so an injected panic
 	// leaves the Stats partition (Tests == sum of resolution paths) intact.
 	if t.cfg.Faults != nil {
@@ -185,10 +237,23 @@ func (t *Tester) Intersects(p, q *geom.Polygon) bool {
 
 	// Adaptive threshold (§4.3): for simple pairs the fixed hardware
 	// overhead exceeds the software sweep, so skip straight to software.
+	// The software test runs on the same restricted (and possibly
+	// index-collected) edge sets as the hardware path.
 	if t.ctx == nil || p.NumVerts()+q.NumVerts() <= t.cfg.SWThreshold {
 		t.Stats.SWDirect++
+		if t.cfg.Software.NoRestrictSearch {
+			// Ablation path: unrestricted candidate sets, no index use.
+			start := time.Now()
+			ok := t.sweeper.BoundariesIntersect(p, q, t.cfg.Software)
+			t.Stats.SWTime += time.Since(start)
+			return ok
+		}
+		red, blue := t.collectPair(p, q, p.Bounds().Intersection(q.Bounds()), pc)
+		if len(red) == 0 || len(blue) == 0 {
+			return false
+		}
 		start := time.Now()
-		ok := t.sweeper.BoundariesIntersect(p, q, t.cfg.Software)
+		ok := t.crossIntersects(red, blue)
 		t.Stats.SWTime += time.Since(start)
 		return ok
 	}
@@ -196,15 +261,7 @@ func (t *Tester) Intersects(p, q *geom.Polygon) bool {
 	// The hardware and software steps both operate on the same restricted
 	// edge sets: only edges touching the intersection of the MBRs can
 	// participate in a boundary intersection.
-	start := time.Now()
-	red, blue := sweep.CandidateEdgesInto(p, q, t.redBuf, t.blueBuf)
-	t.Stats.CollectTime += time.Since(start)
-	if red != nil {
-		t.redBuf = red[:0]
-	}
-	if blue != nil {
-		t.blueBuf = blue[:0]
-	}
+	red, blue := t.collectPair(p, q, p.Bounds().Intersection(q.Bounds()), pc)
 	if len(red) == 0 || len(blue) == 0 {
 		t.Stats.HWRejects++
 		return false
@@ -212,7 +269,7 @@ func (t *Tester) Intersects(p, q *geom.Polygon) bool {
 
 	// Step 2: hardware segment intersection test (steps 2.1–2.8),
 	// projecting the intersection of the two MBRs onto the window (§3.2).
-	start = time.Now()
+	start := time.Now()
 	t.ctx.SetViewport(p.Bounds().Intersection(q.Bounds()))
 	overlap := t.hwOverlap(red, blue, 0)
 	t.Stats.HWTime += time.Since(start)
@@ -228,10 +285,52 @@ func (t *Tester) Intersects(p, q *geom.Polygon) bool {
 	return false
 }
 
+// collectPair gathers the candidate edges of p and q touching r into the
+// tester's scratch buffers, going through each side's edge index when the
+// PairContext carries one (blue is skipped when red comes back empty,
+// matching sweep.CandidateEdgesInto). The edge sets — content and order —
+// are identical with and without indexes; only the work to find them
+// differs, which the EdgeIndex stats record.
+func (t *Tester) collectPair(p, q *geom.Polygon, r geom.Rect, pc PairContext) (red, blue []geom.Segment) {
+	start := time.Now()
+	red, skipped, indexed := collectSide(t.redBuf, p, pc.PIndex, r)
+	t.redBuf = red[:0]
+	if len(red) > 0 {
+		var skq int
+		var ixq bool
+		blue, skq, ixq = collectSide(t.blueBuf, q, pc.QIndex, r)
+		t.blueBuf = blue[:0]
+		skipped += skq
+		indexed = indexed || ixq
+	}
+	t.Stats.CollectTime += time.Since(start)
+	if indexed {
+		t.Stats.EdgeIndexHits++
+	}
+	t.Stats.EdgeIndexSkippedEdges += int64(skipped)
+	return red, blue
+}
+
+// collectSide collects one polygon's candidate edges, via its index when
+// one is supplied (and actually indexes this polygon), else linearly.
+func collectSide(buf []geom.Segment, p *geom.Polygon, ix *edgeindex.Index, r geom.Rect) (segs []geom.Segment, skipped int, indexed bool) {
+	if ix != nil && ix.Indexed() && ix.Polygon() == p {
+		segs, examined := ix.AppendEdgesInRect(buf[:0], r)
+		return segs, p.NumEdges() - examined, true
+	}
+	return sweep.AppendEdgesInRange(buf[:0], p, r, 0, p.NumEdges()), 0, false
+}
+
 // WithinDistance reports whether the regions of p and q are within
 // distance d, exactly, using the hardware widened-edge filter where
 // profitable.
 func (t *Tester) WithinDistance(p, q *geom.Polygon, d float64) bool {
+	return t.WithinDistanceCtx(p, q, d, PairContext{})
+}
+
+// WithinDistanceCtx is WithinDistance with shared per-object derived
+// data; see IntersectsCtx.
+func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext) bool {
 	if t.cfg.Faults != nil {
 		t.cfg.Faults.Apply(faultinject.SiteWithinDistance)
 	}
@@ -278,18 +377,11 @@ func (t *Tester) WithinDistance(p, q *geom.Polygon, d float64) bool {
 	// Only edges whose widened capsule can reach the viewport matter:
 	// those within d/2 of it, i.e. touching the region expanded by a
 	// further d/2. The pre-clip uses the same cheap bounds test as the
-	// software path, so a monster polygon paired with a small object
+	// software path — through the edge indexes when the PairContext
+	// carries them — so a monster polygon paired with a small object
 	// submits only its nearby reach (§3.2: the projection "avoids
 	// rendering unnecessary edges").
-	start := time.Now()
-	red, blue := sweep.EdgesInRectInto(p, q, small.Expand(d), t.redBuf, t.blueBuf)
-	t.Stats.CollectTime += time.Since(start)
-	if red != nil {
-		t.redBuf = red[:0]
-	}
-	if blue != nil {
-		t.blueBuf = blue[:0]
-	}
+	red, blue := t.collectPair(p, q, small.Expand(d), pc)
 	if len(red) == 0 || len(blue) == 0 {
 		// One boundary has no presence near the smaller object at all:
 		// with containment excluded the pair cannot be within d.
@@ -297,7 +389,7 @@ func (t *Tester) WithinDistance(p, q *geom.Polygon, d float64) bool {
 		return false
 	}
 
-	start = time.Now()
+	start := time.Now()
 	overlap := t.hwOverlap(red, blue, widthPx)
 	t.Stats.HWTime += time.Since(start)
 	if overlap {
@@ -319,7 +411,7 @@ func (t *Tester) WithinDistance(p, q *geom.Polygon, d float64) bool {
 // behind. Only a > d report needs the boundary-crossing check to confirm
 // that the disjointness assumption held.
 func (t *Tester) softwareWithin(p, q *geom.Polygon, d float64) bool {
-	if dist.BoundaryWithin(p, q, d, t.cfg.Dist) {
+	if dist.BoundaryWithinScratch(p, q, d, t.cfg.Dist, &t.distScratch) {
 		return true
 	}
 	return p.Bounds().Intersects(q.Bounds()) && t.sweeper.BoundariesIntersect(p, q, t.cfg.Software)
@@ -336,7 +428,9 @@ func (t *Tester) softwareWithin(p, q *geom.Polygon, d float64) bool {
 // results, which is precisely the trust the engine places in conservative
 // rasterization — the fault-injection tests document that boundary.
 func (t *Tester) hwOverlap(red, blue []geom.Segment, widthPx float64) bool {
+	saved0 := t.ctx.DirtyClearPixelsSaved
 	overlap := t.hwOverlapRaw(red, blue, widthPx)
+	t.Stats.DirtyClearPixelsSaved += t.ctx.DirtyClearPixelsSaved - saved0
 	if t.cfg.Faults != nil && t.cfg.Faults.Wrong(faultinject.SiteHWFilter) {
 		overlap = !overlap
 	}
@@ -410,8 +504,10 @@ func minMaxAccum(ctx *raster.Context) (minV, maxV float32) {
 }
 
 // crossIntersects dispatches the software segment test on pre-restricted
-// edge sets, using the tester's reusable sweeper for the default
-// algorithm.
+// edge sets. With the default algorithm the dispatch is adaptive: small
+// work products go to the all-pairs scan (the common case once the edge
+// index has shrunk the sets), large ones to the tester's reusable plane
+// sweep. All algorithms are exact, so the choice never changes a verdict.
 func (t *Tester) crossIntersects(red, blue []geom.Segment) bool {
 	switch t.cfg.Software.Algorithm {
 	case sweep.ForwardScan:
@@ -419,6 +515,13 @@ func (t *Tester) crossIntersects(red, blue []geom.Segment) bool {
 	case sweep.BruteForce:
 		return sweep.CrossIntersectsBrute(red, blue)
 	default:
+		cutoff := t.cfg.CrossCutoff
+		if cutoff == 0 {
+			cutoff = DefaultCrossCutoff
+		}
+		if cutoff > 0 && len(red)*len(blue) <= cutoff {
+			return sweep.CrossIntersectsBrute(red, blue)
+		}
 		return t.sweeper.CrossIntersects(red, blue)
 	}
 }

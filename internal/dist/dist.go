@@ -67,6 +67,28 @@ func BoundaryWithin(p, q *geom.Polygon, d float64, opt Options) bool {
 	return chainDist(p, q, d, opt) <= d
 }
 
+// Scratch holds the frontier-edge buffers of a chain-distance
+// computation, reused across calls so a refinement worker performing
+// millions of distance tests does not allocate per pair. The zero value
+// is ready to use; a Scratch is not safe for concurrent use.
+type Scratch struct {
+	pe, qe []geom.Segment
+}
+
+// BoundaryWithinScratch is BoundaryWithin appending frontier edges into
+// s's reusable buffers instead of fresh slices.
+func BoundaryWithinScratch(p, q *geom.Polygon, d float64, opt Options, s *Scratch) bool {
+	s.pe = FrontierEdgesInto(s.pe[:0], p, q, d, opt)
+	if len(s.pe) == 0 {
+		return false // every candidate edge pruned: distance exceeds d
+	}
+	s.qe = FrontierEdgesInto(s.qe[:0], q, p, d, opt)
+	if len(s.qe) == 0 {
+		return false
+	}
+	return pairDist(s.pe, s.qe, d) <= d
+}
+
 // MinDistBrute returns the region distance computed over all edge pairs
 // with no pruning. The testing oracle.
 func MinDistBrute(p, q *geom.Polygon) float64 {
@@ -98,6 +120,12 @@ func chainDist(p, q *geom.Polygon, earlyExit float64, opt Options) float64 {
 	if len(qe) == 0 {
 		return math.Inf(1)
 	}
+	return pairDist(pe, qe, earlyExit)
+}
+
+// pairDist returns the minimum distance over all edge pairs, with the
+// MBR-distance skip and the early exit at earlyExit.
+func pairDist(pe, qe []geom.Segment, earlyExit float64) float64 {
 	bestSq := math.Inf(1)
 	exitSq := math.Inf(-1) // never exit early unless a finite bound is given
 	if !math.IsInf(earlyExit, 1) {
@@ -128,6 +156,12 @@ func chainDist(p, q *geom.Polygon, earlyExit float64, opt Options) float64 {
 // with strictly back-facing edges culled. Options can disable either
 // reduction.
 func FrontierEdges(p, q *geom.Polygon, d float64, opt Options) []geom.Segment {
+	return FrontierEdgesInto(nil, p, q, d, opt)
+}
+
+// FrontierEdgesInto is FrontierEdges appending into a caller-provided
+// buffer (reset to length zero first), for allocation-free hot paths.
+func FrontierEdgesInto(out []geom.Segment, p, q *geom.Polygon, d float64, opt Options) []geom.Segment {
 	clip := geom.EmptyRect()
 	useClip := !opt.NoClip && !math.IsInf(d, 1)
 	if useClip {
@@ -139,7 +173,6 @@ func FrontierEdges(p, q *geom.Polygon, d float64, opt Options) []geom.Segment {
 	ccw := p.SignedArea() > 0
 	target := q.Bounds()
 	corners := target.Corners()
-	var out []geom.Segment
 	for i := range p.NumEdges() {
 		e := p.Edge(i)
 		if useClip && !clip.IntersectsSegment(e) {

@@ -75,6 +75,61 @@ func (r *Runner) ExtraHull() []HullResult {
 	return out
 }
 
+// LocalityPoint is one refinement-path arm of the locality comparison.
+type LocalityPoint struct {
+	Config  string
+	Wall    time.Duration
+	Results int
+	Stats   core.Stats
+}
+
+// LocalityResult compares refinement hot paths for one join.
+type LocalityResult struct {
+	Workload string
+	Points   []LocalityPoint
+}
+
+// ExtraLocality measures the edge-indexed, locality-scheduled refinement
+// hot path against the pre-index path on the LANDC⋈LANDO intersection
+// join: "baseline" restores linear candidate scans, sweep-only cross
+// tests and R-tree emission order; the middle arms enable one lever each;
+// "indexed" is the full production path. All arms compute the identical
+// result set at identical window parameters.
+func (r *Runner) ExtraLocality() []LocalityResult {
+	a, b := r.Layer("LANDC"), r.Layer("LANDO")
+	res := LocalityResult{Workload: "LANDC⋈LANDO"}
+	r.printf("\nExtra (locality): LANDC⋈LANDO intersection join refinement paths\n")
+	r.printf("%-14s %10s %10s %12s %14s\n", "config", "wall(ms)", "results", "index_hits", "edges_skipped")
+	base := core.Config{Resolution: 8, SWThreshold: core.DefaultSWThreshold}
+	legacy := base
+	legacy.CrossCutoff = -1
+	configs := []struct {
+		name string
+		cfg  core.Config
+		opt  query.JoinOptions
+	}{
+		{"baseline", legacy, query.JoinOptions{NoEdgeIndex: true, NoLocalityOrder: true}},
+		{"+edgeindex", legacy, query.JoinOptions{NoLocalityOrder: true}},
+		{"+order", legacy, query.JoinOptions{}},
+		{"indexed", base, query.JoinOptions{}},
+	}
+	for _, c := range configs {
+		tester := core.NewTester(c.cfg)
+		start := time.Now()
+		pairs, _, err := query.IntersectionJoinOpt(r.ctx(), a, b, tester, c.opt)
+		wall := time.Since(start)
+		if r.check(err) {
+			return nil
+		}
+		res.Points = append(res.Points, LocalityPoint{
+			Config: c.name, Wall: wall, Results: len(pairs), Stats: tester.Stats,
+		})
+		r.printf("%-14s %10.3f %10d %12d %14d\n",
+			c.name, ms(wall), len(pairs), tester.Stats.EdgeIndexHits, tester.Stats.EdgeIndexSkippedEdges)
+	}
+	return []LocalityResult{res}
+}
+
 // trStarJoin runs the intersection join with the TR*-tree refinement: the
 // MBR join feeds pre-built per-object edge trees whose synchronized
 // traversal replaces the plane sweep entirely.

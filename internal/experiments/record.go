@@ -145,6 +145,22 @@ func Fig16Records(rows []Fig16Result, scale float64) []BenchRecord {
 	return out
 }
 
+// LocalityRecords flattens the refinement hot path comparison.
+func LocalityRecords(rows []LocalityResult, scale float64) []BenchRecord {
+	var out []BenchRecord
+	for _, row := range rows {
+		for _, p := range row.Points {
+			out = append(out, BenchRecord{
+				Experiment: "locality", Workload: row.Workload, Tester: p.Config,
+				Scale:  scale,
+				WallMS: float64(p.Wall) / float64(time.Millisecond),
+				Tests:  p.Stats.Tests, Results: p.Results,
+			})
+		}
+	}
+	return out
+}
+
 // HullRecords flattens the pre-processing-technique comparison.
 func HullRecords(rows []HullResult, scale float64) []BenchRecord {
 	var out []BenchRecord

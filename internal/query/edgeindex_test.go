@@ -1,0 +1,149 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// TestEdgeIndexCached pins the lazy-build contract: repeated calls return
+// the same immutable index, and the index really is the object's.
+func TestEdgeIndexCached(t *testing.T) {
+	layer := NewLayer(data.MustLoad("LANDC", 0.002))
+	for id := range layer.Data.Objects {
+		ix := layer.EdgeIndex(id)
+		if ix.Polygon() != layer.Data.Objects[id] {
+			t.Fatalf("object %d: index built for wrong polygon", id)
+		}
+		if again := layer.EdgeIndex(id); again != ix {
+			t.Fatalf("object %d: second EdgeIndex call returned a different index", id)
+		}
+	}
+}
+
+// TestEdgeIndexSharedAcrossWorkers drives 8 workers through one Layer's
+// edge indexes simultaneously — racing the lazy CompareAndSwap publication
+// and then reading the shared hierarchies — and checks every worker's
+// join result against the serial answer. Run under -race this is the
+// concurrency proof for the shared read-only index design.
+func TestEdgeIndexSharedAcrossWorkers(t *testing.T) {
+	a := NewLayer(data.MustLoad("LANDC", 0.002))
+	b := NewLayer(data.MustLoad("LANDO", 0.001))
+
+	serialTester := core.NewTester(core.Config{DisableHardware: true})
+	want, _, err := IntersectionJoinOpt(bg, a, b, serialTester,
+		JoinOptions{NoEdgeIndex: true, NoLocalityOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSorted := sortedPairs(want)
+
+	const workers = 8
+	results := make([][]Pair, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tester := core.NewTester(core.Config{DisableHardware: true})
+			results[w], _, errs[w] = IntersectionJoinOpt(bg, a, b, tester, JoinOptions{})
+		}()
+	}
+	wg.Wait()
+	for w := range workers {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		got := sortedPairs(results[w])
+		if len(got) != len(wantSorted) {
+			t.Fatalf("worker %d: %d pairs, want %d", w, len(got), len(wantSorted))
+		}
+		for i := range wantSorted {
+			if got[i] != wantSorted[i] {
+				t.Fatalf("worker %d: pair %d = %v, want %v", w, i, got[i], wantSorted[i])
+			}
+		}
+	}
+}
+
+// TestJoinAblationsAgree checks that the four combinations of the
+// refinement ablation knobs compute the same pair set: the edge index and
+// the locality ordering are pure performance levers.
+func TestJoinAblationsAgree(t *testing.T) {
+	d := data.BaseD(layerA.Data, layerB.Data)
+	combos := []JoinOptions{
+		{},
+		{NoEdgeIndex: true},
+		{NoLocalityOrder: true},
+		{NoEdgeIndex: true, NoLocalityOrder: true},
+	}
+	var wantJoin, wantWithin []Pair
+	for i, opt := range combos {
+		tester := core.NewTester(core.Config{Resolution: 8, SWThreshold: core.DefaultSWThreshold})
+		got, _, err := IntersectionJoinOpt(bg, layerA, layerB, tester, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotW, _, err := WithinDistanceJoin(bg, layerA, layerB, d, tester, DistanceFilterOptions{
+			NoEdgeIndex: opt.NoEdgeIndex, NoLocalityOrder: opt.NoLocalityOrder,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			wantJoin, wantWithin = sortedPairs(got), sortedPairs(gotW)
+			continue
+		}
+		if g := sortedPairs(got); len(g) != len(wantJoin) {
+			t.Fatalf("combo %+v: %d intersection pairs, want %d", opt, len(g), len(wantJoin))
+		} else {
+			for j := range g {
+				if g[j] != wantJoin[j] {
+					t.Fatalf("combo %+v: pair %d = %v, want %v", opt, j, g[j], wantJoin[j])
+				}
+			}
+		}
+		if g := sortedPairs(gotW); len(g) != len(wantWithin) {
+			t.Fatalf("combo %+v: %d within pairs, want %d", opt, len(g), len(wantWithin))
+		} else {
+			for j := range g {
+				if g[j] != wantWithin[j] {
+					t.Fatalf("combo %+v: within pair %d = %v, want %v", opt, j, g[j], wantWithin[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSelectionUsesQueryIndex checks a selection against a complex query
+// polygon still matches the oracle when the query-side index is active
+// (IntersectionSelect builds it unconditionally) and that index stats
+// actually flow: on layers with indexed objects some hits must register.
+func TestSelectionUsesQueryIndex(t *testing.T) {
+	queries := data.MustLoad("STATES50", 1)
+	q := queries.Objects[0]
+	tester := core.NewTester(core.Config{DisableHardware: true})
+	got, _, err := IntersectionSelect(bg, layerA, q, tester, SelectionOptions{InteriorLevel: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleSelect(layerA, q)
+	g, w := sortedIDs(got), sortedIDs(want)
+	if len(g) != len(w) {
+		t.Fatalf("%d results, want %d", len(g), len(w))
+	}
+	for i := range w {
+		if g[i] != w[i] {
+			t.Fatalf("result %d = %d, want %d", i, g[i], w[i])
+		}
+	}
+	if tester.Stats.EdgeIndexHits == 0 {
+		t.Error("selection refinement recorded no edge-index hits")
+	}
+	if tester.Stats.EdgeIndexSkippedEdges == 0 {
+		t.Error("selection refinement recorded no skipped edges")
+	}
+}

@@ -20,6 +20,11 @@ type ParallelOptions struct {
 	// MaxCandidates, when positive, aborts the join with a *BudgetError
 	// if the MBR join yields more candidate pairs than this.
 	MaxCandidates int
+	// NoEdgeIndex and NoLocalityOrder are the refinement ablation knobs,
+	// as in JoinOptions: they disable the shared per-object edge indexes
+	// and the outer-object candidate ordering / group-aligned sharding.
+	NoEdgeIndex     bool
+	NoLocalityOrder bool
 }
 
 func (o ParallelOptions) workers() int {
@@ -57,8 +62,12 @@ func ParallelIntersectionJoin(ctx context.Context, a, b *Layer, opt ParallelOpti
 	if col.err != nil {
 		return nil, core.Stats{}, col.err
 	}
+	if !opt.NoLocalityOrder {
+		sortPairsByOuter(col.items)
+	}
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
 	return parallelRefine(ctx, col.items, opt, "parallel-join", func(t *core.Tester, pr Pair) bool {
-		return t.Intersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B])
+		return t.IntersectsCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
 	})
 }
 
@@ -74,8 +83,12 @@ func ParallelWithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, opt
 	if col.err != nil {
 		return nil, core.Stats{}, col.err
 	}
+	if !opt.NoLocalityOrder {
+		sortPairsByOuter(col.items)
+	}
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
 	return parallelRefine(ctx, col.items, opt, "parallel-within-join", func(t *core.Tester, pr Pair) bool {
-		return t.WithinDistance(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d)
+		return t.WithinDistanceCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))
 	})
 }
 
@@ -172,13 +185,28 @@ func parallelRefine(ctx context.Context, candidates []Pair, opt ParallelOptions,
 			res()
 		}()
 	}
+	// The feeder cuts chunks at outer-group boundaries when the candidates
+	// arrive locality-sorted: a chunk is extended past the nominal size
+	// until the current outer object's run ends, so one outer polygon's
+	// pairs land on one worker and its edge index is built and reused
+	// there. The extension is bounded (4× chunk) so a monster outer group
+	// cannot serialize the join — an oversized group is split into
+	// consecutive runs that each still enjoy full locality.
 feed:
-	for lo := 0; lo < len(candidates); lo += chunk {
+	for lo := 0; lo < len(candidates); {
+		hi := min(lo+chunk, len(candidates))
+		if !opt.NoLocalityOrder {
+			limit := min(lo+4*chunk, len(candidates))
+			for hi < limit && candidates[hi].A == candidates[hi-1].A {
+				hi++
+			}
+		}
 		select {
-		case work <- candidates[lo:min(lo+chunk, len(candidates))]:
+		case work <- candidates[lo:hi]:
 		case <-ctx.Done():
 			break feed
 		}
+		lo = hi
 	}
 	close(work)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -62,19 +63,21 @@ func TestParallelWithinDistanceJoinMatchesSerial(t *testing.T) {
 }
 
 func TestParallelCustomTester(t *testing.T) {
-	made := 0
+	// The factory runs once per worker goroutine, so the counter must be
+	// atomic.
+	var made atomic.Int32
 	opt := ParallelOptions{
 		Workers: 3,
 		Tester: func() *core.Tester {
-			made++
+			made.Add(1)
 			return core.NewTester(core.Config{DisableHardware: true})
 		},
 	}
 	if _, _, err := ParallelIntersectionJoin(bg, layerA, layerB, opt); err != nil {
 		t.Fatal(err)
 	}
-	if made != 3 {
-		t.Errorf("tester factory called %d times, want 3", made)
+	if n := made.Load(); n != 3 {
+		t.Errorf("tester factory called %d times, want 3", n)
 	}
 }
 

@@ -23,11 +23,14 @@ package query
 
 import (
 	"context"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/edgeindex"
 	"repro/internal/filter"
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -41,6 +44,10 @@ type Layer struct {
 
 	hullOnce sync.Once
 	hulls    *filter.HullSet
+
+	// edgeIdx caches each object's immutable edge index, built lazily on
+	// first use and shared read-only by every worker (see EdgeIndex).
+	edgeIdx []atomic.Pointer[edgeindex.Index]
 }
 
 // NewLayer bulk-loads an R-tree over the dataset's object MBRs.
@@ -49,7 +56,11 @@ func NewLayer(d *data.Dataset) *Layer {
 	for i, p := range d.Objects {
 		entries[i] = rtree.Entry{Bounds: p.Bounds(), ID: i}
 	}
-	return &Layer{Data: d, Index: rtree.NewBulk(entries)}
+	return &Layer{
+		Data:    d,
+		Index:   rtree.NewBulk(entries),
+		edgeIdx: make([]atomic.Pointer[edgeindex.Index], len(d.Objects)),
+	}
 }
 
 // Hulls returns the layer's pre-computed convex-hull approximations,
@@ -60,6 +71,23 @@ func (l *Layer) Hulls() *filter.HullSet {
 		l.hulls = filter.NewHullSet(l.Data.Objects)
 	})
 	return l.hulls
+}
+
+// EdgeIndex returns object id's edge index, building it on first use. The
+// index is immutable once published, so concurrent callers may race to
+// build: every build of the same object is identical and losers' copies
+// are dropped, which keeps the fast path a single atomic load with no
+// lock. The cached indexes are what joins reuse across a whole inner
+// loop instead of rescanning the object's edge chain per pair.
+func (l *Layer) EdgeIndex(id int) *edgeindex.Index {
+	if ix := l.edgeIdx[id].Load(); ix != nil {
+		return ix
+	}
+	ix := edgeindex.New(l.Data.Objects[id])
+	if !l.edgeIdx[id].CompareAndSwap(nil, ix) {
+		return l.edgeIdx[id].Load()
+	}
+	return ix
 }
 
 // Cost is the per-stage cost breakdown of one query, mirroring the cost
@@ -191,7 +219,10 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 	}
 
 	// Stage 3: geometry comparison, cancellable every cancelStride tests.
+	// The query polygon's edge index is built once and shared across every
+	// candidate test; the layer side reuses the per-object cached indexes.
 	start = time.Now()
+	qIdx := edgeindex.New(query)
 	for i, id := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)
@@ -199,7 +230,8 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 			cost.Results = len(results)
 			return results, cost, &PartialError{Op: "select", Done: i, Total: len(remaining), Err: ctx.Err()}
 		}
-		if tester.Intersects(query, layer.Data.Objects[id]) {
+		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id)}
+		if tester.IntersectsCtx(query, layer.Data.Objects[id], pc) {
 			results = append(results, id)
 		}
 	}
@@ -252,6 +284,7 @@ func WithinDistanceSelect(ctx context.Context, layer *Layer, query *geom.Polygon
 	}
 
 	start = time.Now()
+	qIdx := edgeindex.New(query)
 	for i, id := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)
@@ -259,7 +292,8 @@ func WithinDistanceSelect(ctx context.Context, layer *Layer, query *geom.Polygon
 			cost.Results = len(results)
 			return results, cost, &PartialError{Op: "within-select", Done: i, Total: len(remaining), Err: ctx.Err()}
 		}
-		if tester.WithinDistance(query, layer.Data.Objects[id], d) {
+		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id)}
+		if tester.WithinDistanceCtx(query, layer.Data.Objects[id], d, pc) {
 			results = append(results, id)
 		}
 	}
@@ -287,6 +321,38 @@ type JoinOptions struct {
 	// if the MBR join yields more candidate pairs than this — the guard
 	// against pathological MBR skew materializing an unbounded pair list.
 	MaxCandidates int
+	// NoEdgeIndex disables the cached per-object edge indexes during
+	// refinement (every pair falls back to the linear edge scan). Ablation
+	// knob for the locality benchmarks.
+	NoEdgeIndex bool
+	// NoLocalityOrder disables sorting candidate pairs by outer object
+	// before refinement, leaving them in R-tree join emission order.
+	// Ablation knob for the locality benchmarks.
+	NoLocalityOrder bool
+}
+
+// sortPairsByOuter orders candidate pairs by (A, B) so refinement visits
+// each outer object's pairs consecutively: the outer polygon's vertices
+// and edge index stay cache-hot across its whole run, and the lazily
+// built per-object indexes are reused immediately after construction.
+func sortPairsByOuter(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+}
+
+// pairContexts returns a per-pair PairContext source for a join between
+// layers a and b, honoring the NoEdgeIndex ablation.
+func pairContexts(a, b *Layer, noIndex bool) func(Pair) core.PairContext {
+	if noIndex {
+		return func(Pair) core.PairContext { return core.PairContext{} }
+	}
+	return func(pr Pair) core.PairContext {
+		return core.PairContext{PIndex: a.EdgeIndex(pr.A), QIndex: b.EdgeIndex(pr.B)}
+	}
 }
 
 // IntersectionJoin returns all pairs (a from layer a, b from layer b)
@@ -333,7 +399,13 @@ func IntersectionJoinOpt(ctx context.Context, a, b *Layer, tester *core.Tester, 
 	}
 
 	// Stage 3: geometry comparison, cancellable every cancelStride pairs.
+	// Pairs are refined in outer-object order so each outer polygon's data
+	// (and its edge index) is touched in one consecutive run.
 	start = time.Now()
+	if !opt.NoLocalityOrder {
+		sortPairsByOuter(remaining)
+	}
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
 	var results []Pair
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
@@ -342,7 +414,7 @@ func IntersectionJoinOpt(ctx context.Context, a, b *Layer, tester *core.Tester, 
 			cost.Results = len(results)
 			return results, cost, &PartialError{Op: "join", Done: i, Total: len(remaining), Err: ctx.Err()}
 		}
-		if tester.Intersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B]) {
+		if tester.IntersectsCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr)) {
 			results = append(results, pr)
 		}
 	}
@@ -363,6 +435,10 @@ type DistanceFilterOptions struct {
 	// MaxCandidates, when positive, aborts the query with a *BudgetError
 	// if MBR filtering yields more candidates than this.
 	MaxCandidates int
+	// NoEdgeIndex and NoLocalityOrder are the join-refinement ablation
+	// knobs, as in JoinOptions. They have no effect on selections.
+	NoEdgeIndex     bool
+	NoLocalityOrder bool
 }
 
 // WithinDistanceJoin returns all pairs whose regions are within distance d
@@ -416,8 +492,13 @@ func WithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, tester *cor
 		cost.FilterHits = len(results)
 	}
 
-	// Stage 3: geometry comparison, cancellable every cancelStride pairs.
+	// Stage 3: geometry comparison in outer-object order, cancellable
+	// every cancelStride pairs.
 	start = time.Now()
+	if !opt.NoLocalityOrder {
+		sortPairsByOuter(remaining)
+	}
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)
@@ -425,7 +506,7 @@ func WithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, tester *cor
 			cost.Results = len(results)
 			return results, cost, &PartialError{Op: "within-join", Done: i, Total: len(remaining), Err: ctx.Err()}
 		}
-		if tester.WithinDistance(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d) {
+		if tester.WithinDistanceCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr)) {
 			results = append(results, pr)
 		}
 	}

@@ -40,6 +40,11 @@ type Stats struct {
 	HWFallbacks int64 `json:"hw_fallbacks"`
 	Panics      int64 `json:"panics"`
 	Quarantined int64 `json:"quarantined"`
+
+	// Edge-index and raster hot-path effectiveness counters.
+	EdgeIndexHits         int64 `json:"edge_index_hits"`
+	EdgeIndexSkippedEdges int64 `json:"edge_index_skipped_edges"`
+	DirtyClearPixelsSaved int64 `json:"dirty_clear_pixels_saved"`
 }
 
 // NewStats flattens a query's cost breakdown and tester counters into the
@@ -64,6 +69,10 @@ func NewStats(op string, results int, cost Cost, refine core.Stats) Stats {
 		HWFallbacks:    refine.HWFallbacks,
 		Panics:         refine.Panics,
 		Quarantined:    refine.Quarantined,
+
+		EdgeIndexHits:         refine.EdgeIndexHits,
+		EdgeIndexSkippedEdges: refine.EdgeIndexSkippedEdges,
+		DirtyClearPixelsSaved: refine.DirtyClearPixelsSaved,
 	}
 }
 

@@ -38,6 +38,8 @@ func (c *Context) FillPolygon(p *geom.Polygon) {
 	y1 := clampInt(int(maxY)+1, 0, h-1)
 
 	var xs []float64
+	// Written bounds for the dirty-region tracking.
+	wx0, wx1, wy0, wy1 := w, -1, h, -1
 	for cy := y0; cy <= y1; cy++ {
 		yc := float64(cy) + 0.5
 		xs = xs[:0]
@@ -78,6 +80,10 @@ func (c *Context) FillPolygon(p *geom.Polygon) {
 			if cx1 < cx0 {
 				continue
 			}
+			wx0 = min(wx0, cx0)
+			wx1 = max(wx1, cx1)
+			wy0 = min(wy0, cy)
+			wy1 = max(wy1, cy)
 			if c.orBits != 0 {
 				bits := int32(c.orBits)
 				for cx := cx0; cx <= cx1; cx++ {
@@ -90,5 +96,8 @@ func (c *Context) FillPolygon(p *geom.Polygon) {
 			}
 			c.PixelsWritten += int64(cx1 - cx0 + 1)
 		}
+	}
+	if wx1 >= wx0 {
+		c.color.MarkDirty(wx0, wy0, wx1, wy1)
 	}
 }

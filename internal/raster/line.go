@@ -110,6 +110,8 @@ func (c *Context) drawCapsule(a, b geom.Point, hw float64) {
 	orMode := c.orBits != 0
 	bits := int32(c.orBits)
 	fh = float64(h) // h may have been swapped by the transpose
+	// Written bounds in loop coordinates, for the dirty-region tracking.
+	wc0, wc1, wr0, wr1 := x1+1, x0-1, h, -1
 	for cx := x0; cx <= x1; cx++ {
 		// Segment y-extent over the column's x-interval clamped to the
 		// segment's x-range; cap columns clamp to the nearest endpoint.
@@ -145,6 +147,18 @@ func (c *Context) drawCapsule(a, b geom.Point, hw float64) {
 		if yh < float64(h-1) {
 			cy1 = int(yh)
 		}
+		if cx < wc0 {
+			wc0 = cx
+		}
+		if cx > wc1 {
+			wc1 = cx
+		}
+		if cy0 < wr0 {
+			wr0 = cy0
+		}
+		if cy1 > wr1 {
+			wr1 = cy1
+		}
 		switch {
 		case orMode:
 			// Logical-operation path: OR the bit pattern into each pixel.
@@ -170,6 +184,14 @@ func (c *Context) drawCapsule(a, b geom.Point, hw float64) {
 			}
 		}
 		written += int64(cy1 - cy0 + 1)
+	}
+	if written > 0 {
+		if transposed {
+			// Loop columns walked the original y axis: pixel was (cy, cx).
+			c.color.MarkDirty(wr0, wc0, wr1, wc1)
+		} else {
+			c.color.MarkDirty(wc0, wr0, wc1, wr1)
+		}
 	}
 	c.PixelsWritten += written
 }
@@ -307,6 +329,8 @@ func (c *Context) drawCapsuleExact(a, b geom.Point, hw float64) {
 	x1 := clampInt(int(math.Floor(maxX))+1, 0, w-1)
 	y0 := clampInt(int(math.Floor(minY))-1, 0, h-1)
 	y1 := clampInt(int(math.Floor(maxY))+1, 0, h-1)
+	// Conservative dirty bound: every write below falls in this box.
+	c.color.MarkDirty(x0, y0, x1, y1)
 
 	accept := hw + 0.5          // cell inradius
 	reject := hw + math.Sqrt2/2 // cell circumradius
@@ -387,6 +411,7 @@ func (c *Context) DrawSegmentBasic(s geom.Segment) {
 	x1 := clampInt(int(math.Floor(math.Max(a.X, b.X)))+1, 0, w-1)
 	y0 := clampInt(int(math.Floor(math.Min(a.Y, b.Y)))-1, 0, h-1)
 	y1 := clampInt(int(math.Floor(math.Max(a.Y, b.Y)))+1, 0, h-1)
+	c.color.MarkDirty(x0, y0, x1, y1)
 	for cy := y0; cy <= y1; cy++ {
 		for cx := x0; cx <= x1; cx++ {
 			center := geom.Pt(float64(cx)+0.5, float64(cy)+0.5)

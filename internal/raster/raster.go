@@ -51,26 +51,105 @@ const MaxLineWidth = 10.0
 // following the OpenGL convention, a pixel at integer coordinates (x, y)
 // owns the unit square [x, x+1]×[y, y+1] and its center is at
 // (x+0.5, y+0.5).
+//
+// A Buffer tracks the dirty region — the bounding rectangle of pixels
+// written since the last Clear — so that Clear only has to zero what was
+// actually touched. The paper's protocol clears the window before every
+// pair test, but a test's edges typically cover a fraction of it; the
+// dirty-region clear turns the per-test clear cost from O(window area)
+// into O(pixels drawn). Writers that bypass Set (the package's own draw
+// loops) maintain the region via MarkDirty; the invariant is that every
+// nonzero pixel lies inside the dirty rectangle.
 type Buffer struct {
 	W, H int
 	Pix  []float32
+
+	// Dirty region, inclusive pixel bounds; empty when dx1 < dx0.
+	dx0, dy0, dx1, dy1 int
 }
 
 // NewBuffer allocates a zeroed W×H buffer.
 func NewBuffer(w, h int) *Buffer {
-	return &Buffer{W: w, H: h, Pix: make([]float32, w*h)}
+	b := &Buffer{W: w, H: h, Pix: make([]float32, w*h)}
+	b.resetDirty()
+	return b
 }
 
-// Clear sets every pixel to zero.
-func (b *Buffer) Clear() {
-	clear(b.Pix)
+func (b *Buffer) resetDirty() {
+	b.dx0, b.dy0, b.dx1, b.dy1 = b.W, b.H, -1, -1
+}
+
+// MarkDirty grows the dirty region to include the inclusive pixel
+// rectangle [x0, x1]×[y0, y1], clamped to the buffer. Callers that write
+// Pix directly must cover their writes with a MarkDirty call or the next
+// Clear may miss them.
+func (b *Buffer) MarkDirty(x0, y0, x1, y1 int) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= b.W {
+		x1 = b.W - 1
+	}
+	if y1 >= b.H {
+		y1 = b.H - 1
+	}
+	if x1 < x0 || y1 < y0 {
+		return
+	}
+	if x0 < b.dx0 {
+		b.dx0 = x0
+	}
+	if y0 < b.dy0 {
+		b.dy0 = y0
+	}
+	if x1 > b.dx1 {
+		b.dx1 = x1
+	}
+	if y1 > b.dy1 {
+		b.dy1 = y1
+	}
+}
+
+// MarkAllDirty marks the whole buffer dirty.
+func (b *Buffer) MarkAllDirty() { b.MarkDirty(0, 0, b.W-1, b.H-1) }
+
+// Clear sets every pixel to zero. Only the dirty region is actually
+// written; pixels outside it are already zero by the dirty-region
+// invariant.
+func (b *Buffer) Clear() { b.clearDirty() }
+
+// clearDirty zeroes the dirty region, resets it, and returns the number
+// of pixels zeroed (the savings relative to a full clear are
+// len(Pix) - zeroed).
+func (b *Buffer) clearDirty() (zeroed int64) {
+	if b.dx1 < b.dx0 {
+		return 0
+	}
+	if b.dx0 == 0 && b.dx1 == b.W-1 {
+		// Full-width rows: one contiguous span.
+		clear(b.Pix[b.dy0*b.W : (b.dy1+1)*b.W])
+	} else {
+		for y := b.dy0; y <= b.dy1; y++ {
+			row := y * b.W
+			clear(b.Pix[row+b.dx0 : row+b.dx1+1])
+		}
+	}
+	zeroed = int64(b.dx1-b.dx0+1) * int64(b.dy1-b.dy0+1)
+	b.resetDirty()
+	return zeroed
 }
 
 // At returns the value of pixel (x, y).
 func (b *Buffer) At(x, y int) float32 { return b.Pix[y*b.W+x] }
 
 // Set writes pixel (x, y).
-func (b *Buffer) Set(x, y int, v float32) { b.Pix[y*b.W+x] = v }
+func (b *Buffer) Set(x, y int, v float32) {
+	b.Pix[y*b.W+x] = v
+	b.MarkDirty(x, y, x, y)
+}
 
 // Context is a rendering context: the simulated graphics card's state
 // (current color, line width, viewport projection) plus its color and
@@ -95,6 +174,10 @@ type Context struct {
 	// Counters for the evaluation harness.
 	PixelsWritten int64 // cells colored by draw calls
 	SegmentsDrawn int64
+	// DirtyClearPixelsSaved counts pixels the dirty-region Clear did not
+	// have to zero (window area minus the dirty region, summed over
+	// clears) — the work the tracking saved versus full clears.
+	DirtyClearPixelsSaved int64
 
 	// Hook, when non-nil, is called with a site name ("raster.draw") once
 	// per rasterized primitive, before any buffer is touched. It exists
@@ -135,6 +218,10 @@ func (c *Context) Resize(w, h int) {
 	if n := w * h; n <= cap(c.color.Pix) {
 		c.color.W, c.color.H, c.color.Pix = w, h, c.color.Pix[:n]
 		c.accum.W, c.accum.H, c.accum.Pix = w, h, c.accum.Pix[:n]
+		// The dirty coordinates were tracked under the old geometry
+		// (row stride changed), so a full clear is the only safe reset.
+		c.color.MarkAllDirty()
+		c.accum.MarkAllDirty()
 		c.color.Clear()
 		c.accum.Clear()
 	} else {
@@ -206,8 +293,13 @@ func (c *Context) SetLineWidth(px float64) error {
 // LineWidth returns the current line width in pixels.
 func (c *Context) LineWidth() float64 { return c.lineWidth }
 
-// Clear zeroes the color buffer.
-func (c *Context) Clear() { c.color.Clear() }
+// Clear zeroes the color buffer. Only the region written since the last
+// clear is zeroed (see Buffer); the pixels skipped are added to the
+// DirtyClearPixelsSaved counter.
+func (c *Context) Clear() {
+	zeroed := c.color.clearDirty()
+	c.DirtyClearPixelsSaved += int64(len(c.color.Pix)) - zeroed
+}
 
 // ClearAccum zeroes the accumulation buffer.
 func (c *Context) ClearAccum() { c.accum.Clear() }
@@ -218,6 +310,7 @@ func (c *Context) AccumLoad(v float32) {
 	for i, p := range c.color.Pix {
 		c.accum.Pix[i] = p * v
 	}
+	c.accum.MarkAllDirty()
 }
 
 // AccumAdd adds the color buffer scaled by v into the accumulation buffer
@@ -226,6 +319,7 @@ func (c *Context) AccumAdd(v float32) {
 	for i, p := range c.color.Pix {
 		c.accum.Pix[i] += p * v
 	}
+	c.accum.MarkAllDirty()
 }
 
 // AccumReturn copies the accumulation buffer scaled by v back into the
@@ -234,6 +328,7 @@ func (c *Context) AccumReturn(v float32) {
 	for i, p := range c.accum.Pix {
 		c.color.Pix[i] = p * v
 	}
+	c.color.MarkAllDirty()
 }
 
 // MinMax returns the minimum and maximum values in the color buffer,
@@ -285,6 +380,7 @@ func (c *Context) AccumMaxAtLeast(threshold float32) bool {
 func (c *Context) ResetCounters() {
 	c.PixelsWritten = 0
 	c.SegmentsDrawn = 0
+	c.DirtyClearPixelsSaved = 0
 }
 
 // SetColorBits switches subsequent draw calls to OR the given bit pattern

@@ -48,6 +48,11 @@ type Metrics struct {
 	SWFallbacks atomic.Int64
 	Panics      atomic.Int64
 	Quarantined atomic.Int64
+
+	// Hot-path effectiveness counters (edge index and dirty-region clear).
+	EdgeIndexHits         atomic.Int64
+	EdgeIndexSkippedEdges atomic.Int64
+	DirtyClearPixelsSaved atomic.Int64
 }
 
 func newMetrics() *Metrics {
@@ -74,6 +79,9 @@ func (m *Metrics) observe(st query.Stats, status Status, dur time.Duration) {
 	m.SWFallbacks.Add(st.SWFallbacks())
 	m.Panics.Add(st.Panics)
 	m.Quarantined.Add(st.Quarantined)
+	m.EdgeIndexHits.Add(st.EdgeIndexHits)
+	m.EdgeIndexSkippedEdges.Add(st.EdgeIndexSkippedEdges)
+	m.DirtyClearPixelsSaved.Add(st.DirtyClearPixelsSaved)
 }
 
 // WritePrometheus renders the counters in Prometheus exposition format.
@@ -98,4 +106,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, inFlight, layers int) {
 	g("spatiald_refine_sw_fallbacks_total", m.SWFallbacks.Load())
 	g("spatiald_refine_panics_total", m.Panics.Load())
 	g("spatiald_refine_quarantined_total", m.Quarantined.Load())
+	g("spatiald_refine_edge_index_hits_total", m.EdgeIndexHits.Load())
+	g("spatiald_refine_edge_index_skipped_edges_total", m.EdgeIndexSkippedEdges.Load())
+	g("spatiald_refine_dirty_clear_pixels_saved_total", m.DirtyClearPixelsSaved.Load())
 }

@@ -113,9 +113,18 @@ func edgesInRect(p *geom.Polygon, r geom.Rect) []geom.Segment {
 // r to dst. The loop tests the edge's bounding box first so edges far from
 // the common region cost four comparisons.
 func appendEdgesInRect(dst []geom.Segment, p *geom.Polygon, r geom.Rect) []geom.Segment {
+	return AppendEdgesInRange(dst, p, r, 0, len(p.Verts))
+}
+
+// AppendEdgesInRange appends the edges i in [lo, hi) of p that have at
+// least one point in r to dst, in chain order. It is the single edge
+// selection predicate shared by the linear scan and the edge index
+// (internal/edgeindex), which guarantees the two produce identical edge
+// sets: the index only decides which ranges to hand to this function.
+func AppendEdgesInRange(dst []geom.Segment, p *geom.Polygon, r geom.Rect, lo, hi int) []geom.Segment {
 	verts := p.Verts
 	n := len(verts)
-	for i := range n {
+	for i := lo; i < hi; i++ {
 		a := verts[i]
 		b := verts[0]
 		if i+1 < n {

@@ -23,6 +23,11 @@ type Sweeper struct {
 	events []event
 	nodes  []*node
 	arena  []node
+	// tree is the reusable status structure. Its comparator closure is
+	// bound to &st once on first use — binding a method value per call
+	// allocates, which the steady-state zero-allocation contract
+	// (core's AllocsPerRun tests) forbids.
+	tree rbtree
 
 	// Candidate-edge buffers for BoundariesIntersect.
 	redBuf, blueBuf []geom.Segment
@@ -85,7 +90,12 @@ func (sw *Sweeper) CrossIntersects(red, blue []geom.Segment) bool {
 	arena := sw.arena[:n]
 	arenaNext := 0
 
-	tree := rbtree{cmp: st.compare}
+	if sw.tree.cmp == nil {
+		sw.tree.cmp = st.compare
+	}
+	sw.tree.root = nil
+	sw.tree.size = 0
+	tree := &sw.tree
 
 	check := func(a, b *node) bool {
 		if a == nil || b == nil {

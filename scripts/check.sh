@@ -24,6 +24,23 @@ go run ./cmd/spatialbench -exp table2 -scale 0.02 -json "$BENCH_JSON" >/dev/null
 grep -q '"experiment"' "$BENCH_JSON" || { echo "no records in $BENCH_JSON"; exit 1; }
 rm -f "$BENCH_JSON"
 
+echo "== benchdiff smoke (committed baseline vs current run)"
+# Wall-clock deltas against a baseline recorded on another machine are
+# noise, so this only warns by default; set STRICT_BENCH=1 to make
+# regressions fatal (intended for same-machine baseline refreshes).
+if [ -f BENCH_baseline.json ]; then
+	if SCALE=0.01 scripts/benchdiff.sh BENCH_baseline.json; then
+		:
+	else
+		echo "benchdiff: wall-clock regressions vs committed baseline (warn-only; STRICT_BENCH=1 to enforce)"
+		if [ "${STRICT_BENCH:-0}" = "1" ]; then
+			exit 1
+		fi
+	fi
+else
+	echo "benchdiff: no BENCH_baseline.json, skipping"
+fi
+
 echo "== fuzz smoke (${FUZZTIME} each)"
 go test ./internal/data/ -fuzz FuzzDataRead -fuzztime "$FUZZTIME"
 go test ./internal/data/ -fuzz FuzzWKTParse -fuzztime "$FUZZTIME"
