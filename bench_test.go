@@ -251,6 +251,13 @@ func BenchmarkJoinLocality(b *testing.B) {
 			core.Config{Resolution: 8, SWThreshold: core.DefaultSWThreshold},
 			query.JoinOptions{},
 		},
+		{
+			// indexed with self-verification ablated: the delta against
+			// "indexed" is the sentinel + breaker overhead (bounded at 5%).
+			"indexed-nosentinel",
+			core.Config{Resolution: 8, SWThreshold: core.DefaultSWThreshold, SentinelEvery: -1},
+			query.JoinOptions{NoBreaker: true},
+		},
 	} {
 		b.Run("LANDC-LANDO/"+cfg.name, func(b *testing.B) {
 			b.ReportAllocs()

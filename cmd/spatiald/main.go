@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/server"
 )
@@ -40,32 +42,59 @@ func main() {
 	httpAddr := flag.String("http", ":7879", `HTTP listen address for /query, /metrics, /healthz ("" disables)`)
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent refinement-running queries (0 = GOMAXPROCS)")
 	queueWait := flag.Duration("queue-wait", 0, "how long an over-limit query may wait before the typed overload rejection")
+	maxQueue := flag.Int("max-queue", 0, "admission wait-queue bound; arrivals beyond it are shed with a retry-after hint (0 = 4x max-concurrent)")
 	maxLayers := flag.Int("max-layers", 64, "catalog layer limit")
 	timeout := flag.Duration("timeout", 0, "default per-query timeout seeded into each session (0 = none)")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-imposed ceiling on every query's wall-clock budget; sessions cannot escape it (0 = none)")
+	watchdogTimeout := flag.Duration("watchdog", 0, "stuck-query threshold: queries running longer are cancelled and their admission slots reclaimed (0 = disabled)")
+	sentinelEvery := flag.Int("sentinel-every", 0, "verify every Nth hardware-filter negative against the exact plane sweep (0 = default cadence, negative = disabled)")
 	budget := flag.Int("budget", 0, "default per-query MBR candidate budget (0 = unlimited)")
 	drain := flag.Duration("drain", 2*time.Second, "shutdown grace before in-flight queries are cancelled into partial results")
 	preload := flag.String("preload", "", "layers to generate at startup: name=DATASET:scale[,name=DATASET:scale...]")
+	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed; 0 derives one from the clock (the chosen seed is logged for reproduction)")
+	faultSpec := flag.String("faultspec", "", `arm fault injection: "site=kind:rate[,site=kind:rate...]" (e.g. "tester.hwfilter=wrong-answer:0.01")`)
 	quiet := flag.Bool("quiet", false, "suppress the per-command access log on stdout")
 	connect := flag.String("connect", "", "client mode: dial a running spatiald instead of serving")
 	exec := flag.String("e", "", `client mode: run these ";"-separated commands and exit (default: read stdin)`)
+	retries := flag.Int("retries", 3, "client mode: max retries per overloaded command (jittered exponential backoff honoring the server's retry-after hint)")
 	flag.Parse()
 
 	if *connect != "" {
-		os.Exit(runClient(*connect, *exec))
+		os.Exit(runClient(*connect, *exec, *retries))
 	}
 
 	cfg := server.Config{
-		Addr:           *addr,
-		HTTPAddr:       *httpAddr,
-		MaxConcurrent:  *maxConcurrent,
-		QueueWait:      *queueWait,
-		MaxLayers:      *maxLayers,
-		DefaultTimeout: *timeout,
-		DefaultBudget:  *budget,
-		DrainGrace:     *drain,
+		Addr:            *addr,
+		HTTPAddr:        *httpAddr,
+		MaxConcurrent:   *maxConcurrent,
+		QueueWait:       *queueWait,
+		MaxQueue:        *maxQueue,
+		MaxLayers:       *maxLayers,
+		DefaultTimeout:  *timeout,
+		QueryTimeout:    *queryTimeout,
+		WatchdogTimeout: *watchdogTimeout,
+		SentinelEvery:   *sentinelEvery,
+		DefaultBudget:   *budget,
+		DrainGrace:      *drain,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stdout
+	}
+	if *faultSpec != "" {
+		seed := *faultSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		inj, err := faultinject.ParseSpec(seed, *faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald: faultspec:", err)
+			os.Exit(1)
+		}
+		cfg.Faults = inj
+		// The full reproduction line: rerunning with exactly these flags
+		// replays the same fault schedule (injection is deterministic in
+		// the seed and per-site sequence numbers).
+		fmt.Fprintf(os.Stderr, "spatiald: fault injection armed: -faultseed=%d -faultspec=%q\n", seed, *faultSpec)
 	}
 	srv := server.New(cfg)
 	if err := preloadLayers(srv.Catalog(), *preload); err != nil {
@@ -126,9 +155,11 @@ func preloadLayers(cat *server.Catalog, spec string) error {
 }
 
 // runClient dials a spatiald, sends commands (from -e or stdin), and
-// prints each response through its status line. Exit code 1 reports any
-// command that ended in "error:".
-func runClient(addr, script string) int {
+// prints each response through its status line. Overloaded commands are
+// retried up to retries times with jittered exponential backoff, honoring
+// the server's "retry after <dur>" hint when one is present. Exit code 1
+// reports any command that ended in "error:".
+func runClient(addr, script string, retries int) int {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spatiald:", err)
@@ -143,31 +174,52 @@ func runClient(addr, script string) int {
 	}
 	w := bufio.NewWriter(conn)
 	failed := false
+	// exec1 sends one command and collects its framed response; ok is
+	// false when the connection died mid-exchange.
+	exec1 := func(line string) (lines []string, status string, ok bool) {
+		fmt.Fprintf(w, "%s\n", line)
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald:", err)
+			return nil, "", false
+		}
+		for rd.Scan() {
+			resp := rd.Text()
+			if resp == "ok" || strings.HasPrefix(resp, "partial:") || strings.HasPrefix(resp, "error:") {
+				return lines, resp, true
+			}
+			lines = append(lines, resp)
+		}
+		fmt.Fprintln(os.Stderr, "spatiald: connection closed mid-response")
+		return lines, "", false
+	}
 	run := func(line string) bool {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			return true
 		}
-		fmt.Fprintf(w, "%s\n", line)
-		if err := w.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "spatiald:", err)
-			failed = true
-			return false
-		}
-		for rd.Scan() {
-			resp := rd.Text()
-			fmt.Println(resp)
-			if resp == "ok" || strings.HasPrefix(resp, "partial:") {
-				return true
-			}
-			if strings.HasPrefix(resp, "error:") {
+		backoff := 250 * time.Millisecond
+		for attempt := 0; ; attempt++ {
+			lines, status, ok := exec1(line)
+			if !ok {
 				failed = true
-				return true
+				return false
 			}
+			if strings.HasPrefix(status, "error: overloaded") && attempt < retries {
+				d := retryDelay(status, &backoff)
+				fmt.Fprintf(os.Stderr, "spatiald: overloaded, retrying in %v (attempt %d/%d)\n",
+					d.Round(time.Millisecond), attempt+1, retries)
+				time.Sleep(d)
+				continue
+			}
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+			fmt.Println(status)
+			if strings.HasPrefix(status, "error:") {
+				failed = true
+			}
+			return true
 		}
-		fmt.Fprintln(os.Stderr, "spatiald: connection closed mid-response")
-		failed = true
-		return false
 	}
 	if script != "" {
 		for _, line := range strings.Split(script, ";") {
@@ -190,4 +242,23 @@ func runClient(addr, script string) int {
 		return 1
 	}
 	return 0
+}
+
+// retryDelay picks the next overload backoff: the exponential schedule
+// (doubling, capped at 10s) raised to the server's parsed "retry after"
+// hint when the hint is longer, then jittered by ±25% so a herd of
+// rejected clients does not retry in lockstep.
+func retryDelay(status string, backoff *time.Duration) time.Duration {
+	d := *backoff
+	*backoff *= 2
+	if *backoff > 10*time.Second {
+		*backoff = 10 * time.Second
+	}
+	if i := strings.LastIndex(status, "retry after "); i >= 0 {
+		if hint, err := time.ParseDuration(strings.TrimSpace(status[i+len("retry after "):])); err == nil && hint > d {
+			d = hint
+		}
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2 + 1))
+	return d*3/4 + jitter
 }

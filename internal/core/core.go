@@ -44,6 +44,14 @@ const (
 	// nearly all of the all-pairs win on the evaluation joins while keeping
 	// the worst-case cross test subquadratic.
 	DefaultCrossCutoff = 16384
+
+	// DefaultSentinelEvery re-checks one in this many hardware-filter
+	// negatives against the exact software test. Negatives are the only
+	// verdicts the engine takes on trust (every positive is confirmed by
+	// the exact test anyway), so sampling them buys a bounded-latency
+	// detector for a broken conservative-rasterization invariant at ~1.6%
+	// re-check overhead on the rejected population.
+	DefaultSentinelEvery = 64
 )
 
 // Config controls a Tester.
@@ -76,6 +84,16 @@ type Config struct {
 	// pre-edge-index behaviour the locality benchmarks use as baseline).
 	// Ignored when Software.Algorithm selects a specific algorithm.
 	CrossCutoff int
+	// SentinelEvery controls the sentinel verifier: every Nth hardware-
+	// filter negative is re-checked against the exact software test, and a
+	// disagreement trips the PairContext's circuit breaker. Zero means
+	// DefaultSentinelEvery; negative disables verification. The sample is
+	// a deterministic per-tester counter, so runs are reproducible.
+	SentinelEvery int
+	// SentinelRate adds a hash-sampled extra fraction (0–1) of negatives
+	// to the sentinel stream on top of the every-Nth picks, for callers
+	// that want denser verification without lockstep sampling.
+	SentinelRate float64
 	// Software selects the software segment-intersection algorithm.
 	Software sweep.Options
 	// Dist selects the software distance-test options.
@@ -97,6 +115,11 @@ type Stats struct {
 	HWRejects   int64 // rejected by the hardware filter
 	HWPassed    int64 // hardware inconclusive, decided by software
 	HWFallbacks int64 // distance only: line width over the hardware limit
+	// BreakerOpenSkips counts pair tests routed straight to the exact
+	// software path because the pair's circuit breaker was open (it joins
+	// the resolution partition: Tests == MBRRejects + PIPHits + SWDirect +
+	// HWRejects + HWPassed + HWFallbacks + BreakerOpenSkips).
+	BreakerOpenSkips int64
 
 	// Resilience accounting, filled by the parallel join's panic
 	// isolation (pair tests that fault are not part of the Tests
@@ -105,6 +128,15 @@ type Stats struct {
 	// software retry).
 	Panics      int64 // refinement panics recovered and retried in software
 	Quarantined int64 // pairs dropped because the software retry panicked too
+
+	// Sentinel verifier accounting. A disagreement is a hardware negative
+	// the exact test overturned: the pair is counted under HWPassed (it
+	// was, after all, decided by software) and the verdict corrected, so
+	// sampled pairs are always exact even before the breaker reacts.
+	SentinelChecks        int64 // hardware negatives re-checked in software
+	SentinelDisagreements int64 // negatives the exact test overturned
+	BreakerTrips          int64 // breaker transitions to open observed here
+	BreakerRecoveries     int64 // half-open probes that closed the breaker
 
 	// Edge-index effectiveness (see internal/edgeindex and PairContext).
 	EdgeIndexHits         int64 // pair tests that consulted at least one edge index
@@ -128,8 +160,13 @@ func (s *Stats) Add(other Stats) {
 	s.HWRejects += other.HWRejects
 	s.HWPassed += other.HWPassed
 	s.HWFallbacks += other.HWFallbacks
+	s.BreakerOpenSkips += other.BreakerOpenSkips
 	s.Panics += other.Panics
 	s.Quarantined += other.Quarantined
+	s.SentinelChecks += other.SentinelChecks
+	s.SentinelDisagreements += other.SentinelDisagreements
+	s.BreakerTrips += other.BreakerTrips
+	s.BreakerRecoveries += other.BreakerRecoveries
 	s.EdgeIndexHits += other.EdgeIndexHits
 	s.EdgeIndexSkippedEdges += other.EdgeIndexSkippedEdges
 	s.DirtyClearPixelsSaved += other.DirtyClearPixelsSaved
@@ -153,6 +190,9 @@ type Tester struct {
 	sweeper sweep.Sweeper
 	// distScratch reuses the software distance test's frontier buffers.
 	distScratch dist.Scratch
+	// sentinelSeq numbers this tester's hardware-filter negatives for the
+	// deterministic sentinel sample (see sentinelPick).
+	sentinelSeq uint64
 }
 
 // PairContext carries optional shared, read-only derived data for a pair
@@ -164,8 +204,14 @@ type Tester struct {
 // linear-scan behaviour; an index whose polygon does not match the tested
 // polygon is ignored. The indexes are immutable, so one PairContext may
 // be shared by concurrent workers.
+//
+// Breaker, when non-nil, is the layer pair's shared circuit breaker: the
+// tester consults it before using the hardware filter and reports
+// sentinel disagreements to it. Its state is atomic, so the same Breaker
+// travels in the PairContexts of every worker refining the pair.
 type PairContext struct {
 	PIndex, QIndex *edgeindex.Index
+	Breaker        *Breaker
 }
 
 // NewTester builds a Tester from cfg, applying defaults for zero fields.
@@ -241,21 +287,16 @@ func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
 	// index-collected) edge sets as the hardware path.
 	if t.ctx == nil || p.NumVerts()+q.NumVerts() <= t.cfg.SWThreshold {
 		t.Stats.SWDirect++
-		if t.cfg.Software.NoRestrictSearch {
-			// Ablation path: unrestricted candidate sets, no index use.
-			start := time.Now()
-			ok := t.sweeper.BoundariesIntersect(p, q, t.cfg.Software)
-			t.Stats.SWTime += time.Since(start)
-			return ok
-		}
-		red, blue := t.collectPair(p, q, p.Bounds().Intersection(q.Bounds()), pc)
-		if len(red) == 0 || len(blue) == 0 {
-			return false
-		}
-		start := time.Now()
-		ok := t.crossIntersects(red, blue)
-		t.Stats.SWTime += time.Since(start)
-		return ok
+		return t.softwareIntersects(p, q, pc)
+	}
+
+	// Circuit-breaker gate: an open breaker means a sentinel disagreement
+	// recently proved the hardware filter untrustworthy for this layer
+	// pair, so route the pair through the exact software path.
+	useHW, probe := pc.Breaker.Allow()
+	if !useHW {
+		t.Stats.BreakerOpenSkips++
+		return t.softwareIntersects(p, q, pc)
 	}
 
 	// The hardware and software steps both operate on the same restricted
@@ -263,6 +304,9 @@ func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
 	// participate in a boundary intersection.
 	red, blue := t.collectPair(p, q, p.Bounds().Intersection(q.Bounds()), pc)
 	if len(red) == 0 || len(blue) == 0 {
+		if probe {
+			pc.Breaker.ProbeAbort()
+		}
 		t.Stats.HWRejects++
 		return false
 	}
@@ -274,15 +318,98 @@ func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
 	overlap := t.hwOverlap(red, blue, 0)
 	t.Stats.HWTime += time.Since(start)
 	if overlap {
-		// Inconclusive: step 3, software segment intersection test.
+		// Inconclusive: step 3, software segment intersection test. The
+		// filter did not assert anything unverifiable, so a probe counts
+		// as a successful hardware round trip.
 		t.Stats.HWPassed++
+		if probe && pc.Breaker.ProbeSuccess() {
+			t.Stats.BreakerRecoveries++
+		}
 		start = time.Now()
 		ok := t.crossIntersects(red, blue)
 		t.Stats.SWTime += time.Since(start)
 		return ok
 	}
+	// A negative is the one verdict taken on trust. The sentinel verifier
+	// re-checks a deterministic sample (and every probe) against the exact
+	// test; a disagreement corrects the verdict and trips the breaker.
+	if t.sentinelPick(probe) {
+		t.Stats.SentinelChecks++
+		start = time.Now()
+		ok := t.crossIntersects(red, blue)
+		t.Stats.SWTime += time.Since(start)
+		if ok {
+			t.Stats.SentinelDisagreements++
+			t.Stats.HWPassed++
+			if pc.Breaker.Trip() {
+				t.Stats.BreakerTrips++
+			}
+			return true
+		}
+	}
+	if probe && pc.Breaker.ProbeSuccess() {
+		t.Stats.BreakerRecoveries++
+	}
 	t.Stats.HWRejects++
 	return false
+}
+
+// softwareIntersects decides an intersection test entirely in software on
+// the same (possibly index-collected) restricted edge sets the hardware
+// path would use. Shared by the SWThreshold fast path and the breaker's
+// degraded mode.
+func (t *Tester) softwareIntersects(p, q *geom.Polygon, pc PairContext) bool {
+	if t.cfg.Software.NoRestrictSearch {
+		// Ablation path: unrestricted candidate sets, no index use.
+		start := time.Now()
+		ok := t.sweeper.BoundariesIntersect(p, q, t.cfg.Software)
+		t.Stats.SWTime += time.Since(start)
+		return ok
+	}
+	red, blue := t.collectPair(p, q, p.Bounds().Intersection(q.Bounds()), pc)
+	if len(red) == 0 || len(blue) == 0 {
+		return false
+	}
+	start := time.Now()
+	ok := t.crossIntersects(red, blue)
+	t.Stats.SWTime += time.Since(start)
+	return ok
+}
+
+// sentinelPick decides whether a hardware-filter negative joins the
+// sentinel sample. Deterministic: a per-tester counter picks every
+// SentinelEvery-th negative, plus an optional hash-sampled extra fraction
+// (SentinelRate); half-open probes are always verified. The counter
+// starts at 1, so with the default cadence the first 63 negatives ride
+// unsampled — sampling bounds detection latency, not per-pair cost.
+func (t *Tester) sentinelPick(probe bool) bool {
+	t.sentinelSeq++
+	if probe {
+		return true
+	}
+	every := t.cfg.SentinelEvery
+	if every < 0 {
+		return false
+	}
+	if every == 0 {
+		every = DefaultSentinelEvery
+	}
+	if t.sentinelSeq%uint64(every) == 0 {
+		return true
+	}
+	if r := t.cfg.SentinelRate; r > 0 {
+		return float64(sentinelMix(t.sentinelSeq)>>11)/(1<<53) < r
+	}
+	return false
+}
+
+// sentinelMix is splitmix64, decorrelating the sequence counter for the
+// rate-based sentinel sample.
+func sentinelMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // collectPair gathers the candidate edges of p and q touching r into the
@@ -353,6 +480,13 @@ func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext
 		return t.softwareWithin(p, q, d)
 	}
 
+	// Circuit-breaker gate; see IntersectsCtx.
+	useHW, probe := pc.Breaker.Allow()
+	if !useHW {
+		t.Stats.BreakerOpenSkips++
+		return t.softwareWithin(p, q, d)
+	}
+
 	// Viewport: the MBR of the smaller object expanded by d (§3.2 projects
 	// "the expanded bounding rectangle of the smaller object"). If the
 	// pair is within d, the midpoint of the closest pair lies inside this
@@ -370,6 +504,11 @@ func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext
 	widthPx += 1e-9 * (1 + widthPx)
 	if widthPx > raster.MaxLineWidth {
 		// Hardware line-width limit (paper §4.4): fall back to software.
+		// No hardware verdict was produced, so a claimed probe is handed
+		// back for the next pair.
+		if probe {
+			pc.Breaker.ProbeAbort()
+		}
 		t.Stats.HWFallbacks++
 		return t.softwareWithin(p, q, d)
 	}
@@ -385,6 +524,9 @@ func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext
 	if len(red) == 0 || len(blue) == 0 {
 		// One boundary has no presence near the smaller object at all:
 		// with containment excluded the pair cannot be within d.
+		if probe {
+			pc.Breaker.ProbeAbort()
+		}
 		t.Stats.HWRejects++
 		return false
 	}
@@ -394,10 +536,32 @@ func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext
 	t.Stats.HWTime += time.Since(start)
 	if overlap {
 		t.Stats.HWPassed++
+		if probe && pc.Breaker.ProbeSuccess() {
+			t.Stats.BreakerRecoveries++
+		}
 		start = time.Now()
 		ok := t.softwareWithin(p, q, d)
 		t.Stats.SWTime += time.Since(start)
 		return ok
+	}
+	// Sentinel verification of the trusted negative, with the exact
+	// distance test as the oracle; see IntersectsCtx.
+	if t.sentinelPick(probe) {
+		t.Stats.SentinelChecks++
+		start = time.Now()
+		ok := t.softwareWithin(p, q, d)
+		t.Stats.SWTime += time.Since(start)
+		if ok {
+			t.Stats.SentinelDisagreements++
+			t.Stats.HWPassed++
+			if pc.Breaker.Trip() {
+				t.Stats.BreakerTrips++
+			}
+			return true
+		}
+	}
+	if probe && pc.Breaker.ProbeSuccess() {
+		t.Stats.BreakerRecoveries++
 	}
 	t.Stats.HWRejects++
 	return false

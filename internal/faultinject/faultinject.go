@@ -23,6 +23,8 @@ package faultinject
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -146,12 +148,26 @@ func New(seed int64) *Injector {
 	}
 }
 
+// Seed returns the seed every decision derives from. Harnesses log it at
+// startup so any observed run can be replayed exactly.
+func (in *Injector) Seed() int64 { return in.seed }
+
 // Inject arms a fault kind at a site with the given firing probability in
 // [0, 1]. Rate 1 fires on every call. Returns the injector for chaining.
 func (in *Injector) Inject(site string, kind Kind, rate float64) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.rules[site] = append(in.rules[site], rule{kind: kind, rate: rate})
+	return in
+}
+
+// Disarm removes every rule at the site, leaving its call counter intact
+// so later re-arming continues the same deterministic schedule. Recovery
+// tests use it to model a fault condition clearing.
+func (in *Injector) Disarm(site string) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, site)
 	return in
 }
 
@@ -258,6 +274,56 @@ func (in *Injector) check(site string, want Kind) bool {
 		panic(Panic{Site: site, Seq: seq})
 	}
 	return hit
+}
+
+// ParseSpec builds an injector from a single seed and a textual fault
+// specification of the form
+//
+//	site=kind:rate[,site=kind:rate...]
+//
+// e.g. "tester.hwfilter=wrong-answer:1,server.read=delay:0.05". Kind
+// names match Kind.String(). The whole schedule derives from the one
+// seed, which callers should log so runs are reproducible. An empty spec
+// yields an armed-nothing injector.
+func ParseSpec(seed int64, spec string) (*Injector, error) {
+	in := New(seed)
+	if spec == "" {
+		return in, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: bad spec entry %q: want site=kind:rate", part)
+		}
+		kindName, rateStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: bad spec entry %q: want site=kind:rate", part)
+		}
+		kind, err := parseKind(strings.TrimSpace(kindName))
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad spec entry %q: %w", part, err)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faultinject: bad rate in spec entry %q: want a number in [0,1]", part)
+		}
+		in.Inject(strings.TrimSpace(site), kind, rate)
+	}
+	return in, nil
+}
+
+// parseKind inverts Kind.String.
+func parseKind(name string) (Kind, error) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault kind %q (want panic, delay, wrong-answer or disconnect)", name)
 }
 
 // Hook adapts the injector to the raster package's hook field

@@ -1,6 +1,10 @@
 package query
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"time"
+)
 
 // BudgetError reports a query that failed fast because MBR filtering
 // produced more candidates than the configured budget allows — the guard
@@ -35,6 +39,34 @@ func (e *PartialError) Error() string {
 }
 
 func (e *PartialError) Unwrap() error { return e.Err }
+
+// DeadlineError reports a query that exhausted its wall-clock budget. It
+// is installed as the cancellation *cause* of deadline-governed contexts
+// (context.WithTimeoutCause), so it surfaces inside a PartialError's Err
+// chain with the budget that was exceeded, while still unwrapping to
+// context.DeadlineExceeded for callers matching on the standard sentinel.
+type DeadlineError struct {
+	Budget time.Duration // the wall-clock budget that was exhausted
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("query: wall-clock budget %v exhausted", e.Budget)
+}
+
+func (e *DeadlineError) Unwrap() error { return context.DeadlineExceeded }
+
+// ctxCause resolves the error a PartialError should carry for an
+// interrupted context: the cancellation cause when one was supplied (a
+// *DeadlineError from deadline governance, a watchdog's stuck-query
+// error), else the plain context error. Falling back matters: Cause
+// returns nil for a context that is not yet done, and equals Err() for
+// causeless cancellations, so this never loses the sentinel errors.
+func ctxCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}
 
 // cancelStride is how many refinement units are processed between context
 // checks on the serial paths — the "chunk granularity" of cancellation.

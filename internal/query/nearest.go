@@ -52,7 +52,7 @@ func KNearest(ctx context.Context, layer *Layer, q *geom.Polygon, k int, opt dis
 			return len(out) < k
 		})
 	if cancelled {
-		return out, &PartialError{Op: "knn", Done: len(out), Total: k, Err: ctx.Err()}
+		return out, &PartialError{Op: "knn", Done: len(out), Total: k, Err: ctxCause(ctx)}
 	}
 	return out, nil
 }

@@ -39,7 +39,7 @@ func OverlayAreaJoin(ctx context.Context, a, b *Layer, tester *core.Tester) ([]O
 		// justify a context check per pair rather than per stride.
 		if ctx.Err() != nil {
 			cost.GeometryComparison += time.Since(start)
-			return out, cost, &PartialError{Op: "overlay-join", Done: i, Total: len(pairs), Err: ctx.Err()}
+			return out, cost, &PartialError{Op: "overlay-join", Done: i, Total: len(pairs), Err: ctxCause(ctx)}
 		}
 		area := overlay.IntersectionArea(a.Data.Objects[pr.A], b.Data.Objects[pr.B])
 		out = append(out, OverlayPair{A: pr.A, B: pr.B, Area: area})

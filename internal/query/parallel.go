@@ -25,6 +25,9 @@ type ParallelOptions struct {
 	// and the outer-object candidate ordering / group-aligned sharding.
 	NoEdgeIndex     bool
 	NoLocalityOrder bool
+	// NoBreaker detaches the layer pair's circuit breaker; see
+	// SelectionOptions.NoBreaker.
+	NoBreaker bool
 }
 
 func (o ParallelOptions) workers() int {
@@ -65,7 +68,7 @@ func ParallelIntersectionJoin(ctx context.Context, a, b *Layer, opt ParallelOpti
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
 	return parallelRefine(ctx, col.items, opt, "parallel-join", func(t *core.Tester, pr Pair) bool {
 		return t.IntersectsCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
 	})
@@ -86,7 +89,7 @@ func ParallelWithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, opt
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
 	return parallelRefine(ctx, col.items, opt, "parallel-within-join", func(t *core.Tester, pr Pair) bool {
 		return t.WithinDistanceCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))
 	})
@@ -220,8 +223,8 @@ feed:
 		stats.Add(r.stats)
 		processed += r.processed
 	}
-	if err := ctx.Err(); err != nil {
-		return all, stats, &PartialError{Op: op, Done: processed, Total: len(candidates), Err: err}
+	if ctx.Err() != nil {
+		return all, stats, &PartialError{Op: op, Done: processed, Total: len(candidates), Err: ctxCause(ctx)}
 	}
 	return all, stats, nil
 }

@@ -48,6 +48,13 @@ type Layer struct {
 	// edgeIdx caches each object's immutable edge index, built lazily on
 	// first use and shared read-only by every worker (see EdgeIndex).
 	edgeIdx []atomic.Pointer[edgeindex.Index]
+
+	// breakers holds this layer's per-mate hardware-filter circuit
+	// breakers (see Breaker). The map is touched once per query to fetch
+	// the shared *core.Breaker; all per-pair traffic then goes through the
+	// breaker's own atomics.
+	breakerMu sync.Mutex
+	breakers  map[*Layer]*core.Breaker
 }
 
 // NewLayer bulk-loads an R-tree over the dataset's object MBRs.
@@ -88,6 +95,38 @@ func (l *Layer) EdgeIndex(id int) *edgeindex.Index {
 		return l.edgeIdx[id].Load()
 	}
 	return ix
+}
+
+// Breaker returns the circuit breaker guarding the hardware filter for
+// queries pairing this layer with other, creating a closed breaker with
+// the default cooldown on first use. The breaker is long-lived: it
+// persists across queries, so a sentinel disagreement in one join keeps
+// the hardware filter disabled for subsequent queries on the same pair
+// until a half-open probe verifies recovery. Selections use the layer
+// paired with itself (other == l). Safe for concurrent callers.
+func (l *Layer) Breaker(other *Layer) *core.Breaker {
+	l.breakerMu.Lock()
+	defer l.breakerMu.Unlock()
+	if l.breakers == nil {
+		l.breakers = map[*Layer]*core.Breaker{}
+	}
+	b := l.breakers[other]
+	if b == nil {
+		b = core.NewBreaker(0)
+		l.breakers[other] = b
+	}
+	return b
+}
+
+// SetBreaker installs a custom breaker (e.g. a shorter cooldown) for
+// queries pairing this layer with other, replacing any existing one.
+func (l *Layer) SetBreaker(other *Layer, b *core.Breaker) {
+	l.breakerMu.Lock()
+	defer l.breakerMu.Unlock()
+	if l.breakers == nil {
+		l.breakers = map[*Layer]*core.Breaker{}
+	}
+	l.breakers[other] = b
 }
 
 // Cost is the per-stage cost breakdown of one query, mirroring the cost
@@ -147,6 +186,10 @@ type SelectionOptions struct {
 	// MaxCandidates, when positive, aborts the selection with a
 	// *BudgetError if MBR filtering yields more candidates than this.
 	MaxCandidates int
+	// NoBreaker detaches the layer's circuit breaker from this query's
+	// pair tests: the hardware filter runs (and sentinel samples are
+	// taken) regardless of prior disagreements. Ablation/baseline knob.
+	NoBreaker bool
 }
 
 // collectBudget gathers MBR-filter output while enforcing a candidate
@@ -165,7 +208,7 @@ type collector[T any] struct {
 func (c *collector[T]) add(item T) bool {
 	c.visits++
 	if c.visits&1023 == 0 && c.ctx.Err() != nil {
-		c.err = &PartialError{Op: c.op, Done: 0, Total: len(c.items), Err: c.ctx.Err()}
+		c.err = &PartialError{Op: c.op, Done: 0, Total: len(c.items), Err: ctxCause(c.ctx)}
 		return false
 	}
 	if c.budget > 0 && len(c.items) >= c.budget {
@@ -223,14 +266,18 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 	// candidate test; the layer side reuses the per-object cached indexes.
 	start = time.Now()
 	qIdx := edgeindex.New(query)
+	var br *core.Breaker
+	if !opt.NoBreaker {
+		br = layer.Breaker(layer)
+	}
 	for i, id := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)
 			cost.Compared = i
 			cost.Results = len(results)
-			return results, cost, &PartialError{Op: "select", Done: i, Total: len(remaining), Err: ctx.Err()}
+			return results, cost, &PartialError{Op: "select", Done: i, Total: len(remaining), Err: ctxCause(ctx)}
 		}
-		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id)}
+		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id), Breaker: br}
 		if tester.IntersectsCtx(query, layer.Data.Objects[id], pc) {
 			results = append(results, id)
 		}
@@ -285,14 +332,18 @@ func WithinDistanceSelect(ctx context.Context, layer *Layer, query *geom.Polygon
 
 	start = time.Now()
 	qIdx := edgeindex.New(query)
+	var br *core.Breaker
+	if !opt.NoBreaker {
+		br = layer.Breaker(layer)
+	}
 	for i, id := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)
 			cost.Compared = i
 			cost.Results = len(results)
-			return results, cost, &PartialError{Op: "within-select", Done: i, Total: len(remaining), Err: ctx.Err()}
+			return results, cost, &PartialError{Op: "within-select", Done: i, Total: len(remaining), Err: ctxCause(ctx)}
 		}
-		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id)}
+		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id), Breaker: br}
 		if tester.WithinDistanceCtx(query, layer.Data.Objects[id], d, pc) {
 			results = append(results, id)
 		}
@@ -329,6 +380,9 @@ type JoinOptions struct {
 	// before refinement, leaving them in R-tree join emission order.
 	// Ablation knob for the locality benchmarks.
 	NoLocalityOrder bool
+	// NoBreaker detaches the layer pair's circuit breaker; see
+	// SelectionOptions.NoBreaker.
+	NoBreaker bool
 }
 
 // sortPairsByOuter orders candidate pairs by (A, B) so refinement visits
@@ -345,13 +399,19 @@ func sortPairsByOuter(pairs []Pair) {
 }
 
 // pairContexts returns a per-pair PairContext source for a join between
-// layers a and b, honoring the NoEdgeIndex ablation.
-func pairContexts(a, b *Layer, noIndex bool) func(Pair) core.PairContext {
+// layers a and b, honoring the NoEdgeIndex and NoBreaker ablations. All
+// contexts share the pair's breaker, so any worker's sentinel
+// disagreement degrades the whole join.
+func pairContexts(a, b *Layer, noIndex, noBreaker bool) func(Pair) core.PairContext {
+	var br *core.Breaker
+	if !noBreaker {
+		br = a.Breaker(b)
+	}
 	if noIndex {
-		return func(Pair) core.PairContext { return core.PairContext{} }
+		return func(Pair) core.PairContext { return core.PairContext{Breaker: br} }
 	}
 	return func(pr Pair) core.PairContext {
-		return core.PairContext{PIndex: a.EdgeIndex(pr.A), QIndex: b.EdgeIndex(pr.B)}
+		return core.PairContext{PIndex: a.EdgeIndex(pr.A), QIndex: b.EdgeIndex(pr.B), Breaker: br}
 	}
 }
 
@@ -405,14 +465,14 @@ func IntersectionJoinOpt(ctx context.Context, a, b *Layer, tester *core.Tester, 
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(remaining)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
 	var results []Pair
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)
 			cost.Compared = i
 			cost.Results = len(results)
-			return results, cost, &PartialError{Op: "join", Done: i, Total: len(remaining), Err: ctx.Err()}
+			return results, cost, &PartialError{Op: "join", Done: i, Total: len(remaining), Err: ctxCause(ctx)}
 		}
 		if tester.IntersectsCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr)) {
 			results = append(results, pr)
@@ -439,6 +499,9 @@ type DistanceFilterOptions struct {
 	// knobs, as in JoinOptions. They have no effect on selections.
 	NoEdgeIndex     bool
 	NoLocalityOrder bool
+	// NoBreaker detaches the layer pair's circuit breaker; see
+	// SelectionOptions.NoBreaker.
+	NoBreaker bool
 }
 
 // WithinDistanceJoin returns all pairs whose regions are within distance d
@@ -498,13 +561,13 @@ func WithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, tester *cor
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(remaining)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)
 			cost.Compared = i
 			cost.Results = len(results)
-			return results, cost, &PartialError{Op: "within-join", Done: i, Total: len(remaining), Err: ctx.Err()}
+			return results, cost, &PartialError{Op: "within-join", Done: i, Total: len(remaining), Err: ctxCause(ctx)}
 		}
 		if tester.WithinDistanceCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr)) {
 			results = append(results, pr)

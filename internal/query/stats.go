@@ -41,6 +41,13 @@ type Stats struct {
 	Panics      int64 `json:"panics"`
 	Quarantined int64 `json:"quarantined"`
 
+	// Sentinel verifier and circuit-breaker counters (see core.Stats).
+	SentinelChecks        int64 `json:"sentinel_checks"`
+	SentinelDisagreements int64 `json:"sentinel_disagreements"`
+	BreakerTrips          int64 `json:"breaker_trips"`
+	BreakerRecoveries     int64 `json:"breaker_recoveries"`
+	BreakerOpenSkips      int64 `json:"breaker_open_skips"`
+
 	// Edge-index and raster hot-path effectiveness counters.
 	EdgeIndexHits         int64 `json:"edge_index_hits"`
 	EdgeIndexSkippedEdges int64 `json:"edge_index_skipped_edges"`
@@ -69,6 +76,12 @@ func NewStats(op string, results int, cost Cost, refine core.Stats) Stats {
 		HWFallbacks:    refine.HWFallbacks,
 		Panics:         refine.Panics,
 		Quarantined:    refine.Quarantined,
+
+		SentinelChecks:        refine.SentinelChecks,
+		SentinelDisagreements: refine.SentinelDisagreements,
+		BreakerTrips:          refine.BreakerTrips,
+		BreakerRecoveries:     refine.BreakerRecoveries,
+		BreakerOpenSkips:      refine.BreakerOpenSkips,
 
 		EdgeIndexHits:         refine.EdgeIndexHits,
 		EdgeIndexSkippedEdges: refine.EdgeIndexSkippedEdges,

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/query"
@@ -42,7 +43,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.lim.inFlight(), s.catalog.Len())
+	s.metrics.WritePrometheus(w, Gauges{
+		Admission:       s.lim.snapshot(),
+		Layers:          s.catalog.Len(),
+		WatchdogActive:  s.dog.active(),
+		WatchdogCancels: s.dog.cancelCount(),
+	})
 }
 
 // handleQuery runs one command per request: the cmd string comes from a
@@ -84,6 +90,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			var oe *OverloadError
 			if errors.As(err, &oe) {
 				status = StatusOverload
+				if oe.RetryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
+				}
 			}
 			s.metrics.observe(st, status, time.Since(start))
 			s.logCommand(r.RemoteAddr, st, status, time.Since(start))
@@ -93,12 +102,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer s.lim.release()
 	}
 
-	// The command context follows both server shutdown (baseCtx) and the
-	// client going away (request context).
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	defer cancel()
-	stop := context.AfterFunc(r.Context(), cancel)
+	// The command context follows server shutdown (baseCtx), the client
+	// going away (request context), and — for query verbs — the session
+	// watchdog, whose stuck-query cause flows into the partial result.
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	defer cancel(nil)
+	stop := context.AfterFunc(r.Context(), func() { cancel(nil) })
 	defer stop()
+	if shellcmd.IsQuery(verb) && s.dog.enabled() {
+		id := s.dog.register(verb, cancel)
+		defer s.dog.deregister(id)
+	}
 
 	eng := s.newEngine()
 	var buf bytes.Buffer
@@ -123,10 +137,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		status = StatusPartial
 		resp.Status = string(StatusPartial)
 		resp.Error = res.Partial.Error()
+		s.metrics.observeFailure(res.Partial)
 	}
 	s.metrics.observe(st, status, dur)
 	s.logCommand(r.RemoteAddr, st, status, dur)
 	writeJSON(w, code, resp)
+}
+
+// retryAfterSeconds converts an OverloadError's backoff hint to the
+// whole-second Retry-After header value, rounding up so the header never
+// understates the hint (minimum 1s: a zero header means "retry now").
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -53,6 +54,26 @@ type Metrics struct {
 	EdgeIndexHits         atomic.Int64
 	EdgeIndexSkippedEdges atomic.Int64
 	DirtyClearPixelsSaved atomic.Int64
+
+	// Degradation and self-verification counters: sentinel re-checks of
+	// hardware-filter negatives, circuit-breaker state changes, pairs
+	// routed around an open breaker, and deadline-governed partials.
+	SentinelChecks        atomic.Int64
+	SentinelDisagreements atomic.Int64
+	BreakerTrips          atomic.Int64
+	BreakerRecoveries     atomic.Int64
+	BreakerOpenSkips      atomic.Int64
+	DeadlineExpirations   atomic.Int64
+}
+
+// Gauges carries the point-in-time values the server samples alongside
+// the Metrics counters when rendering /metrics: the limiter's admission
+// snapshot, catalog size, and the watchdog's registry.
+type Gauges struct {
+	Admission       AdmissionStats
+	Layers          int
+	WatchdogActive  int
+	WatchdogCancels int64
 }
 
 func newMetrics() *Metrics {
@@ -82,11 +103,29 @@ func (m *Metrics) observe(st query.Stats, status Status, dur time.Duration) {
 	m.EdgeIndexHits.Add(st.EdgeIndexHits)
 	m.EdgeIndexSkippedEdges.Add(st.EdgeIndexSkippedEdges)
 	m.DirtyClearPixelsSaved.Add(st.DirtyClearPixelsSaved)
+	m.SentinelChecks.Add(st.SentinelChecks)
+	m.SentinelDisagreements.Add(st.SentinelDisagreements)
+	m.BreakerTrips.Add(st.BreakerTrips)
+	m.BreakerRecoveries.Add(st.BreakerRecoveries)
+	m.BreakerOpenSkips.Add(st.BreakerOpenSkips)
+}
+
+// observeFailure classifies an interrupted command's error chain into the
+// degradation counters. Watchdog kills are counted at the watchdog itself;
+// here only deadline-governance expiries are folded in.
+func (m *Metrics) observeFailure(err error) {
+	if err == nil {
+		return
+	}
+	var de *query.DeadlineError
+	if errors.As(err, &de) {
+		m.DeadlineExpirations.Add(1)
+	}
 }
 
 // WritePrometheus renders the counters in Prometheus exposition format.
-// inFlight and layers are point-in-time gauges supplied by the server.
-func (m *Metrics) WritePrometheus(w io.Writer, inFlight, layers int) {
+// gauges carries the point-in-time values sampled by the server.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges Gauges) {
 	g := func(name string, v any) { fmt.Fprintf(w, "%s %v\n", name, v) }
 	g("spatiald_uptime_seconds", int64(time.Since(m.start).Seconds()))
 	g("spatiald_connections_accepted_total", m.ConnsAccepted.Load())
@@ -98,8 +137,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, inFlight, layers int) {
 	g(`spatiald_queries_total{status="error"}`, m.QueriesError.Load())
 	g(`spatiald_queries_total{status="overload"}`, m.Overloads.Load())
 	g("spatiald_query_seconds_total", float64(m.QueryNanos.Load())/float64(time.Second))
-	g("spatiald_queries_in_flight", inFlight)
-	g("spatiald_catalog_layers", layers)
+	g("spatiald_queries_in_flight", gauges.Admission.InFlight)
+	g("spatiald_admission_queued", gauges.Admission.Queued)
+	g("spatiald_admission_admitted_total", gauges.Admission.Admitted)
+	g("spatiald_admission_shed_total", gauges.Admission.Shed)
+	g("spatiald_admission_timeouts_total", gauges.Admission.Timeouts)
+	g("spatiald_admission_wait_seconds_total", float64(gauges.Admission.WaitNanos)/float64(time.Second))
+	g("spatiald_watchdog_active", gauges.WatchdogActive)
+	g("spatiald_watchdog_cancels_total", gauges.WatchdogCancels)
+	g("spatiald_deadline_expirations_total", m.DeadlineExpirations.Load())
+	g("spatiald_catalog_layers", gauges.Layers)
 	g("spatiald_refine_candidates_total", m.Candidates.Load())
 	g("spatiald_refine_tests_total", m.Tests.Load())
 	g("spatiald_refine_hw_rejects_total", m.HWRejects.Load())
@@ -109,4 +156,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, inFlight, layers int) {
 	g("spatiald_refine_edge_index_hits_total", m.EdgeIndexHits.Load())
 	g("spatiald_refine_edge_index_skipped_edges_total", m.EdgeIndexSkippedEdges.Load())
 	g("spatiald_refine_dirty_clear_pixels_saved_total", m.DirtyClearPixelsSaved.Load())
+	g("spatiald_sentinel_checks_total", m.SentinelChecks.Load())
+	g("spatiald_sentinel_disagreements_total", m.SentinelDisagreements.Load())
+	g("spatiald_breaker_trips_total", m.BreakerTrips.Load())
+	g("spatiald_breaker_recoveries_total", m.BreakerRecoveries.Load())
+	g("spatiald_breaker_open_skips_total", m.BreakerOpenSkips.Load())
 }

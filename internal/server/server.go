@@ -34,12 +34,30 @@ type Config struct {
 	// QueueWait is how long an over-limit query may wait for a slot
 	// before the typed overload rejection; 0 rejects immediately.
 	QueueWait time.Duration
+	// MaxQueue bounds the admission wait queue; arrivals beyond it are
+	// shed immediately with a retry-after hint. 0 means 4×MaxConcurrent
+	// (ignored when QueueWait is 0: no queue forms).
+	MaxQueue int
 	// MaxLayers bounds the shared catalog; 0 means 64.
 	MaxLayers int
 
 	// DefaultTimeout seeds each session's timeout setting (sessions may
 	// change it with the timeout command); 0 means none.
 	DefaultTimeout time.Duration
+	// QueryTimeout is the server-imposed ceiling on every query's
+	// wall-clock budget: sessions may set tighter timeouts but cannot
+	// escape it. Expiry yields partial results with a typed
+	// *query.DeadlineError. 0 means no ceiling.
+	QueryTimeout time.Duration
+	// WatchdogTimeout is the stuck-query threshold: a query running
+	// longer is cancelled by the session watchdog (cause
+	// *StuckQueryError) and its admission slot reclaimed. It should
+	// comfortably exceed QueryTimeout; 0 disables the watchdog.
+	WatchdogTimeout time.Duration
+	// SentinelEvery seeds every served tester's sentinel verification
+	// cadence (core.Config.SentinelEvery): 0 means the core default,
+	// negative disables verification.
+	SentinelEvery int
 	// DefaultBudget seeds each session's candidate budget; 0 means
 	// unlimited.
 	DefaultBudget int
@@ -68,6 +86,7 @@ type Server struct {
 	catalog *Catalog
 	lim     *limiter
 	metrics *Metrics
+	dog     *watchdog
 
 	// baseCtx parents every command context; cancelled to force
 	// in-flight queries into partial results during shutdown.
@@ -108,8 +127,9 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:      cfg,
 		catalog:  NewCatalog(cfg.MaxLayers),
-		lim:      newLimiter(cfg.MaxConcurrent, cfg.QueueWait),
+		lim:      newLimiter(cfg.MaxConcurrent, cfg.QueueWait, cfg.MaxQueue),
 		metrics:  newMetrics(),
+		dog:      newWatchdog(cfg.WatchdogTimeout),
 		baseCtx:  ctx,
 		cancel:   cancel,
 		conns:    map[net.Conn]struct{}{},
@@ -158,6 +178,13 @@ func (s *Server) Start() error {
 	s.started = true
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	if s.dog.enabled() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.dog.run(s.shutdown)
+		}()
+	}
 	return nil
 }
 
@@ -287,15 +314,16 @@ func (s *Server) newEngine() *shellcmd.Engine {
 	eng := &shellcmd.Engine{
 		Store: s.catalog,
 		Settings: shellcmd.Settings{
-			Timeout: s.cfg.DefaultTimeout,
-			Budget:  s.cfg.DefaultBudget,
+			Timeout:    s.cfg.DefaultTimeout,
+			MaxTimeout: s.cfg.QueryTimeout,
+			Budget:     s.cfg.DefaultBudget,
 		},
 	}
-	if inj := s.cfg.Faults; inj != nil {
+	if inj, every := s.cfg.Faults, s.cfg.SentinelEvery; inj != nil || every != 0 {
 		eng.NewTester = func(mode string) (*core.Tester, error) {
 			switch mode {
 			case "", "hw":
-				return core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold, Faults: inj}), nil
+				return core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold, SentinelEvery: every, Faults: inj}), nil
 			case "sw":
 				return core.NewTester(core.Config{DisableHardware: true, Faults: inj}), nil
 			default:

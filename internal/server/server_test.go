@@ -114,7 +114,7 @@ func TestCatalogConcurrentReadersAndWriters(t *testing.T) {
 }
 
 func TestLimiterOverload(t *testing.T) {
-	l := newLimiter(2, 0)
+	l := newLimiter(2, 0, 0)
 	ctx := context.Background()
 	if err := l.acquire(ctx); err != nil {
 		t.Fatal(err)
@@ -137,7 +137,7 @@ func TestLimiterOverload(t *testing.T) {
 }
 
 func TestLimiterBoundedWait(t *testing.T) {
-	l := newLimiter(1, 50*time.Millisecond)
+	l := newLimiter(1, 50*time.Millisecond, 0)
 	if err := l.acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -175,21 +175,44 @@ func TestMetricsPrometheus(t *testing.T) {
 	m.observe(query.Stats{Op: "select"}, StatusError, 0)
 	m.observe(query.Stats{Op: "pjoin"}, StatusOverload, 0)
 
+	m.observe(query.Stats{Op: "join", SentinelChecks: 7, SentinelDisagreements: 2,
+		BreakerTrips: 1, BreakerRecoveries: 1, BreakerOpenSkips: 40}, StatusOK, 0)
+	m.observeFailure(&query.PartialError{Op: "join", Err: &query.DeadlineError{Budget: time.Second}})
+
 	var sb strings.Builder
-	m.WritePrometheus(&sb, 2, 5)
+	m.WritePrometheus(&sb, Gauges{
+		Admission: AdmissionStats{InFlight: 2, Queued: 3, Admitted: 9, Shed: 4,
+			Timeouts: 1, WaitNanos: int64(time.Second / 2)},
+		Layers:          5,
+		WatchdogActive:  1,
+		WatchdogCancels: 6,
+	})
 	out := sb.String()
 	for _, want := range []string{
 		"spatiald_connections_accepted_total 3",
-		`spatiald_queries_total{status="ok"} 1`,
+		`spatiald_queries_total{status="ok"} 2`,
 		`spatiald_queries_total{status="partial"} 1`,
 		`spatiald_queries_total{status="error"} 1`,
 		`spatiald_queries_total{status="overload"} 1`,
-		"spatiald_commands_total 4",
+		"spatiald_commands_total 5",
 		"spatiald_queries_in_flight 2",
+		"spatiald_admission_queued 3",
+		"spatiald_admission_admitted_total 9",
+		"spatiald_admission_shed_total 4",
+		"spatiald_admission_timeouts_total 1",
+		"spatiald_admission_wait_seconds_total 0.5",
+		"spatiald_watchdog_active 1",
+		"spatiald_watchdog_cancels_total 6",
+		"spatiald_deadline_expirations_total 1",
 		"spatiald_catalog_layers 5",
 		"spatiald_refine_candidates_total 100",
 		"spatiald_refine_tests_total 80",
 		"spatiald_refine_hw_rejects_total 60",
+		"spatiald_sentinel_checks_total 7",
+		"spatiald_sentinel_disagreements_total 2",
+		"spatiald_breaker_trips_total 1",
+		"spatiald_breaker_recoveries_total 1",
+		"spatiald_breaker_open_skips_total 40",
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("missing metric line %q in:\n%s", want, out)
@@ -306,6 +329,24 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(body, "spatiald_catalog_layers 2") {
 		t.Errorf("metrics missing catalog gauge:\n%s", body)
+	}
+	// The degradation/governance metric families must always be exposed,
+	// even when zero, so dashboards and alerts can rely on their presence.
+	for _, name := range []string{
+		"spatiald_sentinel_checks_total",
+		"spatiald_sentinel_disagreements_total",
+		"spatiald_breaker_trips_total",
+		"spatiald_breaker_recoveries_total",
+		"spatiald_breaker_open_skips_total",
+		"spatiald_admission_queued",
+		"spatiald_admission_shed_total",
+		"spatiald_watchdog_active",
+		"spatiald_watchdog_cancels_total",
+		"spatiald_deadline_expirations_total",
+	} {
+		if !strings.Contains(body, name+" ") {
+			t.Errorf("metrics missing %s:\n%s", name, body)
+		}
 	}
 }
 

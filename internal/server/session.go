@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -105,13 +106,24 @@ func (s *Server) runCommand(eng *shellcmd.Engine, conn net.Conn, w *bufio.Writer
 		acquired = true
 	}
 	// The deferred release keeps a panicking Exec — contained by the
-	// session's recover — from leaking its admission slot.
+	// session's recover — from leaking its admission slot; the deferred
+	// deregister keeps the watchdog's registry consistent on every exit,
+	// including a watchdog kill itself (deregister tolerates the double
+	// removal).
 	var buf bytes.Buffer
 	res, err := func() (shellcmd.Result, error) {
 		if acquired {
 			defer s.lim.release()
 		}
-		return eng.Exec(s.baseCtx, line, &buf)
+		ctx := s.baseCtx
+		if acquired && s.dog.enabled() {
+			wctx, cancel := context.WithCancelCause(s.baseCtx)
+			defer cancel(nil)
+			id := s.dog.register(verb, cancel)
+			defer s.dog.deregister(id)
+			ctx = wctx
+		}
+		return eng.Exec(ctx, line, &buf)
 	}()
 
 	status, statusLine := StatusOK, "ok"
@@ -120,6 +132,7 @@ func (s *Server) runCommand(eng *shellcmd.Engine, conn net.Conn, w *bufio.Writer
 		status, statusLine = StatusError, "error: "+err.Error()
 	case res.Partial != nil:
 		status, statusLine = StatusPartial, "partial: "+res.Partial.Error()
+		s.metrics.observeFailure(res.Partial)
 	}
 	st := res.Stats
 	if st.Op == "" {

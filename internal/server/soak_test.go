@@ -1,0 +1,278 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+	"repro/internal/query"
+)
+
+// Chaos soak harness: a live spatiald under randomized faults and
+// concurrent clients, run as part of the ordinary test suite with a short
+// default budget and stretchable for dedicated soaks:
+//
+//	go test -race ./internal/server/ -run Soak -soakdur 10s
+//	go test ./internal/server/ -run Soak -faultseed 12345   # replay a run
+//
+// The harness asserts the degradation contract end to end:
+//   - benign faults (delays, panics, disconnects) never change any
+//     completed query's results — every "ok" join/select reports exactly
+//     the unfaulted count;
+//   - wrong-answer faults at the hardware filter are caught by the
+//     sentinel, trip the per-layer-pair breaker, and still never change a
+//     completed query's results;
+//   - after shutdown no goroutine, admission slot, queue entry, or
+//     watchdog registration leaks.
+var (
+	soakDur  = flag.Duration("soakdur", 2*time.Second, "wall-clock budget per soak phase")
+	soakSeed = flag.Int64("faultseed", 0, "soak fault-injection seed (0 = derive from the clock; the chosen seed is logged)")
+)
+
+// soakTruth is the unfaulted ground truth the soak checks every completed
+// response against.
+type soakTruth struct {
+	join   int
+	sel    int
+	selWKT string
+}
+
+func TestSoak(t *testing.T) {
+	seed := *soakSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	t.Logf("soak: -soakdur=%v -faultseed=%d (rerun with these flags to reproduce)", *soakDur, seed)
+
+	t.Run("BenignFaults", func(t *testing.T) {
+		// Delays, quarantined panics, and wire disconnects — every fault
+		// class the engine claims to absorb without changing answers.
+		inj := faultinject.New(seed).
+			Inject(faultinject.SiteIntersects, faultinject.KindDelay, 0.02).
+			Inject(faultinject.SiteRenderDraw, faultinject.KindPanic, 0.005).
+			Inject(faultinject.SiteServerRead, faultinject.KindDelay, 0.05).
+			Inject(faultinject.SiteServerWrite, faultinject.KindDisconnect, 0.005).
+			SetDelay(200 * time.Microsecond)
+		s := runSoakPhase(t, seed, inj)
+		if got := s.Metrics().SentinelDisagreements.Load(); got != 0 {
+			t.Errorf("benign faults produced %d sentinel disagreements", got)
+		}
+		if got := s.Metrics().BreakerTrips.Load(); got != 0 {
+			t.Errorf("benign faults tripped the breaker %d times", got)
+		}
+	})
+
+	t.Run("WrongAnswerFaults", func(t *testing.T) {
+		// The hardware filter lies on ~5% of verdicts. The sentinel (cadence
+		// 1 in this server) must catch every flipped negative, trip the
+		// breaker, and keep all completed counts exact.
+		inj := faultinject.New(seed).
+			Inject(faultinject.SiteHWFilter, faultinject.KindWrongAnswer, 0.05).
+			Inject(faultinject.SiteServerWrite, faultinject.KindDisconnect, 0.005)
+		s := runSoakPhase(t, seed, inj)
+		m := s.Metrics()
+		if m.SentinelChecks.Load() == 0 {
+			t.Error("sentinel never ran")
+		}
+		if m.SentinelDisagreements.Load() == 0 {
+			t.Error("sentinel caught no disagreements despite wrong-answer faults")
+		}
+		if m.BreakerTrips.Load() == 0 {
+			t.Error("breaker never tripped despite sentinel disagreements")
+		}
+	})
+}
+
+// runSoakPhase runs one soak phase to completion — server up, concurrent
+// clients hammering it with a mixed workload until the budget elapses,
+// server drained — asserting result parity throughout and zero leaks at
+// the end. It returns the (stopped) server so phases can inspect metrics.
+func runSoakPhase(t *testing.T, seed int64, inj *faultinject.Injector) *Server {
+	baseline := runtime.NumGoroutine()
+	s := New(Config{
+		Addr:            "127.0.0.1:0",
+		MaxConcurrent:   4,
+		QueueWait:       500 * time.Millisecond,
+		MaxQueue:        8,
+		QueryTimeout:    10 * time.Second,
+		WatchdogTimeout: 20 * time.Second,
+		SentinelEvery:   1,
+		Faults:          inj,
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	water, prism := preload(t, s)
+	truth := soakTruth{
+		join:   directJoinCount(t, water, prism),
+		selWKT: e2eQueryWKT,
+	}
+	truth.sel = directSelectCount(t, water)
+
+	const clients = 6
+	deadline := time.Now().Add(*soakDur)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*4)
+	var completed, redials atomic.Int64
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			soakClient(s.Addr().String(), rand.New(rand.NewSource(seed+int64(i))), deadline, truth, errs, &completed, &redials)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := completed.Load(); n == 0 {
+		t.Error("soak completed zero queries")
+	} else {
+		t.Logf("soak phase: %d queries completed, %d redials after injected disconnects", n, redials.Load())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := s.lim.inFlight(); got != 0 {
+		t.Errorf("admission slots leaked: inFlight=%d", got)
+	}
+	if got := s.lim.queued(); got != 0 {
+		t.Errorf("queue entries leaked: queued=%d", got)
+	}
+	if got := s.dog.active(); got != 0 {
+		t.Errorf("watchdog registrations leaked: active=%d", got)
+	}
+	waitGoroutines(t, baseline)
+	return s
+}
+
+// directSelectCount computes the unfaulted selection ground truth over
+// the soak query window, matching the shell's select options.
+func directSelectCount(t *testing.T, l *query.Layer) int {
+	t.Helper()
+	q, err := geom.ParsePolygonWKT(e2eQueryWKT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := query.IntersectionSelect(context.Background(), l, q,
+		core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold}),
+		query.SelectionOptions{InteriorLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ids)
+}
+
+// soakClient hammers the server with a randomized command mix until the
+// deadline, checking every completed response against the ground truth.
+// Injected disconnects are survived by redialing; overloads, partials and
+// shutdown errors are accepted outcomes.
+func soakClient(addr string, rng *rand.Rand, deadline time.Time, truth soakTruth, errs chan<- error, completed, redials *atomic.Int64) {
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default: // enough failures reported already
+		}
+	}
+	var c *wireClient
+	dial := func() bool {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			fail("soak dial: %v", err)
+			return false
+		}
+		nc := &wireClient{conn: conn, r: bufio.NewReader(conn)}
+		if _, err := nc.r.ReadString('\n'); err != nil {
+			conn.Close()
+			return false // server draining or injected accept fault; retry
+		}
+		c = nc
+		return true
+	}
+	if !dial() {
+		return
+	}
+	defer func() { c.conn.Close() }()
+
+	commands := []struct {
+		cmd   string
+		count string // Sscanf format extracting the result count; "" skips
+		want  int
+	}{
+		{"join water prism hw", "join: %d results", truth.join},
+		{"join water prism sw", "join: %d results", truth.join},
+		{"pjoin water prism 2", "pjoin: %d results", truth.join},
+		{fmt.Sprintf("select water %s", truth.selWKT), "select: %d results", truth.sel},
+		{"layers", "", 0},
+		{"stats water", "", 0},
+	}
+	for time.Now().Before(deadline) {
+		pick := commands[rng.Intn(len(commands))]
+		if err := c.send(pick.cmd); err != nil {
+			c.conn.Close()
+			redials.Add(1)
+			if !dial() {
+				return
+			}
+			continue
+		}
+		lines, status, err := c.readResponse()
+		if err != nil {
+			// Injected mid-response disconnect: reconnect and carry on.
+			c.conn.Close()
+			redials.Add(1)
+			if !dial() {
+				return
+			}
+			continue
+		}
+		switch {
+		case status == "ok":
+			if pick.count != "" {
+				found := false
+				for _, l := range lines {
+					var n int
+					if _, serr := fmt.Sscanf(l, pick.count, &n); serr == nil {
+						found = true
+						if n != pick.want {
+							fail("soak parity: %q returned %d results, want %d (status %q)", pick.cmd, n, pick.want, status)
+						}
+						break
+					}
+				}
+				if !found {
+					fail("soak: %q ok response missing count line (lines %q)", pick.cmd, lines)
+				}
+			}
+			completed.Add(1)
+		case strings.HasPrefix(status, "partial:"):
+			// Interrupted queries are a legitimate outcome; their (partial)
+			// counts are not checked.
+		case strings.HasPrefix(status, "error: overloaded"),
+			strings.HasPrefix(status, "error: shutting down"):
+			// Admission rejection under load, or the phase ending.
+		case strings.HasPrefix(status, "error:"):
+			fail("soak: %q -> unexpected %q", pick.cmd, status)
+		default:
+			fail("soak: %q -> unrecognized status %q", pick.cmd, status)
+		}
+	}
+	_ = c.send("quit")
+	_, _, _ = c.readResponse()
+}

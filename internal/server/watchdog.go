@@ -1,0 +1,138 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StuckQueryError is the cancellation cause a watchdog installs when it
+// kills a query that exceeded the stuck threshold — typically a query
+// stalled by injected delays, a pathological geometry, or a session whose
+// client vanished without closing. It unwraps to context.Canceled so the
+// query winds down through the ordinary partial-result path.
+type StuckQueryError struct {
+	Op  string        // the command verb that stalled
+	Age time.Duration // how long it had been running when killed
+}
+
+func (e *StuckQueryError) Error() string {
+	return fmt.Sprintf("server: watchdog cancelled stuck %s query after %v", e.Op, e.Age)
+}
+
+func (e *StuckQueryError) Unwrap() error { return context.Canceled }
+
+// watchdog tracks in-flight queries and cancels any that run longer than
+// the stuck threshold. It is the backstop *behind* deadline governance:
+// deadlines bound well-behaved queries cooperatively, while the watchdog
+// reaps queries whose deadline was unset or whose wind-down itself
+// stalled, and guarantees their admission slots are returned.
+type watchdog struct {
+	timeout time.Duration
+
+	mu      sync.Mutex
+	seq     int64
+	running map[int64]*watchedQuery
+
+	cancels atomic.Int64
+}
+
+type watchedQuery struct {
+	op      string
+	started time.Time
+	cancel  context.CancelCauseFunc
+}
+
+// newWatchdog builds a watchdog with the given stuck threshold; zero or
+// negative disables it (register becomes a cheap no-op pair).
+func newWatchdog(timeout time.Duration) *watchdog {
+	return &watchdog{timeout: timeout, running: map[int64]*watchedQuery{}}
+}
+
+func (w *watchdog) enabled() bool { return w != nil && w.timeout > 0 }
+
+// register tracks one starting query; the returned id must be handed back
+// to deregister when the query completes (normally or not).
+func (w *watchdog) register(op string, cancel context.CancelCauseFunc) int64 {
+	if !w.enabled() {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	w.running[w.seq] = &watchedQuery{op: op, started: time.Now(), cancel: cancel}
+	return w.seq
+}
+
+func (w *watchdog) deregister(id int64) {
+	if !w.enabled() || id == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.running, id)
+}
+
+// scan cancels every tracked query older than the threshold, reporting
+// how many it killed. Cancellation is by cause: the query observes a
+// *StuckQueryError and returns partial results; its deferred release and
+// deregister run as usual, so no slot can leak.
+func (w *watchdog) scan(now time.Time) int {
+	if !w.enabled() {
+		return 0
+	}
+	w.mu.Lock()
+	var overdue []*watchedQuery
+	for id, q := range w.running {
+		if now.Sub(q.started) > w.timeout {
+			overdue = append(overdue, q)
+			delete(w.running, id) // one kill per query; deregister tolerates the double delete
+		}
+	}
+	w.mu.Unlock()
+	for _, q := range overdue {
+		q.cancel(&StuckQueryError{Op: q.op, Age: now.Sub(q.started)})
+		w.cancels.Add(1)
+	}
+	return len(overdue)
+}
+
+// active reports the tracked in-flight query count.
+func (w *watchdog) active() int {
+	if !w.enabled() {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.running)
+}
+
+// cancelCount reports the total queries the watchdog has killed.
+func (w *watchdog) cancelCount() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.cancels.Load()
+}
+
+// run ticks the watchdog until stop closes. The scan interval is a
+// quarter of the threshold (floored at a millisecond), bounding detection
+// latency to ~1.25× the threshold.
+func (w *watchdog) run(stop <-chan struct{}) {
+	interval := w.timeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			w.scan(now)
+		case <-stop:
+			return
+		}
+	}
+}

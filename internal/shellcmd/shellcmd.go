@@ -72,8 +72,24 @@ func (m MapStore) Names() []string {
 type Settings struct {
 	// Timeout bounds each query; zero means none.
 	Timeout time.Duration
+	// MaxTimeout is a server-imposed ceiling on the effective per-query
+	// wall-clock budget: sessions may lower their timeout below it but
+	// not escape it (zero means no ceiling). The effective budget is
+	// min(Timeout, MaxTimeout), with zero Timeout meaning "just the
+	// ceiling".
+	MaxTimeout time.Duration
 	// Budget caps MBR-filter candidates per query; zero means unlimited.
 	Budget int
+}
+
+// EffectiveTimeout resolves the session timeout against the server
+// ceiling; zero means unbounded.
+func (s Settings) EffectiveTimeout() time.Duration {
+	d := s.Timeout
+	if s.MaxTimeout > 0 && (d == 0 || d > s.MaxTimeout) {
+		d = s.MaxTimeout
+	}
+	return d
 }
 
 // Result reports what one executed command did, in the uniform serving
@@ -279,7 +295,11 @@ func (e *Engine) setTimeout(args []string, out io.Writer) (Result, error) {
 		return Result{}, fmt.Errorf("bad duration %q", args[0])
 	}
 	e.Settings.Timeout = d
-	fmt.Fprintf(out, "timeout %v\n", d)
+	if m := e.Settings.MaxTimeout; m > 0 && (d == 0 || d > m) {
+		fmt.Fprintf(out, "timeout %v (capped at server limit %v)\n", d, m)
+	} else {
+		fmt.Fprintf(out, "timeout %v\n", d)
+	}
 	return Result{Stats: query.Stats{Op: "timeout"}, Mutation: true}, nil
 }
 
@@ -301,10 +321,13 @@ func (e *Engine) setBudget(args []string, out io.Writer) (Result, error) {
 	return Result{Stats: query.Stats{Op: "budget"}, Mutation: true}, nil
 }
 
-// qctx derives the per-query context from the session's timeout setting.
+// qctx derives the per-query context from the session's timeout setting
+// capped by the server ceiling. Deadline expiry is attributed to a typed
+// *query.DeadlineError cause, so partial results distinguish "ran out of
+// budget" from an operator cancellation.
 func (e *Engine) qctx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if e.Settings.Timeout > 0 {
-		return context.WithTimeout(ctx, e.Settings.Timeout)
+	if d := e.Settings.EffectiveTimeout(); d > 0 {
+		return context.WithTimeoutCause(ctx, d, &query.DeadlineError{Budget: d})
 	}
 	return context.WithCancel(ctx)
 }

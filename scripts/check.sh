@@ -18,6 +18,13 @@ go test -race ./...
 echo "== spatiald e2e (concurrent clients, drain, fault containment)"
 go test -race -count 1 ./internal/server/ -run 'TestE2EConcurrentClients|TestShutdownDrainsPartialResults|TestFault'
 
+echo "== spatiald chaos mini-soak (10s, randomized faults, -race)"
+# Two phases of ~SOAKDUR each: benign faults must keep every completed
+# result bit-identical; wrong-answer faults must trip the breaker via the
+# sentinel while results stay exact. The seed is logged for replay.
+SOAKDUR="${SOAKDUR:-10s}"
+go test -race -count 1 ./internal/server/ -run TestSoak -soakdur "$SOAKDUR"
+
 echo "== spatialbench -json smoke"
 BENCH_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 go run ./cmd/spatialbench -exp table2 -scale 0.02 -json "$BENCH_JSON" >/dev/null
