@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16,hull,locality or all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16,hull,locality,coldstart or all")
 	scale := flag.Float64("scale", experiments.DefaultScale,
 		"dataset scale in (0,1]: fraction of the paper's object counts")
 	timeout := flag.Duration("timeout", 0,
@@ -77,7 +77,7 @@ func main() {
 		defer cancel()
 		r.Ctx = ctx
 	}
-	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull", "locality"}
+	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull", "locality", "coldstart"}
 	want := map[string]bool{}
 	if *exp == "all" {
 		for _, e := range all {
@@ -102,6 +102,9 @@ func main() {
 		"hull":   func() []experiments.BenchRecord { return experiments.HullRecords(r.ExtraHull(), sc) },
 		"locality": func() []experiments.BenchRecord {
 			return experiments.LocalityRecords(r.ExtraLocality(), sc)
+		},
+		"coldstart": func() []experiments.BenchRecord {
+			return experiments.ColdstartRecords(r.Coldstart(), sc)
 		},
 	}
 	var records []experiments.BenchRecord

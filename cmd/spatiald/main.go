@@ -26,6 +26,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -51,6 +54,7 @@ func main() {
 	budget := flag.Int("budget", 0, "default per-query MBR candidate budget (0 = unlimited)")
 	drain := flag.Duration("drain", 2*time.Second, "shutdown grace before in-flight queries are cancelled into partial results")
 	preload := flag.String("preload", "", "layers to generate at startup: name=DATASET:scale[,name=DATASET:scale...]")
+	dataDir := flag.String("data", "", "snapshot directory: every *.snap inside is loaded at startup (layer name = file basename), and sessions' save/load resolve bare names here")
 	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed; 0 derives one from the clock (the chosen seed is logged for reproduction)")
 	faultSpec := flag.String("faultspec", "", `arm fault injection: "site=kind:rate[,site=kind:rate...]" (e.g. "tester.hwfilter=wrong-answer:0.01")`)
 	quiet := flag.Bool("quiet", false, "suppress the per-command access log on stdout")
@@ -75,6 +79,7 @@ func main() {
 		WatchdogTimeout: *watchdogTimeout,
 		SentinelEvery:   *sentinelEvery,
 		DefaultBudget:   *budget,
+		DataDir:         *dataDir,
 		DrainGrace:      *drain,
 	}
 	if !*quiet {
@@ -97,6 +102,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spatiald: fault injection armed: -faultseed=%d -faultspec=%q\n", seed, *faultSpec)
 	}
 	srv := server.New(cfg)
+	if err := loadSnapshots(srv.Catalog(), *dataDir); err != nil {
+		fmt.Fprintln(os.Stderr, "spatiald: data:", err)
+		os.Exit(1)
+	}
 	if err := preloadLayers(srv.Catalog(), *preload); err != nil {
 		fmt.Fprintln(os.Stderr, "spatiald: preload:", err)
 		os.Exit(1)
@@ -121,6 +130,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spatiald: shutdown:", err)
 		os.Exit(1)
 	}
+}
+
+// loadSnapshots warm-starts the catalog from a -data directory: every
+// *.snap file is opened (mmap-backed where the platform allows) and bound
+// under its basename before the listeners open. A corrupt snapshot is a
+// startup error — refusing to serve beats silently serving a partial
+// catalog.
+func loadSnapshots(cat *server.Catalog, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		s, err := store.Open(path, store.OpenOptions{})
+		if err != nil {
+			return err
+		}
+		l, err := query.NewLayerFromSnapshot(s)
+		if err != nil {
+			s.Close()
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".snap")
+		if err := cat.Set(name, l); err != nil {
+			s.Close()
+			return err
+		}
+		st := s.Stats()
+		fmt.Fprintf(os.Stderr, "spatiald: loaded %q from %s: %d objects, %d bytes, mmap=%v, %.1fms\n",
+			name, path, s.NumObjects(), st.Bytes, st.MMap, st.LoadMS)
+	}
+	return nil
 }
 
 // preloadLayers parses "name=DATASET:scale,..." and generates each layer

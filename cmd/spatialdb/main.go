@@ -3,11 +3,12 @@
 // within-distance joins and k-nearest-neighbor queries with software or
 // hardware-assisted refinement.
 //
-//	$ spatialdb
+//	$ spatialdb -data ./snapshots
 //	> gen water WATER 0.02
-//	> gen prism PRISM 0.02
-//	> join water prism hw
-//	> within water prism 20 sw
+//	> save water water          # binary snapshot under -data (indexes + signatures)
+//	> load warm water           # mmap-backed warm start from the snapshot
+//	> join warm water hw
+//	> within water warm 20 sw
 //	> knn water POLYGON ((200 150, 220 150, 220 170, 200 170)) 5
 //	> help
 //
@@ -20,6 +21,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -28,7 +30,9 @@ import (
 )
 
 func main() {
-	eng := &shellcmd.Engine{Store: shellcmd.MapStore{}}
+	dataDir := flag.String("data", "", "snapshot directory: save/load resolve bare snapshot names here")
+	flag.Parse()
+	eng := &shellcmd.Engine{Store: shellcmd.MapStore{}, DataDir: *dataDir}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	sc := bufio.NewScanner(os.Stdin)

@@ -181,7 +181,7 @@ func TestSentinelTripsAndRecovers(t *testing.T) {
 
 	// Partition invariant still holds with the new bucket.
 	s := tester.Stats
-	sum := s.MBRRejects + s.PIPHits + s.SWDirect + s.HWRejects + s.HWPassed + s.HWFallbacks + s.BreakerOpenSkips
+	sum := s.MBRRejects + s.PIPHits + s.SigRejects + s.SWDirect + s.HWRejects + s.HWPassed + s.HWFallbacks + s.BreakerOpenSkips
 	if s.Tests != sum {
 		t.Fatalf("stats partition broken: Tests=%d sum=%d (%+v)", s.Tests, sum, s)
 	}

@@ -117,9 +117,16 @@ type Stats struct {
 	HWFallbacks int64 // distance only: line width over the hardware limit
 	// BreakerOpenSkips counts pair tests routed straight to the exact
 	// software path because the pair's circuit breaker was open (it joins
-	// the resolution partition: Tests == MBRRejects + PIPHits + SWDirect +
-	// HWRejects + HWPassed + HWFallbacks + BreakerOpenSkips).
+	// the resolution partition: Tests == MBRRejects + PIPHits + SigRejects
+	// + SWDirect + HWRejects + HWPassed + HWFallbacks + BreakerOpenSkips).
 	BreakerOpenSkips int64
+
+	// Persisted-signature filter accounting (see raster.Signature and
+	// PairContext.PSig/QSig). A signature check runs after containment is
+	// excluded and before any rendering; a reject resolves the pair
+	// negative without touching the hardware filter or the software test.
+	SigChecks  int64 // pair tests that consulted both objects' signatures
+	SigRejects int64 // pairs resolved negative by signature disjointness
 
 	// Resilience accounting, filled by the parallel join's panic
 	// isolation (pair tests that fault are not part of the Tests
@@ -161,6 +168,8 @@ func (s *Stats) Add(other Stats) {
 	s.HWPassed += other.HWPassed
 	s.HWFallbacks += other.HWFallbacks
 	s.BreakerOpenSkips += other.BreakerOpenSkips
+	s.SigChecks += other.SigChecks
+	s.SigRejects += other.SigRejects
 	s.Panics += other.Panics
 	s.Quarantined += other.Quarantined
 	s.SentinelChecks += other.SentinelChecks
@@ -212,6 +221,14 @@ type Tester struct {
 type PairContext struct {
 	PIndex, QIndex *edgeindex.Index
 	Breaker        *Breaker
+
+	// PSig and QSig are the objects' precomputed conservative raster
+	// signatures (typically loaded from a store snapshot). When both are
+	// present and match the tested polygons' MBRs, a disjointness proof
+	// between them resolves the pair negative before any rendering; an
+	// inconclusive signature test changes nothing. Signatures are
+	// immutable and shared like the indexes.
+	PSig, QSig *raster.Signature
 }
 
 // NewTester builds a Tester from cfg, applying defaults for zero fields.
@@ -279,6 +296,13 @@ func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
 	if sweep.ContainmentPossible(p, q) {
 		t.Stats.PIPHits++
 		return true
+	}
+
+	// Persisted-signature filter: with containment excluded, the predicate
+	// reduces to a boundary intersection, which disjoint signatures refute
+	// outright — no rendering, no software test.
+	if t.sigReject(p, q, 0, pc) {
+		return false
 	}
 
 	// Adaptive threshold (§4.3): for simple pairs the fixed hardware
@@ -412,6 +436,28 @@ func sentinelMix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// sigReject consults the pair's persisted raster signatures and reports
+// whether they prove the boundaries cannot come within d of each other
+// (d = 0: cannot intersect). Callers must have excluded containment — a
+// contained pair has intersecting regions with arbitrarily distant
+// boundaries, which signatures cannot see. Signatures whose bounds do not
+// match the tested polygons (a mismatched PairContext) are ignored, like
+// a mismatched edge index.
+func (t *Tester) sigReject(p, q *geom.Polygon, d float64, pc PairContext) bool {
+	if !pc.PSig.Valid() || !pc.QSig.Valid() {
+		return false
+	}
+	if pc.PSig.Bounds != p.Bounds() || pc.QSig.Bounds != q.Bounds() {
+		return false
+	}
+	t.Stats.SigChecks++
+	if raster.SignaturesMayIntersect(pc.PSig, pc.QSig, d) {
+		return false
+	}
+	t.Stats.SigRejects++
+	return true
+}
+
 // collectPair gathers the candidate edges of p and q touching r into the
 // tester's scratch buffers, going through each side's edge index when the
 // PairContext carries one (blue is skipped when red comes back empty,
@@ -473,6 +519,13 @@ func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext
 	if sweep.ContainmentPossible(p, q) {
 		t.Stats.PIPHits++
 		return true
+	}
+
+	// Persisted-signature filter: with containment excluded, within-d
+	// reduces to the boundaries coming within d, which the signatures
+	// refute when their d-expanded cells are disjoint.
+	if t.sigReject(p, q, d, pc) {
+		return false
 	}
 
 	if t.ctx == nil || p.NumVerts()+q.NumVerts() <= t.cfg.SWThreshold {

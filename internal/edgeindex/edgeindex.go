@@ -144,3 +144,82 @@ func (ix *Index) walk(level, node int, r geom.Rect, dst []geom.Segment, examined
 
 // NumEdges returns the number of indexed edges.
 func (ix *Index) NumEdges() int { return ix.poly.NumEdges() }
+
+// levelSizes returns the per-level box counts New would produce for a
+// polygon with n edges (leaves first), or nil when n < MinIndexEdges. The
+// shape is fully determined by n, which is what lets the snapshot format
+// persist only the flattened boxes.
+func levelSizes(n int) []int {
+	if n < MinIndexEdges {
+		return nil
+	}
+	var sizes []int
+	for sz := (n + Fanout - 1) / Fanout; ; sz = (sz + Fanout - 1) / Fanout {
+		sizes = append(sizes, sz)
+		if sz == 1 {
+			return sizes
+		}
+	}
+}
+
+// FlatBoxCount returns the number of boxes FlatBoxes yields for a polygon
+// with n edges: 0 below MinIndexEdges, the total hierarchy size otherwise.
+// Snapshot readers use it to validate a persisted box column before
+// handing it to FromFlatBoxes.
+func FlatBoxCount(n int) int {
+	total := 0
+	for _, sz := range levelSizes(n) {
+		total += sz
+	}
+	return total
+}
+
+// FlatBoxes returns every hierarchy box concatenated leaves-first (the
+// order levelSizes describes), or nil for a non-indexed polygon. The
+// returned slice may alias the index's storage and must not be mutated.
+func (ix *Index) FlatBoxes() []geom.Rect {
+	if ix.levels == nil {
+		return nil
+	}
+	total := 0
+	for _, lvl := range ix.levels {
+		total += len(lvl)
+	}
+	flat := make([]geom.Rect, 0, total)
+	for _, lvl := range ix.levels {
+		flat = append(flat, lvl...)
+	}
+	return flat
+}
+
+// FromFlatBoxes rebuilds the index of p from boxes previously produced by
+// FlatBoxes. The level structure is derived from p's edge count; a length
+// mismatch (corrupt or mismatched snapshot data) returns ok=false and the
+// caller should fall back to New. Empty boxes with a small polygon is the
+// valid "not indexed" encoding. The boxes are trusted — callers establish
+// their integrity (e.g. by snapshot CRC) or accept pruning errors; the
+// shared selection predicate still bounds what edges can be returned, so
+// wrong boxes can only drop or keep edges, never fabricate them.
+func FromFlatBoxes(p *geom.Polygon, boxes []geom.Rect) (*Index, bool) {
+	sizes := levelSizes(p.NumEdges())
+	if sizes == nil {
+		if len(boxes) != 0 {
+			return nil, false
+		}
+		return &Index{poly: p}, true
+	}
+	total := 0
+	for _, sz := range sizes {
+		total += sz
+	}
+	if len(boxes) != total {
+		return nil, false
+	}
+	ix := &Index{poly: p, levels: make([][]geom.Rect, len(sizes))}
+	off := 0
+	for l, sz := range sizes {
+		ix.levels[l] = boxes[off : off+sz : off+sz]
+		off += sz
+	}
+	return ix, true
+}

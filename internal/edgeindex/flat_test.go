@@ -1,0 +1,66 @@
+package edgeindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestFlatBoxesRoundTrip pins FlatBoxes → FromFlatBoxes as an identity:
+// the rebuilt index answers every rectangle query with the exact edge set
+// and examined count of the original, across the indexed and non-indexed
+// size regimes.
+func TestFlatBoxesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{3, MinIndexEdges - 1, MinIndexEdges, 100, 1000, 5000} {
+		p := star(rng, 50, 50, 40, n)
+		orig := New(p)
+		flat := orig.FlatBoxes()
+		back, ok := FromFlatBoxes(p, flat)
+		if !ok {
+			t.Fatalf("n=%d: FromFlatBoxes rejected its own FlatBoxes", n)
+		}
+		if back.Indexed() != orig.Indexed() {
+			t.Fatalf("n=%d: indexedness changed: %v → %v", n, orig.Indexed(), back.Indexed())
+		}
+		for trial := 0; trial < 100; trial++ {
+			r := randRect(rng, p)
+			a, ea := orig.AppendEdgesInRect(nil, r)
+			b, eb := back.AppendEdgesInRect(nil, r)
+			if ea != eb || len(a) != len(b) {
+				t.Fatalf("n=%d rect %v: examined %d/%d edges %d/%d", n, r, ea, eb, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d rect %v: edge %d differs: %v vs %v", n, r, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFromFlatBoxesRejectsMismatch pins the length validation: boxes that
+// cannot belong to the polygon's hierarchy shape are refused rather than
+// silently misassembled.
+func TestFromFlatBoxesRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	big := star(rng, 50, 50, 40, 500)
+	small := star(rng, 50, 50, 40, 5)
+	flat := New(big).FlatBoxes()
+	if _, ok := FromFlatBoxes(big, flat[:len(flat)-1]); ok {
+		t.Fatalf("truncated boxes accepted")
+	}
+	if _, ok := FromFlatBoxes(big, append(append([]geom.Rect(nil), flat...), geom.Rect{})); ok {
+		t.Fatalf("oversized boxes accepted")
+	}
+	if _, ok := FromFlatBoxes(big, nil); ok {
+		t.Fatalf("indexed polygon with no boxes accepted")
+	}
+	if _, ok := FromFlatBoxes(small, flat); ok {
+		t.Fatalf("small polygon with boxes accepted")
+	}
+	if ix, ok := FromFlatBoxes(small, nil); !ok || ix.Indexed() {
+		t.Fatalf("small polygon with empty boxes must yield the linear-scan index")
+	}
+}

@@ -175,3 +175,25 @@ func TestQueries(t *testing.T) {
 		t.Errorf("query set size = %d, want 50", len(r.Queries()))
 	}
 }
+
+func TestColdstart(t *testing.T) {
+	r := NewRunner(testScale, nil)
+	results := r.Coldstart()
+	if len(results) != 2 {
+		t.Fatalf("datasets = %d, want 2", len(results))
+	}
+	for _, res := range results {
+		if len(res.Points) != 3 {
+			t.Fatalf("%s: %d arms, want 3", res.Dataset, len(res.Points))
+		}
+		for _, p := range res.Points {
+			if p.Bytes <= 0 {
+				t.Errorf("%s %s: artifact size %d", res.Dataset, p.Config, p.Bytes)
+			}
+			if p.Results != res.Points[0].Results {
+				t.Errorf("%s %s: %d self-join results, want %d (arms must be equivalent)",
+					res.Dataset, p.Config, p.Results, res.Points[0].Results)
+			}
+		}
+	}
+}

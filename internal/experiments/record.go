@@ -161,6 +161,24 @@ func LocalityRecords(rows []LocalityResult, scale float64) []BenchRecord {
 	return out
 }
 
+// ColdstartRecords flattens the snapshot warm-start comparison. Bytes
+// rides in Candidates (artifact size on disk) so the record stays flat.
+func ColdstartRecords(rows []ColdstartResult, scale float64) []BenchRecord {
+	var out []BenchRecord
+	for _, row := range rows {
+		for _, p := range row.Points {
+			out = append(out, BenchRecord{
+				Experiment: "coldstart", Workload: row.Dataset, Tester: p.Config,
+				Scale:      scale,
+				WallMS:     float64(p.Wall) / float64(time.Millisecond),
+				Candidates: int(p.Bytes),
+				Results:    p.Results,
+			})
+		}
+	}
+	return out
+}
+
 // HullRecords flattens the pre-processing-technique comparison.
 func HullRecords(rows []HullResult, scale float64) []BenchRecord {
 	var out []BenchRecord

@@ -35,6 +35,17 @@ func NewPolygon(verts []Point) (*Polygon, error) {
 	return p, nil
 }
 
+// RestoredPolygon builds a polygon from verts and an already-known MBR,
+// skipping the O(n) Recompute pass. It exists for the snapshot loader,
+// where the MBR column was persisted next to the coordinates and both are
+// integrity-checked together; the caller guarantees mbr is exactly the
+// bounds of verts. The vertex slice is used directly, not copied — it may
+// be memory-mapped read-only storage, so the polygon must never be
+// mutated.
+func RestoredPolygon(verts []Point, mbr Rect) *Polygon {
+	return &Polygon{Verts: verts, mbr: mbr}
+}
+
 // MustPolygon is NewPolygon that panics on error, for tests and literals.
 func MustPolygon(verts ...Point) *Polygon {
 	p, err := NewPolygon(verts)

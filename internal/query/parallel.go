@@ -28,6 +28,9 @@ type ParallelOptions struct {
 	// NoBreaker detaches the layer pair's circuit breaker; see
 	// SelectionOptions.NoBreaker.
 	NoBreaker bool
+	// NoSignatures disables the persisted raster-signature filter; see
+	// SelectionOptions.NoSignatures.
+	NoSignatures bool
 }
 
 func (o ParallelOptions) workers() int {
@@ -68,7 +71,7 @@ func ParallelIntersectionJoin(ctx context.Context, a, b *Layer, opt ParallelOpti
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
 	return parallelRefine(ctx, col.items, opt, "parallel-join", func(t *core.Tester, pr Pair) bool {
 		return t.IntersectsCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
 	})
@@ -89,7 +92,7 @@ func ParallelWithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, opt
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
 	return parallelRefine(ctx, col.items, opt, "parallel-within-join", func(t *core.Tester, pr Pair) bool {
 		return t.WithinDistanceCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))
 	})

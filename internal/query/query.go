@@ -33,7 +33,9 @@ import (
 	"repro/internal/edgeindex"
 	"repro/internal/filter"
 	"repro/internal/geom"
+	"repro/internal/raster"
 	"repro/internal/rtree"
+	"repro/internal/store"
 )
 
 // Layer is a dataset with its R-tree index, the unit that queries operate
@@ -42,12 +44,27 @@ type Layer struct {
 	Data  *data.Dataset
 	Index *rtree.Tree
 
+	// Origin records where the layer came from: "memory" for built
+	// layers, the snapshot path (or "snapshot") for loaded ones. Serving
+	// catalogs surface it as provenance.
+	Origin string
+
 	hullOnce sync.Once
 	hulls    *filter.HullSet
 
 	// edgeIdx caches each object's immutable edge index, built lazily on
 	// first use and shared read-only by every worker (see EdgeIndex).
 	edgeIdx []atomic.Pointer[edgeindex.Index]
+
+	// snap, for snapshot-backed layers, retains the open snapshot: its
+	// persisted edge boxes seed EdgeIndex and its mapping must outlive
+	// every polygon view the layer hands out.
+	snap *store.Snapshot
+
+	// sigs holds the per-object persisted raster signatures of a
+	// snapshot-backed layer (nil otherwise); see Signature.
+	sigs   []raster.Signature
+	sigRes int
 
 	// breakers holds this layer's per-mate hardware-filter circuit
 	// breakers (see Breaker). The map is touched once per query to fetch
@@ -66,8 +83,73 @@ func NewLayer(d *data.Dataset) *Layer {
 	return &Layer{
 		Data:    d,
 		Index:   rtree.NewBulk(entries),
+		Origin:  "memory",
 		edgeIdx: make([]atomic.Pointer[edgeindex.Index], len(d.Objects)),
 	}
+}
+
+// NewLayerFromSnapshot builds a query-ready layer over an opened store
+// snapshot: the dataset's polygons are views into the (possibly
+// memory-mapped) file, the R-tree is materialized from the persisted
+// packed image instead of being re-bulk-loaded, edge indexes hydrate
+// lazily from the persisted box hierarchies, and persisted raster
+// signatures short-circuit refinement. The layer keeps the snapshot open
+// for its lifetime; callers must not Close it while the layer is in use.
+func NewLayerFromSnapshot(s *store.Snapshot) (*Layer, error) {
+	tree, err := s.Tree()
+	if err != nil {
+		return nil, err
+	}
+	d := s.Dataset()
+	l := &Layer{
+		Data:    d,
+		Index:   tree,
+		Origin:  "snapshot:" + s.Meta().Name,
+		edgeIdx: make([]atomic.Pointer[edgeindex.Index], len(d.Objects)),
+		snap:    s,
+	}
+	if s.HasSignatures() {
+		l.sigRes = s.SigRes()
+		l.sigs = make([]raster.Signature, len(d.Objects))
+		for i := range l.sigs {
+			l.sigs[i] = s.Signature(i)
+		}
+	}
+	return l, nil
+}
+
+// Snapshot returns the layer's backing snapshot and true when the layer
+// was loaded from one (see NewLayerFromSnapshot).
+func (l *Layer) Snapshot() (*store.Snapshot, bool) { return l.snap, l.snap != nil }
+
+// Signature returns object id's persisted conservative raster signature,
+// or nil when the layer carries none. The signature is immutable and
+// shared; refinement consults it through the PairContext.
+func (l *Layer) Signature(id int) *raster.Signature {
+	if l.sigs == nil {
+		return nil
+	}
+	return &l.sigs[id]
+}
+
+// signatureRes returns the resolution for query-side signatures matched
+// against this layer's persisted ones.
+func (l *Layer) signatureRes() int {
+	if l.sigRes > 0 {
+		return l.sigRes
+	}
+	return raster.DefaultSignatureRes
+}
+
+// querySignature computes the query polygon's signature once per
+// selection when the layer has persisted signatures to pair it with (and
+// the ablation knob allows), else nil.
+func (l *Layer) querySignature(query *geom.Polygon, noSig bool) *raster.Signature {
+	if noSig || l.sigs == nil {
+		return nil
+	}
+	sg := raster.ComputeSignature(query, l.signatureRes())
+	return &sg
 }
 
 // Hulls returns the layer's pre-computed convex-hull approximations,
@@ -90,11 +172,24 @@ func (l *Layer) EdgeIndex(id int) *edgeindex.Index {
 	if ix := l.edgeIdx[id].Load(); ix != nil {
 		return ix
 	}
-	ix := edgeindex.New(l.Data.Objects[id])
+	ix := l.buildEdgeIndex(id)
 	if !l.edgeIdx[id].CompareAndSwap(nil, ix) {
 		return l.edgeIdx[id].Load()
 	}
 	return ix
+}
+
+// buildEdgeIndex hydrates one object's edge index: snapshot-backed layers
+// reattach the persisted box hierarchy (no box recomputation — the boxes
+// are CRC-verified views into the file), others run the O(n) build.
+func (l *Layer) buildEdgeIndex(id int) *edgeindex.Index {
+	p := l.Data.Objects[id]
+	if l.snap != nil && l.snap.HasEdgeBoxes() {
+		if ix, ok := edgeindex.FromFlatBoxes(p, l.snap.EdgeBoxes(id)); ok {
+			return ix
+		}
+	}
+	return edgeindex.New(p)
 }
 
 // Breaker returns the circuit breaker guarding the hardware filter for
@@ -190,6 +285,10 @@ type SelectionOptions struct {
 	// pair tests: the hardware filter runs (and sentinel samples are
 	// taken) regardless of prior disagreements. Ablation/baseline knob.
 	NoBreaker bool
+	// NoSignatures disables the persisted raster-signature filter for
+	// snapshot-backed layers. Ablation knob; no effect on layers without
+	// signatures.
+	NoSignatures bool
 }
 
 // collectBudget gathers MBR-filter output while enforcing a candidate
@@ -266,6 +365,7 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 	// candidate test; the layer side reuses the per-object cached indexes.
 	start = time.Now()
 	qIdx := edgeindex.New(query)
+	qSig := layer.querySignature(query, opt.NoSignatures)
 	var br *core.Breaker
 	if !opt.NoBreaker {
 		br = layer.Breaker(layer)
@@ -277,7 +377,7 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 			cost.Results = len(results)
 			return results, cost, &PartialError{Op: "select", Done: i, Total: len(remaining), Err: ctxCause(ctx)}
 		}
-		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id), Breaker: br}
+		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id), Breaker: br, PSig: qSig, QSig: layer.Signature(id)}
 		if tester.IntersectsCtx(query, layer.Data.Objects[id], pc) {
 			results = append(results, id)
 		}
@@ -332,6 +432,7 @@ func WithinDistanceSelect(ctx context.Context, layer *Layer, query *geom.Polygon
 
 	start = time.Now()
 	qIdx := edgeindex.New(query)
+	qSig := layer.querySignature(query, opt.NoSignatures)
 	var br *core.Breaker
 	if !opt.NoBreaker {
 		br = layer.Breaker(layer)
@@ -343,7 +444,7 @@ func WithinDistanceSelect(ctx context.Context, layer *Layer, query *geom.Polygon
 			cost.Results = len(results)
 			return results, cost, &PartialError{Op: "within-select", Done: i, Total: len(remaining), Err: ctxCause(ctx)}
 		}
-		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id), Breaker: br}
+		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id), Breaker: br, PSig: qSig, QSig: layer.Signature(id)}
 		if tester.WithinDistanceCtx(query, layer.Data.Objects[id], d, pc) {
 			results = append(results, id)
 		}
@@ -383,6 +484,9 @@ type JoinOptions struct {
 	// NoBreaker detaches the layer pair's circuit breaker; see
 	// SelectionOptions.NoBreaker.
 	NoBreaker bool
+	// NoSignatures disables the persisted raster-signature filter; see
+	// SelectionOptions.NoSignatures.
+	NoSignatures bool
 }
 
 // sortPairsByOuter orders candidate pairs by (A, B) so refinement visits
@@ -399,19 +503,32 @@ func sortPairsByOuter(pairs []Pair) {
 }
 
 // pairContexts returns a per-pair PairContext source for a join between
-// layers a and b, honoring the NoEdgeIndex and NoBreaker ablations. All
-// contexts share the pair's breaker, so any worker's sentinel
-// disagreement degrades the whole join.
-func pairContexts(a, b *Layer, noIndex, noBreaker bool) func(Pair) core.PairContext {
+// layers a and b, honoring the NoEdgeIndex, NoBreaker, and NoSignatures
+// ablations. All contexts share the pair's breaker, so any worker's
+// sentinel disagreement degrades the whole join. Persisted signatures
+// attach only on the sides that carry them; the tester's bounds check
+// makes a one-sided or absent signature merely inconclusive.
+func pairContexts(a, b *Layer, noIndex, noBreaker, noSig bool) func(Pair) core.PairContext {
 	var br *core.Breaker
 	if !noBreaker {
 		br = a.Breaker(b)
 	}
-	if noIndex {
+	sigA, sigB := a.sigs != nil && !noSig, b.sigs != nil && !noSig
+	if noIndex && !sigA && !sigB {
 		return func(Pair) core.PairContext { return core.PairContext{Breaker: br} }
 	}
 	return func(pr Pair) core.PairContext {
-		return core.PairContext{PIndex: a.EdgeIndex(pr.A), QIndex: b.EdgeIndex(pr.B), Breaker: br}
+		pc := core.PairContext{Breaker: br}
+		if !noIndex {
+			pc.PIndex, pc.QIndex = a.EdgeIndex(pr.A), b.EdgeIndex(pr.B)
+		}
+		if sigA {
+			pc.PSig = a.Signature(pr.A)
+		}
+		if sigB {
+			pc.QSig = b.Signature(pr.B)
+		}
+		return pc
 	}
 }
 
@@ -465,7 +582,7 @@ func IntersectionJoinOpt(ctx context.Context, a, b *Layer, tester *core.Tester, 
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(remaining)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
 	var results []Pair
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
@@ -502,6 +619,9 @@ type DistanceFilterOptions struct {
 	// NoBreaker detaches the layer pair's circuit breaker; see
 	// SelectionOptions.NoBreaker.
 	NoBreaker bool
+	// NoSignatures disables the persisted raster-signature filter; see
+	// SelectionOptions.NoSignatures.
+	NoSignatures bool
 }
 
 // WithinDistanceJoin returns all pairs whose regions are within distance d
@@ -561,7 +681,7 @@ func WithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, tester *cor
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(remaining)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)

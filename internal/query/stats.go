@@ -34,6 +34,8 @@ type Stats struct {
 	Tests       int64 `json:"tests"`
 	MBRRejects  int64 `json:"mbr_rejects"`
 	PIPHits     int64 `json:"pip_hits"`
+	SigChecks   int64 `json:"sig_checks,omitempty"`
+	SigRejects  int64 `json:"sig_rejects,omitempty"`
 	SWDirect    int64 `json:"sw_direct"`
 	HWRejects   int64 `json:"hw_rejects"`
 	HWPassed    int64 `json:"hw_passed"`
@@ -52,6 +54,13 @@ type Stats struct {
 	EdgeIndexHits         int64 `json:"edge_index_hits"`
 	EdgeIndexSkippedEdges int64 `json:"edge_index_skipped_edges"`
 	DirtyClearPixelsSaved int64 `json:"dirty_clear_pixels_saved"`
+
+	// Snapshot provenance (filled by serving layers when the queried layer
+	// was loaded from a store snapshot; zero otherwise).
+	SnapshotBytes    int64   `json:"snapshot_bytes,omitempty"`
+	SnapshotSections int     `json:"snapshot_sections,omitempty"`
+	SnapshotMMap     bool    `json:"snapshot_mmap,omitempty"`
+	SnapshotLoadMS   float64 `json:"snapshot_load_ms,omitempty"`
 }
 
 // NewStats flattens a query's cost breakdown and tester counters into the
@@ -70,6 +79,8 @@ func NewStats(op string, results int, cost Cost, refine core.Stats) Stats {
 		Tests:          refine.Tests,
 		MBRRejects:     refine.MBRRejects,
 		PIPHits:        refine.PIPHits,
+		SigChecks:      refine.SigChecks,
+		SigRejects:     refine.SigRejects,
 		SWDirect:       refine.SWDirect,
 		HWRejects:      refine.HWRejects,
 		HWPassed:       refine.HWPassed,

@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Packed is a flattened, pointer-free image of a Tree, the bridge between
+// the in-memory index and the binary snapshot format (internal/store).
+// Nodes appear in depth-first preorder; each node records how many
+// children (internal) or entries (leaf) it owns, so the tree structure is
+// reconstructed unambiguously by consuming the node list front to back.
+// Leaf entries are concatenated in the same visit order.
+type Packed struct {
+	Size       int
+	MaxEntries int
+	MinEntries int
+	Nodes      []PackedNode
+	Entries    []Entry
+}
+
+// PackedNode is one flattened tree node.
+type PackedNode struct {
+	Bounds geom.Rect
+	Leaf   bool
+	Count  int
+}
+
+// Export flattens the tree into its Packed image. The export is a pure
+// read: the tree remains usable and the Packed shares no structure with
+// it beyond the entry values.
+func (t *Tree) Export() *Packed {
+	p := &Packed{Size: t.size, MaxEntries: t.maxEntries, MinEntries: t.minEntries}
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if n.leaf {
+			p.Nodes = append(p.Nodes, PackedNode{Bounds: n.bounds, Leaf: true, Count: len(n.entries)})
+			p.Entries = append(p.Entries, n.entries...)
+			return
+		}
+		p.Nodes = append(p.Nodes, PackedNode{Bounds: n.bounds, Leaf: false, Count: len(n.children)})
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return p
+}
+
+// FromPacked rebuilds a Tree from its Packed image, validating structure
+// as it goes: node and entry counts must be consumed exactly, fanouts must
+// respect the node capacity, and the finished tree must pass the full
+// structural Validate. A malformed image returns an error, never a panic,
+// which is what lets the snapshot reader treat a corrupted index section
+// as a typed format failure.
+func FromPacked(p *Packed) (*Tree, error) {
+	if p.MaxEntries < 2 || p.MinEntries < 1 || p.MinEntries > p.MaxEntries {
+		return nil, fmt.Errorf("rtree: packed image has bad capacity %d/%d", p.MinEntries, p.MaxEntries)
+	}
+	if len(p.Nodes) == 0 {
+		return nil, fmt.Errorf("rtree: packed image has no nodes")
+	}
+	t := &Tree{size: p.Size, maxEntries: p.MaxEntries, minEntries: p.MinEntries}
+	ni, ei := 0, 0
+	var build func(depth int) (*rnode, error)
+	build = func(depth int) (*rnode, error) {
+		if depth > 64 {
+			return nil, fmt.Errorf("rtree: packed image deeper than 64 levels")
+		}
+		if ni >= len(p.Nodes) {
+			return nil, fmt.Errorf("rtree: packed image truncated at node %d", ni)
+		}
+		pn := p.Nodes[ni]
+		ni++
+		if pn.Count < 0 || pn.Count > p.MaxEntries {
+			return nil, fmt.Errorf("rtree: packed node %d has count %d (capacity %d)", ni-1, pn.Count, p.MaxEntries)
+		}
+		n := &rnode{bounds: pn.Bounds, leaf: pn.Leaf}
+		if pn.Leaf {
+			if ei+pn.Count > len(p.Entries) {
+				return nil, fmt.Errorf("rtree: packed image short %d entries at node %d", ei+pn.Count-len(p.Entries), ni-1)
+			}
+			n.entries = append([]Entry(nil), p.Entries[ei:ei+pn.Count]...)
+			ei += pn.Count
+			return n, nil
+		}
+		if pn.Count == 0 {
+			return nil, fmt.Errorf("rtree: packed internal node %d has no children", ni-1)
+		}
+		for range pn.Count {
+			c, err := build(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, c)
+		}
+		return n, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	if ni != len(p.Nodes) {
+		return nil, fmt.Errorf("rtree: packed image has %d unconsumed nodes", len(p.Nodes)-ni)
+	}
+	if ei != len(p.Entries) {
+		return nil, fmt.Errorf("rtree: packed image has %d unconsumed entries", len(p.Entries)-ei)
+	}
+	count := 0
+	for _, pn := range p.Nodes {
+		if pn.Leaf {
+			count += pn.Count
+		}
+	}
+	if count != p.Size {
+		return nil, fmt.Errorf("rtree: packed size %d disagrees with %d leaf entries", p.Size, count)
+	}
+	t.root = root
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

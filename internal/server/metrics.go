@@ -50,10 +50,20 @@ type Metrics struct {
 	Panics      atomic.Int64
 	Quarantined atomic.Int64
 
-	// Hot-path effectiveness counters (edge index and dirty-region clear).
+	// Hot-path effectiveness counters (edge index, dirty-region clear, and
+	// the persisted raster-signature filter).
 	EdgeIndexHits         atomic.Int64
 	EdgeIndexSkippedEdges atomic.Int64
 	DirtyClearPixelsSaved atomic.Int64
+	SigChecks             atomic.Int64
+	SigRejects            atomic.Int64
+
+	// Snapshot warm-start counters: loads observed, bytes mapped or
+	// copied, mmap-path loads, and cumulative load wall-clock.
+	SnapshotLoads  atomic.Int64
+	SnapshotBytes  atomic.Int64
+	SnapshotMMaps  atomic.Int64
+	SnapshotLoadNS atomic.Int64
 
 	// Degradation and self-verification counters: sentinel re-checks of
 	// hardware-filter negatives, circuit-breaker state changes, pairs
@@ -103,6 +113,16 @@ func (m *Metrics) observe(st query.Stats, status Status, dur time.Duration) {
 	m.EdgeIndexHits.Add(st.EdgeIndexHits)
 	m.EdgeIndexSkippedEdges.Add(st.EdgeIndexSkippedEdges)
 	m.DirtyClearPixelsSaved.Add(st.DirtyClearPixelsSaved)
+	m.SigChecks.Add(st.SigChecks)
+	m.SigRejects.Add(st.SigRejects)
+	if st.SnapshotBytes > 0 {
+		m.SnapshotLoads.Add(1)
+		m.SnapshotBytes.Add(st.SnapshotBytes)
+		if st.SnapshotMMap {
+			m.SnapshotMMaps.Add(1)
+		}
+		m.SnapshotLoadNS.Add(int64(st.SnapshotLoadMS * float64(time.Millisecond)))
+	}
 	m.SentinelChecks.Add(st.SentinelChecks)
 	m.SentinelDisagreements.Add(st.SentinelDisagreements)
 	m.BreakerTrips.Add(st.BreakerTrips)
@@ -156,6 +176,12 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges Gauges) {
 	g("spatiald_refine_edge_index_hits_total", m.EdgeIndexHits.Load())
 	g("spatiald_refine_edge_index_skipped_edges_total", m.EdgeIndexSkippedEdges.Load())
 	g("spatiald_refine_dirty_clear_pixels_saved_total", m.DirtyClearPixelsSaved.Load())
+	g("spatiald_refine_sig_checks_total", m.SigChecks.Load())
+	g("spatiald_refine_sig_rejects_total", m.SigRejects.Load())
+	g("spatiald_snapshot_loads_total", m.SnapshotLoads.Load())
+	g("spatiald_snapshot_bytes_total", m.SnapshotBytes.Load())
+	g("spatiald_snapshot_mmap_loads_total", m.SnapshotMMaps.Load())
+	g("spatiald_snapshot_load_seconds_total", float64(m.SnapshotLoadNS.Load())/float64(time.Second))
 	g("spatiald_sentinel_checks_total", m.SentinelChecks.Load())
 	g("spatiald_sentinel_disagreements_total", m.SentinelDisagreements.Load())
 	g("spatiald_breaker_trips_total", m.BreakerTrips.Load())

@@ -62,6 +62,10 @@ type Config struct {
 	// unlimited.
 	DefaultBudget int
 
+	// DataDir is where sessions' save and load commands resolve bare
+	// snapshot names (shellcmd.Engine.DataDir); "" leaves paths as given.
+	DataDir string
+
 	// DrainGrace is how long graceful shutdown lets in-flight queries
 	// finish naturally before cancelling them into partial results;
 	// 0 means 250ms. Negative cancels immediately.
@@ -318,6 +322,7 @@ func (s *Server) newEngine() *shellcmd.Engine {
 			MaxTimeout: s.cfg.QueryTimeout,
 			Budget:     s.cfg.DefaultBudget,
 		},
+		DataDir: s.cfg.DataDir,
 	}
 	if inj, every := s.cfg.Faults, s.cfg.SentinelEvery; inj != nil || every != 0 {
 		eng.NewTester = func(mode string) (*core.Tester, error) {

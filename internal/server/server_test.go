@@ -177,6 +177,8 @@ func TestMetricsPrometheus(t *testing.T) {
 
 	m.observe(query.Stats{Op: "join", SentinelChecks: 7, SentinelDisagreements: 2,
 		BreakerTrips: 1, BreakerRecoveries: 1, BreakerOpenSkips: 40}, StatusOK, 0)
+	m.observe(query.Stats{Op: "load", SigChecks: 30, SigRejects: 12,
+		SnapshotBytes: 4096, SnapshotSections: 7, SnapshotMMap: true, SnapshotLoadMS: 1.5}, StatusOK, 0)
 	m.observeFailure(&query.PartialError{Op: "join", Err: &query.DeadlineError{Budget: time.Second}})
 
 	var sb strings.Builder
@@ -190,11 +192,11 @@ func TestMetricsPrometheus(t *testing.T) {
 	out := sb.String()
 	for _, want := range []string{
 		"spatiald_connections_accepted_total 3",
-		`spatiald_queries_total{status="ok"} 2`,
+		`spatiald_queries_total{status="ok"} 3`,
 		`spatiald_queries_total{status="partial"} 1`,
 		`spatiald_queries_total{status="error"} 1`,
 		`spatiald_queries_total{status="overload"} 1`,
-		"spatiald_commands_total 5",
+		"spatiald_commands_total 6",
 		"spatiald_queries_in_flight 2",
 		"spatiald_admission_queued 3",
 		"spatiald_admission_admitted_total 9",
@@ -213,6 +215,12 @@ func TestMetricsPrometheus(t *testing.T) {
 		"spatiald_breaker_trips_total 1",
 		"spatiald_breaker_recoveries_total 1",
 		"spatiald_breaker_open_skips_total 40",
+		"spatiald_refine_sig_checks_total 30",
+		"spatiald_refine_sig_rejects_total 12",
+		"spatiald_snapshot_loads_total 1",
+		"spatiald_snapshot_bytes_total 4096",
+		"spatiald_snapshot_mmap_loads_total 1",
+		"spatiald_snapshot_load_seconds_total 0.0015",
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("missing metric line %q in:\n%s", want, out)

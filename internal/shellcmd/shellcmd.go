@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/geom"
 	"repro/internal/query"
+	snap "repro/internal/store"
 )
 
 // Store is the layer namespace a command executes against.
@@ -113,6 +115,21 @@ type Engine struct {
 	// NewTester overrides refinement tester construction for the "sw"/
 	// "hw" (default) modes; nil uses hardware-assisted defaults.
 	NewTester func(mode string) (*core.Tester, error)
+	// DataDir, when set, is where save and load resolve bare snapshot
+	// names: a path without a directory separator lands under DataDir,
+	// and a missing extension gets ".snap".
+	DataDir string
+}
+
+// snapPath resolves a snapshot argument against the engine's DataDir.
+func (e *Engine) snapPath(p string) string {
+	if filepath.Ext(p) == "" {
+		p += ".snap"
+	}
+	if e.DataDir != "" && !strings.ContainsAny(p, `/\`) {
+		p = filepath.Join(e.DataDir, p)
+	}
+	return p
 }
 
 // IsQuery reports whether the verb runs the refinement pipeline (and so
@@ -158,6 +175,8 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 		return e.gen(store, args, out)
 	case "load":
 		return e.load(store, args, out)
+	case "save":
+		return e.save(store, args, out)
 	case "layers":
 		e.listLayers(store, out)
 		return Result{Stats: query.Stats{Op: "layers"}}, nil
@@ -187,7 +206,8 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 // Help is the grammar reference printed by the help command.
 const Help = `commands:
   gen <name> <DATASET> <scale>      generate a synthetic layer (LANDC, LANDO, STATES50, PRISM, WATER)
-  load <name> <path>                load a layer from .json or .wkt
+  load <name> <path>                load a layer from .json, .wkt, or a .snap snapshot
+  save <name> <path>                save a layer as a binary snapshot (indexes + signatures)
   layers                            list loaded layers
   stats <name>                      Table 2 statistics of a layer
   join <a> <b> [sw|hw]              intersection join (default hw)
@@ -235,6 +255,9 @@ func (e *Engine) load(store Store, args []string, out io.Writer) (Result, error)
 	if len(args) != 2 {
 		return Result{}, fmt.Errorf("usage: load <name> <path>")
 	}
+	if strings.HasSuffix(args[1], ".snap") || filepath.Ext(args[1]) == "" {
+		return e.loadSnap(store, args[0], e.snapPath(args[1]), out)
+	}
 	var (
 		d   *data.Dataset
 		err error
@@ -254,6 +277,54 @@ func (e *Engine) load(store Store, args []string, out io.Writer) (Result, error)
 	return Result{Stats: query.Stats{Op: "load", Results: len(d.Objects)}, Mutation: true}, nil
 }
 
+// loadSnap binds a layer loaded from a binary snapshot: the R-tree, edge
+// boxes and raster signatures come from the file instead of being
+// rebuilt, and the load provenance flows into the stats record.
+func (e *Engine) loadSnap(store Store, name, path string, out io.Writer) (Result, error) {
+	s, err := snap.Open(path, snap.OpenOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	l, err := query.NewLayerFromSnapshot(s)
+	if err != nil {
+		s.Close()
+		return Result{}, err
+	}
+	if err := store.Set(name, l); err != nil {
+		s.Close()
+		return Result{}, err
+	}
+	st := s.Stats()
+	fmt.Fprintf(out, "layer %q: %d objects from snapshot (%d bytes, %d sections, mmap=%v, %.1fms)\n",
+		name, s.NumObjects(), st.Bytes, st.Sections, st.MMap, st.LoadMS)
+	return Result{
+		Stats: query.Stats{
+			Op: "load", Results: s.NumObjects(),
+			SnapshotBytes: st.Bytes, SnapshotSections: st.Sections,
+			SnapshotMMap: st.MMap, SnapshotLoadMS: st.LoadMS,
+		},
+		Mutation: true,
+	}, nil
+}
+
+func (e *Engine) save(store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 2 {
+		return Result{}, fmt.Errorf("usage: save <name> <path>")
+	}
+	l, err := layerOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	path := e.snapPath(args[1])
+	bs, err := snap.Save(path, l.Data, snap.SaveOptions{Tool: "spatialdb"})
+	if err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(out, "saved %q to %s: %d objects, %d sections, %d bytes in %.1fms\n",
+		args[0], path, bs.Objects, bs.Sections, bs.Bytes, bs.BuildMS)
+	return Result{Stats: query.Stats{Op: "save", Results: bs.Objects}, Mutation: true}, nil
+}
+
 func (e *Engine) listLayers(store Store, out io.Writer) {
 	names := store.Names()
 	if len(names) == 0 {
@@ -262,7 +333,7 @@ func (e *Engine) listLayers(store Store, out io.Writer) {
 	}
 	for _, n := range names {
 		if l, ok := store.Get(n); ok {
-			fmt.Fprintf(out, "%-12s %6d objects  bounds %v\n", n, len(l.Data.Objects), l.Data.Bounds())
+			fmt.Fprintf(out, "%-12s %6d objects  bounds %v  [%s]\n", n, len(l.Data.Objects), l.Data.Bounds(), l.Origin)
 		}
 	}
 }

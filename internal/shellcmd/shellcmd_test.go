@@ -171,3 +171,43 @@ func TestParityWithDirectCalls(t *testing.T) {
 		t.Errorf("engine join = %d results, direct join = %d", res.Stats.Results, len(pairs))
 	}
 }
+
+func TestSaveLoadSnapshot(t *testing.T) {
+	e := &Engine{Store: MapStore{}, DataDir: t.TempDir()}
+	exec(t, e, "gen land LANDC 0.005")
+
+	out, res := exec(t, e, "save land land")
+	if !strings.Contains(out, "saved \"land\"") || res.Stats.Op != "save" {
+		t.Fatalf("save = %+v, output %q", res, out)
+	}
+
+	// A bare name resolves under DataDir and reloads through the snapshot
+	// path, with load provenance in the stats record.
+	out, res = exec(t, e, "load warm land")
+	if !strings.Contains(out, "from snapshot") {
+		t.Fatalf("load output = %q", out)
+	}
+	if res.Stats.SnapshotBytes <= 0 || res.Stats.SnapshotSections < 5 || res.Stats.SnapshotLoadMS < 0 {
+		t.Fatalf("snapshot load stats missing: %+v", res.Stats)
+	}
+
+	out, _ = exec(t, e, "layers")
+	if !strings.Contains(out, "snapshot:LANDC") || !strings.Contains(out, "memory") {
+		t.Fatalf("layers provenance missing: %q", out)
+	}
+
+	// The warm layer answers queries identically to the built one.
+	_, built := exec(t, e, "join land land sw")
+	_, warm := exec(t, e, "join warm warm sw")
+	if built.Stats.Results != warm.Stats.Results {
+		t.Fatalf("warm join %d results, built %d", warm.Stats.Results, built.Stats.Results)
+	}
+	if warm.Stats.SigChecks == 0 {
+		t.Fatal("warm join never consulted persisted signatures")
+	}
+
+	// A corrupted snapshot is refused with a typed store error, not bound.
+	if _, err := e.Exec(context.Background(), "load bad missing", new(strings.Builder)); err == nil {
+		t.Fatal("loading a missing snapshot succeeded")
+	}
+}

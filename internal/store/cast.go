@@ -1,0 +1,99 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+
+	"repro/internal/geom"
+)
+
+// hostLittleEndian reports whether the running machine stores multi-byte
+// values little-endian — the file's byte order. On such hosts aligned
+// sections alias the mapped bytes directly (zero-copy); otherwise every
+// column is decoded into fresh slices.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// canAlias reports whether b may be reinterpreted in place as a slice of
+// 8-byte-aligned elements: little-endian host and aligned backing array.
+// mmap regions are page-aligned and sections are 8-aligned within the
+// file, so the mmap path always aliases on little-endian machines; the
+// read-into-slice path depends on the allocator and is checked per call.
+func canAlias(b []byte) bool {
+	if !hostLittleEndian || len(b) == 0 {
+		return false
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// asUint32s reinterprets or decodes b (length must be a multiple of 4).
+func asUint32s(b []byte) []uint32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// asUint64s reinterprets or decodes b (length must be a multiple of 8).
+func asUint64s(b []byte) []uint64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if canAlias(b) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// asPoints reinterprets or decodes b as packed (X, Y) float64 pairs.
+func asPoints(b []byte) []geom.Point {
+	n := len(b) / 16
+	if n == 0 {
+		return nil
+	}
+	if canAlias(b) {
+		return unsafe.Slice((*geom.Point)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i].X = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16:]))
+		out[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16+8:]))
+	}
+	return out
+}
+
+// asRects reinterprets or decodes b as packed (MinX, MinY, MaxX, MaxY)
+// float64 quadruples.
+func asRects(b []byte) []geom.Rect {
+	n := len(b) / 32
+	if n == 0 {
+		return nil
+	}
+	if canAlias(b) {
+		return unsafe.Slice((*geom.Rect)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]geom.Rect, n)
+	for i := range out {
+		out[i].MinX = math.Float64frombits(binary.LittleEndian.Uint64(b[i*32:]))
+		out[i].MinY = math.Float64frombits(binary.LittleEndian.Uint64(b[i*32+8:]))
+		out[i].MaxX = math.Float64frombits(binary.LittleEndian.Uint64(b[i*32+16:]))
+		out[i].MaxY = math.Float64frombits(binary.LittleEndian.Uint64(b[i*32+24:]))
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// mmapPath reports mapping unavailable on this platform; Open falls back
+// to reading the file into a slice.
+func mmapPath(path string) ([]byte, func() error, bool) {
+	return nil, nil, false
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapPath maps path read-only. ok is false when mapping is unavailable
+// (open/stat/mmap failure, empty file); callers fall back to ReadFile.
+// The returned cleanup unmaps the region; the file descriptor is closed
+// immediately (the mapping keeps the pages alive).
+func mmapPath(path string) (b []byte, unmap func() error, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() <= 0 || fi.Size() != int64(int(fi.Size())) {
+		return nil, nil, false
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return m, func() error { return syscall.Munmap(m) }, true
+}

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/edgeindex"
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/rtree"
+)
+
+func testDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	d, err := data.Load("LANDC", 0.01)
+	if err != nil {
+		t.Fatalf("load dataset: %v", err)
+	}
+	return d
+}
+
+func saveTemp(t *testing.T, d *data.Dataset, opts SaveOptions) (string, BuildStats) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), d.Name+".snap")
+	st, err := Save(path, d, opts)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return path, st
+}
+
+// verifySnapshot checks every stored artifact of s against d rebuilt live.
+func verifySnapshot(t *testing.T, s *Snapshot, d *data.Dataset, wantSigRes int) {
+	t.Helper()
+	if s.NumObjects() != len(d.Objects) {
+		t.Fatalf("object count %d, want %d", s.NumObjects(), len(d.Objects))
+	}
+	got := s.Dataset()
+	if got.Name != d.Name {
+		t.Fatalf("name %q, want %q", got.Name, d.Name)
+	}
+	for i, p := range d.Objects {
+		q := got.Objects[i]
+		if q.NumVerts() != p.NumVerts() || q.Bounds() != p.Bounds() {
+			t.Fatalf("object %d: shape changed (%d/%d verts, %v/%v bounds)",
+				i, q.NumVerts(), p.NumVerts(), q.Bounds(), p.Bounds())
+		}
+		for j, v := range p.Verts {
+			if q.Verts[j] != v {
+				t.Fatalf("object %d vertex %d: %v, want %v", i, j, q.Verts[j], v)
+			}
+		}
+	}
+
+	tree, err := s.Tree()
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	entries := make([]rtree.Entry, len(d.Objects))
+	for i, p := range d.Objects {
+		entries[i] = rtree.Entry{Bounds: p.Bounds(), ID: i}
+	}
+	live := rtree.NewBulk(entries)
+	if tree.Len() != live.Len() {
+		t.Fatalf("tree size %d, want %d", tree.Len(), live.Len())
+	}
+	ids := func(tr *rtree.Tree, r geom.Rect) []int {
+		var out []int
+		tr.Search(r, func(e rtree.Entry) bool { out = append(out, e.ID); return true })
+		sort.Ints(out)
+		return out
+	}
+	for _, r := range []geom.Rect{data.Domain, geom.R(100, 100, 200, 180), geom.R(0, 0, 50, 50), geom.R(400, 300, 560, 360)} {
+		a, b := ids(tree, r), ids(live, r)
+		if len(a) != len(b) {
+			t.Fatalf("search %v: %d ids, want %d", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("search %v: id %d differs", r, i)
+			}
+		}
+	}
+
+	if !s.HasEdgeBoxes() {
+		t.Fatalf("edge boxes missing")
+	}
+	for i, p := range d.Objects {
+		want := edgeindex.New(p).FlatBoxes()
+		gotBoxes := s.EdgeBoxes(i)
+		if len(gotBoxes) != len(want) {
+			t.Fatalf("object %d: %d edge boxes, want %d", i, len(gotBoxes), len(want))
+		}
+		for j := range want {
+			if gotBoxes[j] != want[j] {
+				t.Fatalf("object %d edge box %d differs", i, j)
+			}
+		}
+	}
+
+	if wantSigRes == 0 {
+		if s.HasSignatures() {
+			t.Fatalf("unexpected signatures")
+		}
+		return
+	}
+	if !s.HasSignatures() || s.SigRes() != wantSigRes {
+		t.Fatalf("signatures res %d, want %d", s.SigRes(), wantSigRes)
+	}
+	for i, p := range d.Objects {
+		want := raster.ComputeSignature(p, wantSigRes)
+		sig := s.Signature(i)
+		if sig.Bounds != want.Bounds || sig.Res != want.Res || len(sig.Words) != len(want.Words) {
+			t.Fatalf("object %d: signature shape differs", i)
+		}
+		for j := range want.Words {
+			if sig.Words[j] != want.Words[j] {
+				t.Fatalf("object %d: signature word %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTrip pins save → open as an identity for every stored
+// artifact, on both the mmap and the forced-copy path.
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := testDataset(t)
+	path, st := saveTemp(t, d, SaveOptions{})
+	if st.Objects != len(d.Objects) || st.Sections != 7 || st.SigRes != raster.DefaultSignatureRes {
+		t.Fatalf("build stats %+v", st)
+	}
+	for _, forceCopy := range []bool{false, true} {
+		s, err := Open(path, OpenOptions{ForceCopy: forceCopy})
+		if err != nil {
+			t.Fatalf("open (copy=%v): %v", forceCopy, err)
+		}
+		if forceCopy && s.Stats().MMap {
+			t.Fatalf("ForceCopy still mapped")
+		}
+		if s.Stats().Bytes != st.Bytes || s.Stats().Sections != st.Sections {
+			t.Fatalf("load stats %+v, build stats %+v", s.Stats(), st)
+		}
+		verifySnapshot(t, s, d, raster.DefaultSignatureRes)
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+}
+
+// TestSnapshotOptionalSections pins the no-signature and no-edge-box
+// encodings.
+func TestSnapshotOptionalSections(t *testing.T) {
+	d := testDataset(t)
+	path, st := saveTemp(t, d, SaveOptions{SigRes: -1})
+	if st.SigRes != 0 || st.Sections != 6 {
+		t.Fatalf("build stats %+v", st)
+	}
+	s, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	verifySnapshot(t, s, d, 0)
+	s.Close()
+
+	path2, _ := saveTemp(t, d, SaveOptions{NoEdgeBoxes: true})
+	s2, err := Open(path2, OpenOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if s2.HasEdgeBoxes() || s2.EdgeBoxes(0) != nil {
+		t.Fatalf("edge boxes present despite NoEdgeBoxes")
+	}
+	s2.Close()
+}
+
+// TestSnapshotAtomicWrite pins the temp-and-rename publish: overwriting an
+// existing snapshot leaves no temp litter and the new content wins.
+func TestSnapshotAtomicWrite(t *testing.T) {
+	d := testDataset(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "layer.snap")
+	if _, err := Save(path, d, SaveOptions{SigRes: -1}); err != nil {
+		t.Fatalf("save 1: %v", err)
+	}
+	if _, err := Save(path, d, SaveOptions{}); err != nil {
+		t.Fatalf("save 2: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "layer.snap" {
+		t.Fatalf("directory not clean after overwrite: %v", ents)
+	}
+	s, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !s.HasSignatures() {
+		t.Fatalf("second save's content did not win")
+	}
+	s.Close()
+}
+
+// protectedOffsets returns a sample of byte offsets that the format's
+// integrity checks must cover: the magic, version, section count, table
+// CRC, the table itself, and every section payload. Reserved header bytes
+// and inter-section alignment padding are deliberately excluded — they
+// carry no data.
+func protectedOffsets(raw []byte) []int {
+	offs := []int{0, 3, 8, 12, 16}
+	nsec := int(binary.LittleEndian.Uint32(raw[12:]))
+	for i := 0; i < nsec; i++ {
+		base := headerSize + i*tableEntrySize
+		offs = append(offs, base, base+8, base+16, base+24)
+		off := int(binary.LittleEndian.Uint64(raw[base+8:]))
+		length := int(binary.LittleEndian.Uint64(raw[base+16:]))
+		// Several probes inside the payload, including both ends.
+		for _, frac := range []int{0, length / 3, length / 2, 2 * length / 3, length - 1} {
+			if frac >= 0 && frac < length {
+				offs = append(offs, off+frac)
+			}
+		}
+	}
+	return offs
+}
+
+// TestSnapshotCorruption is the corruption-handling satellite: truncated
+// files, bad magic, version skew, and bit flips anywhere in protected
+// bytes must all yield a typed *FormatError — never a panic, never a
+// silently wrong snapshot.
+func TestSnapshotCorruption(t *testing.T) {
+	d := testDataset(t)
+	path, _ := saveTemp(t, d, SaveOptions{})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+
+	expectFormatError := func(t *testing.T, b []byte, what string) {
+		t.Helper()
+		s, err := OpenBytes(b)
+		if err == nil {
+			t.Fatalf("%s: accepted", what)
+		}
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: error %v is not a *FormatError", what, err)
+		}
+		if s != nil {
+			t.Fatalf("%s: snapshot returned alongside error", what)
+		}
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, k := range []int{0, 1, headerSize - 1, headerSize, headerSize + 5, len(raw) / 2, len(raw) - 1} {
+			expectFormatError(t, raw[:k], "truncation")
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		b := append([]byte(nil), raw...)
+		b[0] = 'X'
+		expectFormatError(t, b, "magic")
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		b := append([]byte(nil), raw...)
+		binary.LittleEndian.PutUint32(b[8:], Version+1)
+		expectFormatError(t, b, "version")
+	})
+	t.Run("bit-flips", func(t *testing.T) {
+		for _, off := range protectedOffsets(raw) {
+			b := append([]byte(nil), raw...)
+			b[off] ^= 0x41
+			if same := b[off] == raw[off]; same {
+				continue
+			}
+			expectFormatError(t, b, "flip at offset "+string(rune('0'+off%10)))
+		}
+	})
+	t.Run("missing-section", func(t *testing.T) {
+		// Reassemble with the coords section dropped; CRCs are valid, the
+		// required-section check must fire.
+		secs, _, err := buildSections(d, SaveOptions{})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		var kept []section
+		for _, s := range secs {
+			if s.id != secCoords {
+				kept = append(kept, s)
+			}
+		}
+		expectFormatError(t, assemble(kept), "missing coords")
+	})
+	t.Run("duplicate-section", func(t *testing.T) {
+		secs, _, err := buildSections(d, SaveOptions{})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		expectFormatError(t, assemble(append(secs, secs[1])), "duplicate")
+	})
+	t.Run("open-file-error", func(t *testing.T) {
+		if _, err := Open(filepath.Join(t.TempDir(), "absent.snap"), OpenOptions{}); err == nil {
+			t.Fatalf("absent file accepted")
+		}
+	})
+}

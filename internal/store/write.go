@@ -1,0 +1,275 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/edgeindex"
+	"repro/internal/raster"
+	"repro/internal/rtree"
+)
+
+// SaveOptions configures the snapshot writer.
+type SaveOptions struct {
+	// SigRes is the raster-signature resolution: 0 uses
+	// raster.DefaultSignatureRes, a negative value omits the signature
+	// section entirely (signatures are an optional accelerator).
+	SigRes int
+	// NoEdgeBoxes omits the persisted edge-index hierarchies; loaded
+	// layers then rebuild them lazily like in-memory layers do.
+	NoEdgeBoxes bool
+	// Tool is recorded in the meta section as provenance.
+	Tool string
+}
+
+// BuildStats reports what Save produced.
+type BuildStats struct {
+	Objects    int
+	TotalVerts int
+	Sections   int
+	Bytes      int64
+	SigRes     int // 0 when signatures were omitted
+	BuildMS    float64
+}
+
+type section struct {
+	id      uint32
+	payload []byte
+}
+
+// Save builds a snapshot of d and writes it to path atomically: the bytes
+// are assembled in a temp file in path's directory, synced, and renamed
+// over path, so a crash mid-write leaves either the old snapshot or none.
+// The dataset must contain valid polygons (finite vertices, ≥ 3 each);
+// Save validates and refuses rather than persisting geometry the loader
+// would reject.
+func Save(path string, d *data.Dataset, opts SaveOptions) (BuildStats, error) {
+	start := time.Now()
+	secs, stats, err := buildSections(d, opts)
+	if err != nil {
+		return BuildStats{}, err
+	}
+	blob := assemble(secs)
+	if err := writeAtomic(path, blob); err != nil {
+		return BuildStats{}, err
+	}
+	stats.Sections = len(secs)
+	stats.Bytes = int64(len(blob))
+	stats.BuildMS = float64(time.Since(start).Microseconds()) / 1000
+	return stats, nil
+}
+
+func buildSections(d *data.Dataset, opts SaveOptions) ([]section, BuildStats, error) {
+	n := len(d.Objects)
+	totalVerts := 0
+	for i, p := range d.Objects {
+		if p.NumVerts() < 3 {
+			return nil, BuildStats{}, fmt.Errorf("store: object %d has %d vertices", i, p.NumVerts())
+		}
+		for _, v := range p.Verts {
+			if !v.IsFinite() {
+				return nil, BuildStats{}, fmt.Errorf("store: object %d has a non-finite vertex", i)
+			}
+		}
+		totalVerts += p.NumVerts()
+	}
+
+	sigRes := 0
+	if opts.SigRes >= 0 {
+		sigRes = opts.SigRes
+		if sigRes == 0 {
+			sigRes = raster.DefaultSignatureRes
+		}
+	}
+	tool := opts.Tool
+	if tool == "" {
+		tool = "repro/store"
+	}
+	meta, err := json.Marshal(Meta{
+		Name:       d.Name,
+		Objects:    n,
+		TotalVerts: totalVerts,
+		SigRes:     sigRes,
+		Tool:       tool,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+	})
+	if err != nil {
+		return nil, BuildStats{}, fmt.Errorf("store: encode meta: %w", err)
+	}
+
+	counts := make([]byte, 0, n*4)
+	coords := make([]byte, 0, totalVerts*16)
+	mbrs := make([]byte, 0, n*32)
+	for _, p := range d.Objects {
+		counts = binary.LittleEndian.AppendUint32(counts, uint32(p.NumVerts()))
+		for _, v := range p.Verts {
+			coords = appendFloat64(coords, v.X)
+			coords = appendFloat64(coords, v.Y)
+		}
+		b := p.Bounds()
+		mbrs = appendFloat64(mbrs, b.MinX)
+		mbrs = appendFloat64(mbrs, b.MinY)
+		mbrs = appendFloat64(mbrs, b.MaxX)
+		mbrs = appendFloat64(mbrs, b.MaxY)
+	}
+
+	entries := make([]rtree.Entry, n)
+	for i, p := range d.Objects {
+		entries[i] = rtree.Entry{Bounds: p.Bounds(), ID: i}
+	}
+	treeSec := encodeTree(rtree.NewBulk(entries).Export())
+
+	secs := []section{
+		{secMeta, meta},
+		{secVertCounts, counts},
+		{secCoords, coords},
+		{secMBRs, mbrs},
+		{secRTree, treeSec},
+	}
+	if !opts.NoEdgeBoxes {
+		secs = append(secs, section{secEdgeBoxes, encodeEdgeBoxes(d)})
+	}
+	if sigRes > 0 {
+		secs = append(secs, section{secSigs, encodeSignatures(d, sigRes)})
+	}
+	return secs, BuildStats{Objects: n, TotalVerts: totalVerts, SigRes: sigRes}, nil
+}
+
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// encodeTree serializes a packed R-tree: a 5-word header (size,
+// maxEntries, minEntries, nodeCount, entryCount), then per node the
+// bounds (4 float64) plus leaf flag and count (2 uint32), then the leaf
+// entry object ids (uint32 each). Entry bounds are not stored — the
+// loader reconstructs them from the MBR section by id, exactly as the
+// in-memory layer builds its entries from p.Bounds().
+func encodeTree(p *rtree.Packed) []byte {
+	b := make([]byte, 0, 40+len(p.Nodes)*40+len(p.Entries)*4)
+	for _, v := range []int{p.Size, p.MaxEntries, p.MinEntries, len(p.Nodes), len(p.Entries)} {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	for _, n := range p.Nodes {
+		b = appendFloat64(b, n.Bounds.MinX)
+		b = appendFloat64(b, n.Bounds.MinY)
+		b = appendFloat64(b, n.Bounds.MaxX)
+		b = appendFloat64(b, n.Bounds.MaxY)
+		leaf := uint32(0)
+		if n.Leaf {
+			leaf = 1
+		}
+		b = binary.LittleEndian.AppendUint32(b, leaf)
+		b = binary.LittleEndian.AppendUint32(b, uint32(n.Count))
+	}
+	for _, e := range p.Entries {
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.ID))
+	}
+	return b
+}
+
+// encodeEdgeBoxes serializes every object's edge-index hierarchy: n box
+// counts (uint32), then the concatenated flat boxes (4 float64 each).
+// Counts are redundant with the vertex counts (the hierarchy shape is a
+// pure function of the edge count) and double as a cross-check at load.
+func encodeEdgeBoxes(d *data.Dataset) []byte {
+	counts := make([]byte, 0, len(d.Objects)*4)
+	var boxes []byte
+	for _, p := range d.Objects {
+		flat := edgeindex.New(p).FlatBoxes()
+		counts = binary.LittleEndian.AppendUint32(counts, uint32(len(flat)))
+		for _, r := range flat {
+			boxes = appendFloat64(boxes, r.MinX)
+			boxes = appendFloat64(boxes, r.MinY)
+			boxes = appendFloat64(boxes, r.MaxX)
+			boxes = appendFloat64(boxes, r.MaxY)
+		}
+	}
+	return append(counts, boxes...)
+}
+
+// encodeSignatures serializes the raster signature column: resolution and
+// words-per-object (uint32 each), then n fixed-size bitmaps. Bounds are
+// not stored — a signature's grid tiles its object's MBR.
+func encodeSignatures(d *data.Dataset, res int) []byte {
+	words := raster.SignatureWords(res)
+	b := make([]byte, 0, 8+len(d.Objects)*words*8)
+	b = binary.LittleEndian.AppendUint32(b, uint32(res))
+	b = binary.LittleEndian.AppendUint32(b, uint32(words))
+	for _, p := range d.Objects {
+		sig := raster.ComputeSignature(p, res)
+		for _, w := range sig.Words {
+			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+	}
+	return b
+}
+
+// assemble lays the sections out after the header and table, 8-byte
+// aligned and zero-padded, and stamps per-section CRC32s plus the table
+// CRC into the header.
+func assemble(secs []section) []byte {
+	tableOff := uint64(headerSize)
+	dataOff := align8(tableOff + uint64(len(secs))*tableEntrySize)
+
+	total := dataOff
+	offsets := make([]uint64, len(secs))
+	for i, s := range secs {
+		offsets[i] = total
+		total = align8(total + uint64(len(s.payload)))
+	}
+
+	blob := make([]byte, total)
+	copy(blob, Magic)
+	binary.LittleEndian.PutUint32(blob[8:], Version)
+	binary.LittleEndian.PutUint32(blob[12:], uint32(len(secs)))
+
+	for i, s := range secs {
+		copy(blob[offsets[i]:], s.payload)
+		ent := blob[tableOff+uint64(i)*tableEntrySize:]
+		binary.LittleEndian.PutUint32(ent[0:], s.id)
+		binary.LittleEndian.PutUint64(ent[8:], offsets[i])
+		binary.LittleEndian.PutUint64(ent[16:], uint64(len(s.payload)))
+		binary.LittleEndian.PutUint32(ent[24:], crc32.ChecksumIEEE(s.payload))
+	}
+	table := blob[tableOff : tableOff+uint64(len(secs))*tableEntrySize]
+	binary.LittleEndian.PutUint32(blob[16:], crc32.ChecksumIEEE(table))
+	return blob
+}
+
+// writeAtomic writes blob to path via a temp file in the same directory,
+// fsynced before the rename so the publish is crash-safe.
+func writeAtomic(path string, blob []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: create temp: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	if _, err := f.Write(blob); err != nil {
+		return cleanup(fmt.Errorf("store: write %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("store: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("store: close %s: %w", tmp, err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rename into %s: %w", path, err)
+	}
+	return nil
+}

@@ -48,8 +48,35 @@ else
 	echo "benchdiff: no BENCH_baseline.json, skipping"
 fi
 
+echo "== snapshot round-trip + corruption-rejection smoke"
+# A layer saved as a binary snapshot must reload and join identically to
+# the built layer, and a bit-flipped snapshot must be rejected with a
+# typed error (never bound, never a panic).
+SNAPDIR="$(mktemp -d /tmp/snap_smoke.XXXXXX)"
+go run ./cmd/spatialdb -data "$SNAPDIR" >"$SNAPDIR/out.txt" <<'EOF'
+gen s LANDC 0.005
+save s s
+load t s
+join s t sw
+layers
+EOF
+grep -q 'from snapshot' "$SNAPDIR/out.txt" || { echo "snapshot load missing"; cat "$SNAPDIR/out.txt"; exit 1; }
+grep -q 'join: ' "$SNAPDIR/out.txt" || { echo "snapshot join missing"; cat "$SNAPDIR/out.txt"; exit 1; }
+grep -q 'snapshot:LANDC' "$SNAPDIR/out.txt" || { echo "snapshot provenance missing"; cat "$SNAPDIR/out.txt"; exit 1; }
+# Corrupt the coordinate payload (well past the 24B header + section
+# table). Eight 0xFF bytes encode a NaN no valid snapshot can contain, so
+# the payload is guaranteed to differ from what was written.
+printf '\377\377\377\377\377\377\377\377' | dd of="$SNAPDIR/s.snap" bs=1 seek=4096 count=8 conv=notrunc 2>/dev/null
+if echo "load bad s" | go run ./cmd/spatialdb -data "$SNAPDIR" | grep -q 'error:.*CRC'; then
+	:
+else
+	echo "corrupted snapshot was not rejected with a CRC error"; exit 1
+fi
+rm -rf "$SNAPDIR"
+
 echo "== fuzz smoke (${FUZZTIME} each)"
 go test ./internal/data/ -fuzz FuzzDataRead -fuzztime "$FUZZTIME"
 go test ./internal/data/ -fuzz FuzzWKTParse -fuzztime "$FUZZTIME"
+go test ./internal/store/ -fuzz FuzzSnapshotOpen -fuzztime "$FUZZTIME"
 
 echo "== all checks passed"
