@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16,hull,locality,coldstart or all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table2,fig10,...,fig16,hull,locality,coldstart,ingest or all")
 	scale := flag.Float64("scale", experiments.DefaultScale,
 		"dataset scale in (0,1]: fraction of the paper's object counts")
 	timeout := flag.Duration("timeout", 0,
@@ -77,7 +77,7 @@ func main() {
 		defer cancel()
 		r.Ctx = ctx
 	}
-	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull", "locality", "coldstart"}
+	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull", "locality", "coldstart", "ingest"}
 	want := map[string]bool{}
 	if *exp == "all" {
 		for _, e := range all {
@@ -105,6 +105,9 @@ func main() {
 		},
 		"coldstart": func() []experiments.BenchRecord {
 			return experiments.ColdstartRecords(r.Coldstart(), sc)
+		},
+		"ingest": func() []experiments.BenchRecord {
+			return experiments.IngestRecords(r.Ingest(), sc)
 		},
 	}
 	var records []experiments.BenchRecord

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/faultinject"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -55,6 +56,10 @@ func main() {
 	drain := flag.Duration("drain", 2*time.Second, "shutdown grace before in-flight queries are cancelled into partial results")
 	preload := flag.String("preload", "", "layers to generate at startup: name=DATASET:scale[,name=DATASET:scale...]")
 	dataDir := flag.String("data", "", "snapshot directory: every *.snap inside is loaded at startup (layer name = file basename), and sessions' save/load resolve bare names here")
+	ingestDir := flag.String("ingest", "", "enable durable ingestion (live/insert/delete/compact verbs): per-table WAL segments and snapshot generations live here")
+	compactPending := flag.Int("compact-pending", 0, "background compaction trigger: fold a live table once this many WAL records are pending (0 = default)")
+	compactSegments := flag.Int("compact-segments", 0, "background compaction trigger: fold once a table's WAL spans more than this many segments (0 = default)")
+	compactInterval := flag.Duration("compact-interval", 0, "background compactor poll cadence (0 = default)")
 	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed; 0 derives one from the clock (the chosen seed is logged for reproduction)")
 	faultSpec := flag.String("faultspec", "", `arm fault injection: "site=kind:rate[,site=kind:rate...]" (e.g. "tester.hwfilter=wrong-answer:0.01")`)
 	quiet := flag.Bool("quiet", false, "suppress the per-command access log on stdout")
@@ -101,6 +106,18 @@ func main() {
 		// the seed and per-site sequence numbers).
 		fmt.Fprintf(os.Stderr, "spatiald: fault injection armed: -faultseed=%d -faultspec=%q\n", seed, *faultSpec)
 	}
+	var mgr *ingest.Manager
+	if *ingestDir != "" {
+		mgr = ingest.NewManager(ingest.Options{
+			Dir:             *ingestDir,
+			Faults:          cfg.Faults,
+			CompactPending:  *compactPending,
+			CompactSegments: *compactSegments,
+			Interval:        *compactInterval,
+		})
+		cfg.Ingest = mgr
+		fmt.Fprintf(os.Stderr, "spatiald: durable ingestion enabled in %s\n", *ingestDir)
+	}
 	srv := server.New(cfg)
 	if err := loadSnapshots(srv.Catalog(), *dataDir); err != nil {
 		fmt.Fprintln(os.Stderr, "spatiald: data:", err)
@@ -129,6 +146,14 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "spatiald: shutdown:", err)
 		os.Exit(1)
+	}
+	// WALs close after the listeners: no session can be appending, and the
+	// final group commit is already durable (acks imply fsync).
+	if mgr != nil {
+		if err := mgr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald: ingest close:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -16,6 +16,14 @@
 // lives in internal/shellcmd and is shared verbatim with the spatiald
 // network service: a script written for the shell runs unchanged against
 // a server.
+//
+// With -ingest the durable ingestion verbs come alive: live tables bind
+// WAL-backed storage under the given directory, inserts and deletes are
+// group-committed before they are acknowledged, and compact folds the
+// uncompacted delta into a fresh snapshot generation. -faultspec arms the
+// same deterministic fault injector the crash-recovery tests use, so a
+// scripted session can be killed at an exact WAL or compaction step and
+// restarted to verify durability (injected crashes exit with code 86).
 package main
 
 import (
@@ -25,14 +33,40 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/ingest"
 	"repro/internal/shellcmd"
 )
 
 func main() {
 	dataDir := flag.String("data", "", "snapshot directory: save/load resolve bare snapshot names here")
+	ingestDir := flag.String("ingest", "", "enable durable ingestion (live/insert/delete/compact verbs): per-table WAL segments and snapshot generations live here")
+	faultSeed := flag.Int64("faultseed", 0, "fault-injection seed; 0 derives one from the clock (the chosen seed is logged for reproduction)")
+	faultSpec := flag.String("faultspec", "", `arm fault injection: "site=kind:rate[@seq],..." (e.g. "wal.fsync=crash:1@2")`)
 	flag.Parse()
+
+	var inj *faultinject.Injector
+	if *faultSpec != "" {
+		seed := *faultSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		var err error
+		inj, err = faultinject.ParseSpec(seed, *faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatialdb: faultspec:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "spatialdb: fault injection armed: -faultseed=%d -faultspec=%q\n", seed, *faultSpec)
+	}
 	eng := &shellcmd.Engine{Store: shellcmd.MapStore{}, DataDir: *dataDir}
+	var mgr *ingest.Manager
+	if *ingestDir != "" {
+		mgr = ingest.NewManager(ingest.Options{Dir: *ingestDir, Faults: inj})
+		eng.Live = mgr
+	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	sc := bufio.NewScanner(os.Stdin)
@@ -52,6 +86,13 @@ func main() {
 			fmt.Fprintln(out, "error:", err)
 		}
 		prompt(out)
+	}
+	if mgr != nil {
+		if err := mgr.Close(); err != nil {
+			out.Flush()
+			fmt.Fprintln(os.Stderr, "spatialdb: ingest close:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/ingest"
+	"repro/internal/query"
+	"repro/internal/wal"
+)
+
+// IngestPoint is one arm of the live-ingestion soak: write throughput,
+// group-commit amplification, and the read latency the concurrent query
+// stream observed while the arm ran.
+type IngestPoint struct {
+	Config    string // "append-only", "append-4writers", "mixed-soak", "compact-during-reads"
+	Wall      time.Duration
+	Ops       int     // acknowledged mutations
+	OpsPerSec float64 // Ops / Wall
+	MeanBatch float64 // WAL records per fsync (group-commit effectiveness)
+	Reads     int
+	ReadP50   time.Duration // median live-view select latency
+	ReadMax   time.Duration
+}
+
+// IngestResult is the live-ingestion experiment for one fixture dataset.
+type IngestResult struct {
+	Dataset string
+	Objects int
+	Points  []IngestPoint
+}
+
+// Ingest measures the durable ingestion path under the loads it exists
+// for. Four arms over a WAL-backed live table, objects drawn from a
+// fixture dataset:
+//
+//   - append-only: a single writer inserts every object back to back;
+//     each ack waits for its own fsync, so this is the group-commit
+//     floor (MeanBatch ≈ 1).
+//   - append-4writers: the same inserts from concurrent writers, which
+//     is what lets the committer absorb several appends per fsync;
+//     MeanBatch records the amplification won.
+//   - mixed-soak: the same write stream (with a delete every fifth op)
+//     while a concurrent reader runs live-view selections; the read
+//     latencies quantify what snapshot ∪ delta composition costs a
+//     query while the delta is growing.
+//   - compact-during-reads: the reader keeps querying while the table
+//     folds its accumulated delta into a fresh snapshot generation; the
+//     tail read latency shows what a concurrent compaction adds.
+func (r *Runner) Ingest() []IngestResult {
+	var out []IngestResult
+	dir, err := os.MkdirTemp("", "ingest-")
+	if err != nil {
+		r.check(err)
+		return out
+	}
+	defer os.RemoveAll(dir)
+
+	for _, name := range []string{"LANDC"} {
+		d := r.Layer(name).Data
+		objs := d.Objects
+		res := IngestResult{Dataset: name, Objects: len(objs)}
+		r.printf("\nIngest (%s, %d objects): WAL-backed live table under load\n", name, len(objs))
+		r.printf("%-22s %10s %8s %10s %9s %7s %10s %10s\n",
+			"config", "wall(ms)", "ops", "ops/sec", "batch", "reads", "p50(µs)", "max(µs)")
+
+		// Arm 1: append-only throughput on a fresh table.
+		t1, err := ingest.OpenTable(dir, "append", ingest.TableOptions{WAL: wal.Options{}})
+		if r.check(err) {
+			return out
+		}
+		start := time.Now()
+		for _, p := range objs {
+			if _, err := t1.Insert(r.ctx(), p); err != nil {
+				r.check(err)
+				return out
+			}
+		}
+		wall := time.Since(start)
+		res.Points = append(res.Points, r.ingestPoint("append-only", wall, len(objs), t1.Stats().WAL, nil))
+		if r.check(t1.Close()) {
+			return out
+		}
+
+		// Arm 2: the same inserts from 4 concurrent writers. A lone
+		// writer can never batch (each ack waits for its own fsync);
+		// concurrency is what lets the group-commit loop absorb several
+		// appends per fsync, and MeanBatch shows it.
+		tw, err := ingest.OpenTable(dir, "writers", ingest.TableOptions{WAL: wal.Options{}})
+		if r.check(err) {
+			return out
+		}
+		const writers = 4
+		var wwg sync.WaitGroup
+		errs := make([]error, writers)
+		start = time.Now()
+		for w := 0; w < writers; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				for i := w; i < len(objs); i += writers {
+					if _, err := tw.Insert(r.ctx(), objs[i]); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wwg.Wait()
+		wall = time.Since(start)
+		for _, err := range errs {
+			if r.check(err) {
+				return out
+			}
+		}
+		res.Points = append(res.Points, r.ingestPoint("append-4writers", wall, len(objs), tw.Stats().WAL, nil))
+		if r.check(tw.Close()) {
+			return out
+		}
+
+		// Arm 3: mixed writes with a concurrent live-view reader.
+		t2, err := ingest.OpenTable(dir, "soak", ingest.TableOptions{WAL: wal.Options{}})
+		if r.check(err) {
+			return out
+		}
+		queryMBR := d.Bounds()
+		stop := make(chan struct{})
+		var lats []time.Duration
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lats = readLoop(r.ctx(), t2, queryMBR, stop, nil)
+		}()
+		start = time.Now()
+		ops := 0
+		for i, p := range objs {
+			id, err := t2.Insert(r.ctx(), p)
+			if err != nil {
+				break
+			}
+			ops++
+			if i%5 == 4 {
+				if err := t2.Delete(r.ctx(), id); err != nil {
+					break
+				}
+				ops++
+			}
+		}
+		wall = time.Since(start)
+		close(stop)
+		wg.Wait()
+		res.Points = append(res.Points, r.ingestPoint("mixed-soak", wall, ops, t2.Stats().WAL, lats))
+
+		// Arm 4: reads continue while the soak table compacts its delta.
+		stop = make(chan struct{})
+		ready := make(chan struct{})
+		wg.Add(1)
+		var clats []time.Duration
+		go func() {
+			defer wg.Done()
+			clats = readLoop(r.ctx(), t2, queryMBR, stop, ready)
+		}()
+		// Wait for the reader's first query so the fold genuinely
+		// overlaps reads (compaction can outrun goroutine scheduling).
+		<-ready
+		start = time.Now()
+		err = t2.Compact(r.ctx())
+		wall = time.Since(start)
+		close(stop)
+		wg.Wait()
+		if r.check(err) {
+			return out
+		}
+		res.Points = append(res.Points, r.ingestPoint("compact-during-reads", wall, 0, t2.Stats().WAL, clats))
+		if r.check(t2.Close()) {
+			return out
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// readLoop runs live-view selections until stop closes, returning each
+// query's latency. The window is the dataset's full bounds, so every
+// select walks the snapshot ∪ delta composition end to end. A non-nil
+// ready is closed once the first query completes.
+func readLoop(ctx context.Context, t *ingest.Table, window geom.Rect, stop <-chan struct{}, ready chan<- struct{}) []time.Duration {
+	tester := core.NewTester(core.Config{DisableHardware: true})
+	win := geom.MustPolygon(
+		geom.Point{X: window.MinX, Y: window.MinY},
+		geom.Point{X: window.MaxX, Y: window.MinY},
+		geom.Point{X: window.MaxX, Y: window.MaxY},
+		geom.Point{X: window.MinX, Y: window.MaxY},
+	)
+	var lats []time.Duration
+	for {
+		select {
+		case <-stop:
+			return lats
+		default:
+		}
+		start := time.Now()
+		if _, _, err := query.IntersectionSelectView(ctx, t.View(), win, tester, query.SelectionOptions{}); err != nil {
+			return lats
+		}
+		lats = append(lats, time.Since(start))
+		if ready != nil {
+			close(ready)
+			ready = nil
+		}
+	}
+}
+
+func (r *Runner) ingestPoint(config string, wall time.Duration, ops int, ws wal.Stats, lats []time.Duration) IngestPoint {
+	p := IngestPoint{Config: config, Wall: wall, Ops: ops, MeanBatch: ws.MeanBatch(), Reads: len(lats)}
+	if wall > 0 {
+		p.OpsPerSec = float64(ops) / wall.Seconds()
+	}
+	if len(lats) > 0 {
+		sorted := append([]time.Duration(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		p.ReadP50 = sorted[len(sorted)/2]
+		p.ReadMax = sorted[len(sorted)-1]
+	}
+	r.printf("%-22s %10.3f %8d %10.0f %9.2f %7d %10.0f %10.0f\n",
+		config, ms(p.Wall), p.Ops, p.OpsPerSec, p.MeanBatch, p.Reads,
+		float64(p.ReadP50)/float64(time.Microsecond), float64(p.ReadMax)/float64(time.Microsecond))
+	return p
+}
+
+// IngestRecords flattens the live-ingestion soak: one record per arm
+// (acknowledged ops in Results, reads observed in Tests), plus one
+// record per read-latency percentile so the trajectory of both write
+// and read costs is tracked.
+func IngestRecords(rows []IngestResult, scale float64) []BenchRecord {
+	var out []BenchRecord
+	for _, row := range rows {
+		for _, p := range row.Points {
+			out = append(out, BenchRecord{
+				Experiment: "ingest", Workload: row.Dataset, Tester: p.Config,
+				Scale:   scale,
+				WallMS:  ms(p.Wall),
+				Results: p.Ops,
+				Tests:   int64(p.Reads),
+			})
+			if p.Reads > 0 {
+				out = append(out,
+					BenchRecord{
+						Experiment: "ingest", Workload: row.Dataset, Tester: p.Config,
+						Param: "read=p50", Scale: scale, WallMS: ms(p.ReadP50),
+					},
+					BenchRecord{
+						Experiment: "ingest", Workload: row.Dataset, Tester: p.Config,
+						Param: "read=max", Scale: scale, WallMS: ms(p.ReadMax),
+					})
+			}
+		}
+	}
+	return out
+}

@@ -23,6 +23,7 @@ package faultinject
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +46,18 @@ const (
 	// instrumented protocol site (mid-response, mid-read). Only the
 	// server's Disconnect checks consult it.
 	KindDisconnect
+	// KindCrash kills the whole process with CrashExitCode at the
+	// instrumented durability site. Only the WriteFault checks in the WAL
+	// and compactor consult it; the crash-recovery harness re-execs the
+	// process and verifies the ack contract afterwards.
+	KindCrash
+	// KindShortWrite makes the instrumented write persist only a prefix of
+	// its buffer (a torn write). Only WriteFault checks consult it.
+	KindShortWrite
+	// KindIOError makes the instrumented I/O call report failure (modeling
+	// an fsync or write error from the kernel). Only WriteFault checks
+	// consult it.
+	KindIOError
 
 	numKinds
 )
@@ -60,6 +73,12 @@ func (k Kind) String() string {
 		return "wrong-answer"
 	case KindDisconnect:
 		return "disconnect"
+	case KindCrash:
+		return "crash"
+	case KindShortWrite:
+		return "short-write"
+	case KindIOError:
+		return "io-error"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -94,7 +113,45 @@ const (
 	// SiteServerWrite fires per response line as it is written; a
 	// disconnect here severs the connection mid-response.
 	SiteServerWrite = "server.write"
+
+	// Durability sites, instrumented by internal/wal and the ingest
+	// compactor. Crash faults here model power loss at the exact
+	// instruction; short writes model torn appends; io-errors model the
+	// kernel failing an fsync. The crash-recovery harness arms each in
+	// turn and verifies the ack contract across a process kill.
+	//
+	// SiteWALWrite fires before a group-commit batch is written to the
+	// active segment (crash = batch lost before it hit the file).
+	SiteWALWrite = "wal.write"
+	// SiteWALFsync fires after the batch write, before fsync (crash =
+	// batch in the page cache only, legitimately lost: nothing acked).
+	SiteWALFsync = "wal.fsync"
+	// SiteWALFsynced fires after fsync succeeds, before the waiters are
+	// acked (crash = durable but unacked; recovery may surface it).
+	SiteWALFsynced = "wal.fsynced"
+	// SiteWALRotate fires when the log opens a fresh segment file.
+	SiteWALRotate = "wal.rotate"
+	// SiteCompactSave fires before the compactor writes the new snapshot
+	// generation.
+	SiteCompactSave = "compact.save"
+	// SiteCompactPublish fires after the snapshot rename, before the live
+	// table swaps to the new generation.
+	SiteCompactPublish = "compact.publish"
+	// SiteCompactTruncate fires after the swap, before WAL truncation
+	// (crash = stale-but-idempotent WAL records survive).
+	SiteCompactTruncate = "compact.truncate"
 )
+
+// CrashExitCode is the status a KindCrash fault exits the process with,
+// so harnesses can tell an injected crash from a genuine failure.
+const CrashExitCode = 86
+
+// Crash kills the process the way an injected KindCrash fault does.
+// Exposed so callers that must die after partial work (e.g. a torn write)
+// share the exit code with WriteFault-driven crashes.
+func Crash() {
+	os.Exit(CrashExitCode)
+}
 
 // Panic is the value thrown by an injected KindPanic fault. Recovery code
 // can use IsInjected to distinguish scheduled faults from genuine bugs.
@@ -119,6 +176,10 @@ func IsInjected(r any) bool {
 type rule struct {
 	kind Kind
 	rate float64
+	// seq, when ≥ 0, pins the rule to exactly one site-local call number
+	// (the crash harness uses this to kill the process at the n-th fsync,
+	// not a random one). Negative means probabilistic by rate.
+	seq int64
 }
 
 // Injector decides, deterministically by seed and per-site call count,
@@ -157,7 +218,17 @@ func (in *Injector) Seed() int64 { return in.seed }
 func (in *Injector) Inject(site string, kind Kind, rate float64) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.rules[site] = append(in.rules[site], rule{kind: kind, rate: rate})
+	in.rules[site] = append(in.rules[site], rule{kind: kind, rate: rate, seq: -1})
+	return in
+}
+
+// InjectAt arms a fault kind that fires on exactly the seq-th call at the
+// site (0-based) and never otherwise. The crash harness iterates seq to
+// kill the process at every instrumented point in turn.
+func (in *Injector) InjectAt(site string, kind Kind, seq uint64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[site] = append(in.rules[site], rule{kind: kind, rate: 1, seq: int64(seq)})
 	return in
 }
 
@@ -207,7 +278,13 @@ func (in *Injector) decide(site string) (kinds []Kind, seq uint64, delay time.Du
 	seq = in.seq[site]
 	in.seq[site] = seq + 1
 	for _, r := range in.rules[site] {
-		if fires(in.seed, site, r.kind, seq, r.rate) {
+		hit := false
+		if r.seq >= 0 {
+			hit = uint64(r.seq) == seq
+		} else {
+			hit = fires(in.seed, site, r.kind, seq, r.rate)
+		}
+		if hit {
 			kinds = append(kinds, r.kind)
 			m := in.fired[site]
 			if m == nil {
@@ -255,6 +332,47 @@ func (in *Injector) Disconnect(site string) bool {
 	return in.check(site, KindDisconnect)
 }
 
+// IOFault reports which durability faults fired at a site on one call.
+// Callers act on the fields in torn-write order: a short write persists a
+// prefix, a crash kills the process, an error is reported to the writer.
+type IOFault struct {
+	Crash bool // KindCrash fired: kill the process (faultinject.Crash)
+	Short bool // KindShortWrite fired: persist only a prefix
+	Err   bool // KindIOError fired: report the operation as failed
+}
+
+// Any reports whether any durability fault fired.
+func (f IOFault) Any() bool { return f.Crash || f.Short || f.Err }
+
+// WriteFault evaluates the site's rules for one durability operation and
+// reports which crash/short-write/io-error kinds fired; delay and panic
+// rules armed at the same site take their usual side effects first. One
+// call advances the site's sequence once, so a crash pinned to call n via
+// InjectAt lines up with the n-th instrumented operation.
+func (in *Injector) WriteFault(site string) IOFault {
+	kinds, seq, delay := in.decide(site)
+	var f IOFault
+	doPanic := false
+	for _, k := range kinds {
+		switch k {
+		case KindDelay:
+			time.Sleep(delay)
+		case KindPanic:
+			doPanic = true
+		case KindCrash:
+			f.Crash = true
+		case KindShortWrite:
+			f.Short = true
+		case KindIOError:
+			f.Err = true
+		}
+	}
+	if doPanic {
+		panic(Panic{Site: site, Seq: seq})
+	}
+	return f
+}
+
 // check evaluates the site's rules for this call, applying delay and
 // panic side effects, and reports whether the wanted kind fired.
 func (in *Injector) check(site string, want Kind) bool {
@@ -279,12 +397,14 @@ func (in *Injector) check(site string, want Kind) bool {
 // ParseSpec builds an injector from a single seed and a textual fault
 // specification of the form
 //
-//	site=kind:rate[,site=kind:rate...]
+//	site=kind:rate[@seq][,site=kind:rate...]
 //
-// e.g. "tester.hwfilter=wrong-answer:1,server.read=delay:0.05". Kind
-// names match Kind.String(). The whole schedule derives from the one
-// seed, which callers should log so runs are reproducible. An empty spec
-// yields an armed-nothing injector.
+// e.g. "tester.hwfilter=wrong-answer:1,server.read=delay:0.05", or with
+// the @seq suffix "wal.fsync=crash:1@3" to fire on exactly the fourth
+// call at the site (the crash harness's per-point targeting; the rate is
+// then ignored). Kind names match Kind.String(). The whole schedule
+// derives from the one seed, which callers should log so runs are
+// reproducible. An empty spec yields an armed-nothing injector.
 func ParseSpec(seed int64, spec string) (*Injector, error) {
 	in := New(seed)
 	if spec == "" {
@@ -307,11 +427,24 @@ func ParseSpec(seed int64, spec string) (*Injector, error) {
 		if err != nil {
 			return nil, fmt.Errorf("faultinject: bad spec entry %q: %w", part, err)
 		}
-		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		rateStr = strings.TrimSpace(rateStr)
+		seqStr := ""
+		if r, s, ok := strings.Cut(rateStr, "@"); ok {
+			rateStr, seqStr = strings.TrimSpace(r), strings.TrimSpace(s)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
 		if err != nil || rate < 0 || rate > 1 {
 			return nil, fmt.Errorf("faultinject: bad rate in spec entry %q: want a number in [0,1]", part)
 		}
-		in.Inject(strings.TrimSpace(site), kind, rate)
+		if seqStr != "" {
+			seq, err := strconv.ParseUint(seqStr, 10, 63)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad @seq in spec entry %q: want a non-negative integer", part)
+			}
+			in.InjectAt(strings.TrimSpace(site), kind, seq)
+		} else {
+			in.Inject(strings.TrimSpace(site), kind, rate)
+		}
 	}
 	return in, nil
 }
@@ -323,7 +456,7 @@ func parseKind(name string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown fault kind %q (want panic, delay, wrong-answer or disconnect)", name)
+	return 0, fmt.Errorf("unknown fault kind %q (want panic, delay, wrong-answer, disconnect, crash, short-write or io-error)", name)
 }
 
 // Hook adapts the injector to the raster package's hook field

@@ -1,0 +1,246 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/faultinject"
+	"repro/internal/wal"
+)
+
+// The crash harness re-executes this test binary as a child that runs a
+// fixed ingestion script with a crash fault armed at one exact call of
+// one durability site (wal.write, wal.fsync, wal.fsynced, compact.save,
+// compact.publish, compact.truncate), killing the process mid-operation
+// with faultinject.CrashExitCode. The parent then recovers the table
+// fault-free and checks the whole durability contract:
+//
+//   - every acked operation survived (ack line printed after Wait);
+//   - the recovered state is an exact LSN-prefix of the script — no
+//     half-applied operation, no reordering;
+//   - the recovered table is bit-identical to a from-scratch build of
+//     that prefix (expectParity's canonical-order and self-join oracle).
+//
+// Script ops are sequential, so op k (0-based) carries LSN k+1 and the
+// oracle prefix is just the first AppliedLSN ops.
+
+const (
+	crashChildEnv = "INGEST_CRASH_CHILD"
+	crashSpecEnv  = "INGEST_CRASH_SPEC"
+	crashDirEnv   = "INGEST_CRASH_DIR"
+)
+
+// crashScript is the deterministic child workload: enough inserts and
+// deletes to span several group commits and segment rotations, with a
+// compaction in the middle so the compact.* sites get real traffic.
+func crashScript() ([]scriptOp, int) {
+	ops := fixtureScript(24)
+	return ops, len(ops) / 2 // compact after this many ops
+}
+
+// TestCrashChild is only meaningful when re-executed by the harness.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv(crashChildEnv) == "" {
+		t.Skip("harness child entry point")
+	}
+	inj, err := faultinject.ParseSpec(1, os.Getenv(crashSpecEnv))
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	tab, err := OpenTable(os.Getenv(crashDirEnv), "crash", TableOptions{
+		WAL:    wal.Options{SegmentBytes: 2 << 10, Faults: inj},
+		Faults: inj,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ops, compactAt := crashScript()
+	for i, op := range ops {
+		if i == compactAt {
+			if err := tab.Compact(bg); err != nil {
+				fmt.Printf("ERR compact: %v\n", err)
+				os.Exit(3)
+			}
+			fmt.Println("COMPACTED")
+		}
+		if op.insert != nil {
+			if _, err := tab.Insert(bg, op.insert); err != nil {
+				fmt.Printf("ERR op %d: %v\n", i, err)
+				os.Exit(3)
+			}
+		} else if err := tab.Delete(bg, op.delete); err != nil {
+			fmt.Printf("ERR op %d: %v\n", i, err)
+			os.Exit(3)
+		}
+		fmt.Printf("ACK %d\n", i)
+	}
+	if err := tab.Close(); err != nil {
+		fmt.Printf("ERR close: %v\n", err)
+		os.Exit(3)
+	}
+	fmt.Println("DONE")
+}
+
+// runCrashChild executes the scripted child with the fault spec and
+// returns its acked op count, whether it crashed with the injected exit
+// code, and whether it ran the script to completion.
+func runCrashChild(t *testing.T, dir, spec string) (acked int, crashed, done bool) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		crashSpecEnv+"="+spec,
+		crashDirEnv+"="+dir,
+	)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	acked = -1
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if n, ok := strings.CutPrefix(line, "ACK "); ok {
+			v, perr := strconv.Atoi(n)
+			if perr != nil || v != acked+1 {
+				t.Fatalf("spec %s: bad ack line %q after %d", spec, line, acked)
+			}
+			acked = v
+		}
+		if line == "DONE" {
+			done = true
+		}
+		if strings.HasPrefix(line, "ERR ") {
+			t.Fatalf("spec %s: child error: %s", spec, line)
+		}
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		if code := ee.ExitCode(); code == faultinject.CrashExitCode {
+			crashed = true
+		} else {
+			t.Fatalf("spec %s: child exit %d: %s", spec, code, out.String())
+		}
+	} else if err != nil {
+		t.Fatalf("spec %s: child: %v", spec, err)
+	}
+	return acked, crashed, done
+}
+
+// verifyRecovered opens the crashed table fault-free and checks the
+// durability contract against the script oracle.
+func verifyRecovered(t *testing.T, dir, spec string, acked int) {
+	t.Helper()
+	tab, err := OpenTable(dir, "crash", TableOptions{})
+	if err != nil {
+		t.Fatalf("spec %s: recovery open: %v", spec, err)
+	}
+	defer tab.Close()
+	ops, _ := crashScript()
+	applied := tab.Stats().AppliedLSN
+	if applied > uint64(len(ops)) {
+		t.Fatalf("spec %s: applied LSN %d beyond script length %d", spec, applied, len(ops))
+	}
+	// Acked op k has LSN k+1; all acked writes must have been recovered.
+	if applied < uint64(acked+1) {
+		t.Fatalf("spec %s: lost acked writes: applied LSN %d < %d acked ops", spec, applied, acked+1)
+	}
+	// The recovered state must be exactly the LSN-prefix — bit-identical
+	// to a from-scratch build, no half-applied trailing operation.
+	expectParity(t, tab, oracle(ops, int(applied)))
+}
+
+// TestCrashRecoveryAtEveryInjectedPoint walks a crash over every call of
+// every durability fault site and proves recovery after each one. It
+// re-executes the test binary, so it inherits -race from the parent run.
+func TestCrashRecoveryAtEveryInjectedPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many child processes")
+	}
+	type sitePlan struct {
+		site string
+		kind string
+	}
+	plans := []sitePlan{
+		{faultinject.SiteWALWrite, "crash"},
+		{faultinject.SiteWALFsync, "crash"},
+		{faultinject.SiteWALFsynced, "crash"},
+		{faultinject.SiteCompactSave, "crash"},
+		{faultinject.SiteCompactPublish, "crash"},
+		{faultinject.SiteCompactTruncate, "crash"},
+	}
+	for _, plan := range plans {
+		plan := plan
+		t.Run(plan.site, func(t *testing.T) {
+			t.Parallel()
+			crashes := 0
+			for seq := 0; ; seq++ {
+				spec := fmt.Sprintf("%s=%s:1@%d", plan.site, plan.kind, seq)
+				dir := t.TempDir()
+				acked, crashed, done := runCrashChild(t, dir, spec)
+				if !crashed && !done {
+					t.Fatalf("spec %s: child neither crashed nor finished", spec)
+				}
+				verifyRecovered(t, dir, spec, acked)
+				if done {
+					// seq exceeded the site's call count: the walk
+					// covered every injected point.
+					break
+				}
+				crashes++
+				if seq > 200 {
+					t.Fatalf("site %s never ran out of calls", plan.site)
+				}
+			}
+			if crashes == 0 {
+				t.Fatalf("site %s: no crash ever fired — site not exercised by the script", plan.site)
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryTornWrite arms a short write plus crash on the same
+// batch: the tail record is half on disk, and recovery must truncate it
+// rather than apply it.
+func TestCrashRecoveryTornWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	for seq := 0; seq < 4; seq++ {
+		spec := fmt.Sprintf("wal.write=short-write:1@%d,wal.write=crash:1@%d", seq, seq)
+		dir := t.TempDir()
+		acked, crashed, done := runCrashChild(t, dir, spec)
+		if !crashed && !done {
+			t.Fatalf("spec %s: child neither crashed nor finished", spec)
+		}
+		verifyRecovered(t, dir, spec, acked)
+	}
+}
+
+// TestCrashChildFixtureIsRealistic pins the script shape the harness
+// depends on: several group-commit batches, at least one rotation before
+// the mid-script compaction, and deletes mixed in.
+func TestCrashChildFixtureIsRealistic(t *testing.T) {
+	ops, compactAt := crashScript()
+	inserts, deletes := 0, 0
+	for _, op := range ops {
+		if op.insert != nil {
+			inserts++
+		} else {
+			deletes++
+		}
+	}
+	if inserts < 15 || deletes < 3 {
+		t.Fatalf("script too small: %d inserts, %d deletes", inserts, deletes)
+	}
+	if compactAt <= deletes || compactAt >= len(ops)-3 {
+		t.Fatalf("compaction point %d does not split the script", compactAt)
+	}
+	_ = data.MustLoad("LANDC", 0.01) // the fixture the script draws from
+}

@@ -1,0 +1,248 @@
+package query
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/geom"
+)
+
+// Live is a mutable overlay over an immutable base layer: live inserts
+// accumulate in an in-memory delta, deletes tombstone base or delta
+// objects by stable id. Every object ever stored keeps a stable uint64
+// id; ids are strictly increasing in canonical order (base survivors
+// keep the base's increasing ids, inserts always get larger ones), an
+// invariant that survives compaction inductively and is what lets Has
+// and deletes binary-search the base.
+//
+// Live applies mutations; durability is the caller's job (the ingest
+// table appends to the WAL under the same lock, so recovery replay order
+// equals in-memory apply order). All methods are safe for concurrent
+// use; View returns an immutable snapshot of the current state, rebuilt
+// lazily after mutations and cached between them.
+type Live struct {
+	mu   sync.Mutex
+	base *Layer
+	// baseIDs are the base objects' stable ids, strictly increasing.
+	baseIDs []uint64
+	tomb    []bool
+	tombs   int
+
+	deltaObjs []*geom.Polygon
+	deltaIDs  []uint64
+	deltaDead []bool
+	deltaTomb int
+	deltaIdx  map[uint64]int // stable id → delta position
+
+	nextID     uint64
+	appliedLSN uint64
+
+	view *View // cached; nil after a mutation
+}
+
+// NewLive wraps base as a live table. ids are the base objects' stable
+// ids (nil = identity); nextID and appliedLSN come from the snapshot's
+// lineage (zero for a fresh in-memory table).
+func NewLive(base *Layer, ids []uint64, nextID, appliedLSN uint64) *Live {
+	n := len(base.Data.Objects)
+	if ids == nil {
+		ids = make([]uint64, n)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+	}
+	if n > 0 && nextID <= ids[n-1] {
+		nextID = ids[n-1] + 1
+	}
+	return &Live{
+		base:       base,
+		baseIDs:    ids,
+		tomb:       make([]bool, n),
+		deltaIdx:   map[uint64]int{},
+		nextID:     nextID,
+		appliedLSN: appliedLSN,
+	}
+}
+
+// ReserveID hands out the next stable id (called before the WAL append
+// so the id is part of the durable record).
+func (lv *Live) ReserveID() uint64 {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	id := lv.nextID
+	lv.nextID++
+	return id
+}
+
+// Has reports whether an alive object with the stable id exists.
+func (lv *Live) Has(id uint64) bool {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return lv.findLocked(id) != liveNone
+}
+
+type liveWhere int
+
+const (
+	liveNone liveWhere = iota
+	liveBase
+	liveDelta
+)
+
+// findLocked locates an alive object by stable id.
+func (lv *Live) findLocked(id uint64) liveWhere {
+	if i, ok := lv.deltaIdx[id]; ok {
+		if !lv.deltaDead[i] {
+			return liveDelta
+		}
+		return liveNone
+	}
+	i := sort.Search(len(lv.baseIDs), func(i int) bool { return lv.baseIDs[i] >= id })
+	if i < len(lv.baseIDs) && lv.baseIDs[i] == id && !lv.tomb[i] {
+		return liveBase
+	}
+	return liveNone
+}
+
+// ApplyInsert absorbs an insert that is (or is being made) durable at
+// lsn. The id must come from ReserveID or WAL replay; nextID advances
+// past it either way, so replay is idempotent with assignment.
+func (lv *Live) ApplyInsert(id uint64, p *geom.Polygon, lsn uint64) {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	lv.deltaIdx[id] = len(lv.deltaObjs)
+	lv.deltaObjs = append(lv.deltaObjs, p)
+	lv.deltaIDs = append(lv.deltaIDs, id)
+	lv.deltaDead = append(lv.deltaDead, false)
+	if id >= lv.nextID {
+		lv.nextID = id + 1
+	}
+	lv.appliedLSN = lsn
+	lv.view = nil
+}
+
+// ApplyDelete tombstones the object with the stable id, reporting
+// whether an alive object was found.
+func (lv *Live) ApplyDelete(id uint64, lsn uint64) bool {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	lv.appliedLSN = lsn
+	lv.view = nil
+	if i, ok := lv.deltaIdx[id]; ok && !lv.deltaDead[i] {
+		lv.deltaDead[i] = true
+		lv.deltaTomb++
+		return true
+	}
+	i := sort.Search(len(lv.baseIDs), func(i int) bool { return lv.baseIDs[i] >= id })
+	if i < len(lv.baseIDs) && lv.baseIDs[i] == id && !lv.tomb[i] {
+		lv.tomb[i] = true
+		lv.tombs++
+		return true
+	}
+	return false
+}
+
+// View returns the current snapshot ∪ delta − tombstones read view,
+// cached until the next mutation. The delta component's R-tree is
+// rebuilt on demand — O(delta) work, paid once per mutation batch, which
+// is the compaction pressure the background compactor relieves.
+func (lv *Live) View() *View {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	if lv.view != nil {
+		return lv.view
+	}
+	alive := len(lv.deltaObjs) - lv.deltaTomb
+	if lv.tombs == 0 && alive == 0 {
+		lv.view = lv.base.View()
+		return lv.view
+	}
+	v := &View{base: lv.base}
+	surv := len(lv.baseIDs)
+	if lv.tombs > 0 {
+		v.baseCanon = make([]int32, len(lv.baseIDs))
+		surv = 0
+		for i := range lv.baseIDs {
+			if lv.tomb[i] {
+				v.baseCanon[i] = -1
+			} else {
+				v.baseCanon[i] = int32(surv)
+				surv++
+			}
+		}
+	}
+	if alive > 0 {
+		objs := make([]*geom.Polygon, 0, alive)
+		v.deltaCanon = make([]int32, 0, alive)
+		for i, p := range lv.deltaObjs {
+			if !lv.deltaDead[i] {
+				v.deltaCanon = append(v.deltaCanon, int32(surv+len(objs)))
+				objs = append(objs, p)
+			}
+		}
+		v.delta = NewLayer(&data.Dataset{Name: lv.base.Data.Name + "+delta", Objects: objs})
+	}
+	v.numObjects = surv + alive
+	v.origin = lv.base.Origin + "+live"
+	lv.view = v
+	return lv.view
+}
+
+// Frozen is a consistent copy of a live table's canonical state, the
+// compactor's input: objects and their stable ids in canonical order,
+// plus the lineage values the new snapshot generation must carry.
+type Frozen struct {
+	Dataset    *data.Dataset
+	IDs        []uint64
+	NextID     uint64
+	AppliedLSN uint64
+	Delta      int // alive delta objects folded
+	Tombs      int // tombstones folded
+}
+
+// Freeze captures the canonical state for compaction. The returned
+// slices are fresh; mutations after Freeze do not affect them.
+func (lv *Live) Freeze() Frozen {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	alive := len(lv.deltaObjs) - lv.deltaTomb
+	n := len(lv.baseIDs) - lv.tombs + alive
+	objs := make([]*geom.Polygon, 0, n)
+	ids := make([]uint64, 0, n)
+	for i, p := range lv.base.Data.Objects {
+		if !lv.tomb[i] {
+			objs = append(objs, p)
+			ids = append(ids, lv.baseIDs[i])
+		}
+	}
+	for i, p := range lv.deltaObjs {
+		if !lv.deltaDead[i] {
+			objs = append(objs, p)
+			ids = append(ids, lv.deltaIDs[i])
+		}
+	}
+	return Frozen{
+		Dataset:    &data.Dataset{Name: lv.base.Data.Name, Objects: objs},
+		IDs:        ids,
+		NextID:     lv.nextID,
+		AppliedLSN: lv.appliedLSN,
+		Delta:      alive,
+		Tombs:      lv.tombs + lv.deltaTomb,
+	}
+}
+
+// AppliedLSN returns the LSN of the last absorbed mutation.
+func (lv *Live) AppliedLSN() uint64 {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return lv.appliedLSN
+}
+
+// Pending reports how much uncompacted state the table carries: alive
+// delta objects plus tombstones (the compactor's trigger input).
+func (lv *Live) Pending() int {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return len(lv.deltaObjs) - lv.deltaTomb + lv.tombs + lv.deltaTomb
+}

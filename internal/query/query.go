@@ -72,6 +72,11 @@ type Layer struct {
 	// breaker's own atomics.
 	breakerMu sync.Mutex
 	breakers  map[*Layer]*core.Breaker
+
+	// selfView caches the layer's single-component View (layers are
+	// immutable, so one view serves every query).
+	viewOnce sync.Once
+	selfView *View
 }
 
 // NewLayer bulk-loads an R-tree over the dataset's object MBRs.

@@ -55,6 +55,11 @@ type Stats struct {
 	EdgeIndexSkippedEdges int64 `json:"edge_index_skipped_edges"`
 	DirtyClearPixelsSaved int64 `json:"dirty_clear_pixels_saved"`
 
+	// Live-view composition (filled by serving layers when the query ran
+	// over an uncompacted snapshot ∪ delta view; zero for plain layers).
+	LiveDelta      int `json:"live_delta,omitempty"`
+	LiveTombstones int `json:"live_tombstones,omitempty"`
+
 	// Snapshot provenance (filled by serving layers when the queried layer
 	// was loaded from a store snapshot; zero otherwise).
 	SnapshotBytes    int64   `json:"snapshot_bytes,omitempty"`

@@ -39,20 +39,20 @@ type Catalog struct {
 	maxLayers int
 
 	mu   sync.Mutex // serializes writers only
-	snap atomic.Pointer[map[string]*query.Layer]
+	snap atomic.Pointer[map[string]query.Source]
 }
 
 // NewCatalog builds an empty catalog holding at most maxLayers layers
 // (0 means unlimited).
 func NewCatalog(maxLayers int) *Catalog {
 	c := &Catalog{maxLayers: maxLayers}
-	empty := map[string]*query.Layer{}
+	empty := map[string]query.Source{}
 	c.snap.Store(&empty)
 	return c
 }
 
-// Get returns the layer currently bound to name.
-func (c *Catalog) Get(name string) (*query.Layer, bool) {
+// Get returns the source (layer or live table) currently bound to name.
+func (c *Catalog) Get(name string) (query.Source, bool) {
 	l, ok := (*c.snap.Load())[name]
 	return l, ok
 }
@@ -61,14 +61,14 @@ func (c *Catalog) Get(name string) (*query.Layer, bool) {
 // beyond the layer limit returns a *CatalogFullError; rebinding an
 // existing name always succeeds (in-flight queries keep the layer they
 // already resolved).
-func (c *Catalog) Set(name string, l *query.Layer) error {
+func (c *Catalog) Set(name string, l query.Source) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := *c.snap.Load()
 	if _, exists := old[name]; !exists && c.maxLayers > 0 && len(old) >= c.maxLayers {
 		return &CatalogFullError{Limit: c.maxLayers}
 	}
-	next := make(map[string]*query.Layer, len(old)+1)
+	next := make(map[string]query.Source, len(old)+1)
 	for k, v := range old {
 		next[k] = v
 	}
@@ -100,16 +100,16 @@ func (c *Catalog) View() shellcmd.Store {
 }
 
 type catalogView struct {
-	snap map[string]*query.Layer
+	snap map[string]query.Source
 	live *Catalog
 }
 
-func (v *catalogView) Get(name string) (*query.Layer, bool) {
+func (v *catalogView) Get(name string) (query.Source, bool) {
 	l, ok := v.snap[name]
 	return l, ok
 }
 
-func (v *catalogView) Set(name string, l *query.Layer) error {
+func (v *catalogView) Set(name string, l query.Source) error {
 	return v.live.Set(name, l)
 }
 

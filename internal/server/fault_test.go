@@ -43,7 +43,7 @@ func checkCatalogIntact(t *testing.T, s *Server, water, prism *query.Layer, want
 	a, _ := s.Catalog().Get("water")
 	b, _ := s.Catalog().Get("prism")
 	tester := core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold})
-	pairs, _, err := query.IntersectionJoin(context.Background(), a, b, tester)
+	pairs, _, err := query.IntersectionJoin(context.Background(), a.(*query.Layer), b.(*query.Layer), tester)
 	if err != nil || len(pairs) != wantJoin {
 		t.Errorf("join over post-fault catalog = %d results, err %v; want %d",
 			len(pairs), err, wantJoin)

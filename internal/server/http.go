@@ -43,12 +43,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, Gauges{
+	g := Gauges{
 		Admission:       s.lim.snapshot(),
 		Layers:          s.catalog.Len(),
 		WatchdogActive:  s.dog.active(),
 		WatchdogCancels: s.dog.cancelCount(),
-	})
+	}
+	if s.cfg.Ingest != nil {
+		t := s.cfg.Ingest.Totals()
+		g.Ingest = &t
+	}
+	s.metrics.WritePrometheus(w, g)
 }
 
 // handleQuery runs one command per request: the cmd string comes from a

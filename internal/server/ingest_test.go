@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/wal"
+)
+
+// TestIngestOverWireAndMetrics drives the durable ingestion verbs over
+// the wire protocol end to end — live table creation, group-committed
+// inserts, a delete, live-view selects, explicit compaction — and then
+// asserts the wal_* / compaction_* counters on /metrics reflect the
+// traffic.
+func TestIngestOverWireAndMetrics(t *testing.T) {
+	// Tiny segments so the insert stream rotates the WAL and compaction
+	// has whole segments below the watermark to truncate.
+	m := ingest.NewManager(ingest.Options{
+		Dir:              t.TempDir(),
+		WAL:              wal.Options{SegmentBytes: 256},
+		DisableCompactor: true,
+	})
+	defer m.Close()
+	s := startServer(t, Config{Ingest: m})
+	c := dialWire(t, s.Addr().String())
+
+	if _, status := c.do(t, "live fleet"); status != "ok" {
+		t.Fatalf("live: %s", status)
+	}
+	// Unit squares marching right; squares 0/1 overlap, 1/2 overlap, etc.
+	for i := 0; i < 8; i++ {
+		x := float64(i) * 0.6
+		cmd := fmt.Sprintf("insert fleet POLYGON((%.1f 0, %.1f 0, %.1f 1, %.1f 1))", x, x+1, x+1, x)
+		lines, status := c.do(t, cmd)
+		if status != "ok" {
+			t.Fatalf("insert %d: %s %v", i, status, lines)
+		}
+		if len(lines) == 0 || !strings.Contains(lines[0], fmt.Sprintf("inserted id %d", i)) {
+			t.Fatalf("insert %d output: %v", i, lines)
+		}
+	}
+	if _, status := c.do(t, "delete fleet 3"); status != "ok" {
+		t.Fatalf("delete: %s", status)
+	}
+	if _, status := c.do(t, "delete fleet 99"); !strings.HasPrefix(status, "error:") {
+		t.Fatalf("delete of missing id: %s", status)
+	}
+
+	// Queries read the live snapshot ∪ delta view.
+	lines, status := c.do(t, "select fleet POLYGON((0 0, 10 0, 10 1, 0 1))")
+	if status != "ok" {
+		t.Fatalf("select: %s %v", status, lines)
+	}
+	if len(lines) == 0 || !strings.Contains(lines[0], "select: 7 results") {
+		t.Fatalf("live select output: %v", lines)
+	}
+	// knn needs a compacted table: typed refusal, not a wrong answer.
+	if _, status := c.do(t, "knn fleet POLYGON((0 0, 1 0, 1 1)) 3"); !strings.Contains(status, "compact") {
+		t.Fatalf("knn over live view: %s", status)
+	}
+
+	if lines, status := c.do(t, "compact fleet"); status != "ok" {
+		t.Fatalf("compact: %s %v", status, lines)
+	}
+	if _, status := c.do(t, "knn fleet POLYGON((0 0, 1 0, 1 1)) 3"); status != "ok" {
+		t.Fatalf("knn after compact: %s", status)
+	}
+
+	base := "http://" + s.HTTPAddr().String()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	code, body := httpGet(t, client, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	wantPositive := []string{
+		"spatiald_ingest_tables",
+		"spatiald_ingest_inserts_total",
+		"spatiald_ingest_deletes_total",
+		"spatiald_ingest_not_found_total",
+		"spatiald_wal_appends_total",
+		"spatiald_wal_batches_total",
+		"spatiald_wal_bytes_total",
+		"spatiald_wal_segments",
+		"spatiald_wal_truncated_segments_total",
+		"spatiald_compaction_runs_total",
+	}
+	for _, name := range wantPositive {
+		v, ok := metricValue(body, name)
+		if !ok {
+			t.Errorf("metrics missing %s:\n%s", name, body)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	if v, ok := metricValue(body, "spatiald_ingest_inserts_total"); !ok || v != 8 {
+		t.Errorf("spatiald_ingest_inserts_total = %v, want 8", v)
+	}
+	if v, ok := metricValue(body, "spatiald_live_delta_objects_total"); !ok || v <= 0 {
+		t.Errorf("spatiald_live_delta_objects_total = %v, want > 0 (live select ran pre-compaction)", v)
+	}
+	if v, ok := metricValue(body, "spatiald_compaction_seconds_total"); !ok || v <= 0 {
+		t.Errorf("spatiald_compaction_seconds_total = %v, want > 0", v)
+	}
+}
+
+// TestIngestDisabled pins the refusal when no manager is configured.
+func TestIngestDisabled(t *testing.T) {
+	s := startServer(t, Config{})
+	c := dialWire(t, s.Addr().String())
+	if _, status := c.do(t, "live nope"); !strings.HasPrefix(status, "error:") {
+		t.Fatalf("live without ingest: %s", status)
+	}
+}
+
+// TestIngestSurvivesServerRestart: a new server process (fresh manager
+// over the same data directory) recovers the table from snapshot + WAL.
+func TestIngestSurvivesServerRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	m1 := ingest.NewManager(ingest.Options{Dir: dir, DisableCompactor: true})
+	s1 := startServer(t, Config{Ingest: m1})
+	c1 := dialWire(t, s1.Addr().String())
+	c1.do(t, "live fleet")
+	for i := 0; i < 5; i++ {
+		x := float64(i) * 2
+		if _, status := c1.do(t, fmt.Sprintf("insert fleet POLYGON((%.0f 0, %.0f 0, %.0f 1, %.0f 1))", x, x+1, x+1, x)); status != "ok" {
+			t.Fatalf("insert %d: %s", i, status)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := ingest.NewManager(ingest.Options{Dir: dir, DisableCompactor: true})
+	defer m2.Close()
+	s2 := startServer(t, Config{Ingest: m2})
+	c2 := dialWire(t, s2.Addr().String())
+	lines, status := c2.do(t, "live fleet")
+	if status != "ok" {
+		t.Fatalf("live after restart: %s %v", status, lines)
+	}
+	if len(lines) == 0 || !strings.Contains(lines[0], "5 objects") {
+		t.Fatalf("recovered table: %v", lines)
+	}
+	if len(lines) == 0 || !strings.Contains(lines[0], "5 wal records recovered") {
+		t.Fatalf("recovery provenance: %v", lines)
+	}
+	// The id sequence continues across the restart.
+	if lines, status := c2.do(t, "insert fleet POLYGON((20 0, 21 0, 21 1, 20 1))"); status != "ok" || !strings.Contains(lines[0], "inserted id 5") {
+		t.Fatalf("post-restart insert: %s %v", status, lines)
+	}
+}
+
+var metricLineRE = regexp.MustCompile(`(?m)^(\S+) (\S+)$`)
+
+// metricValue extracts a bare (unlabelled) metric's value from an
+// exposition-format body.
+func metricValue(body, name string) (float64, bool) {
+	for _, m := range metricLineRE.FindAllStringSubmatch(body, -1) {
+		if m[1] == name {
+			v, err := strconv.ParseFloat(m[2], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/query"
 )
 
@@ -74,16 +75,23 @@ type Metrics struct {
 	BreakerRecoveries     atomic.Int64
 	BreakerOpenSkips      atomic.Int64
 	DeadlineExpirations   atomic.Int64
+
+	// Live-view composition counters: uncompacted delta objects and
+	// tombstones carried by the views that served queries.
+	LiveDelta      atomic.Int64
+	LiveTombstones atomic.Int64
 }
 
 // Gauges carries the point-in-time values the server samples alongside
 // the Metrics counters when rendering /metrics: the limiter's admission
-// snapshot, catalog size, and the watchdog's registry.
+// snapshot, catalog size, the watchdog's registry, and — when live
+// ingestion is enabled — the ingest manager's durability totals.
 type Gauges struct {
 	Admission       AdmissionStats
 	Layers          int
 	WatchdogActive  int
 	WatchdogCancels int64
+	Ingest          *ingest.Totals
 }
 
 func newMetrics() *Metrics {
@@ -123,6 +131,8 @@ func (m *Metrics) observe(st query.Stats, status Status, dur time.Duration) {
 		}
 		m.SnapshotLoadNS.Add(int64(st.SnapshotLoadMS * float64(time.Millisecond)))
 	}
+	m.LiveDelta.Add(int64(st.LiveDelta))
+	m.LiveTombstones.Add(int64(st.LiveTombstones))
 	m.SentinelChecks.Add(st.SentinelChecks)
 	m.SentinelDisagreements.Add(st.SentinelDisagreements)
 	m.BreakerTrips.Add(st.BreakerTrips)
@@ -187,4 +197,25 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges Gauges) {
 	g("spatiald_breaker_trips_total", m.BreakerTrips.Load())
 	g("spatiald_breaker_recoveries_total", m.BreakerRecoveries.Load())
 	g("spatiald_breaker_open_skips_total", m.BreakerOpenSkips.Load())
+	g("spatiald_live_delta_objects_total", m.LiveDelta.Load())
+	g("spatiald_live_tombstones_total", m.LiveTombstones.Load())
+	if t := gauges.Ingest; t != nil {
+		g("spatiald_ingest_tables", t.Tables)
+		g("spatiald_ingest_objects", t.Objects)
+		g("spatiald_ingest_pending", t.Pending)
+		g("spatiald_ingest_inserts_total", t.Inserts)
+		g("spatiald_ingest_deletes_total", t.Deletes)
+		g("spatiald_ingest_not_found_total", t.NotFound)
+		g("spatiald_wal_appends_total", t.WALAppends)
+		g("spatiald_wal_batches_total", t.WALBatches)
+		g("spatiald_wal_bytes_total", t.WALBytes)
+		g("spatiald_wal_rotations_total", t.WALRotations)
+		g("spatiald_wal_segments", t.WALSegments)
+		g("spatiald_wal_truncated_segments_total", t.WALTruncated)
+		g("spatiald_wal_recovered_records_total", t.WALRecovered)
+		g("spatiald_wal_torn_bytes_total", t.WALTornBytes)
+		g("spatiald_compaction_runs_total", t.Compactions)
+		g("spatiald_compaction_seconds_total", t.CompactMS/1e3)
+		g("spatiald_compaction_folded_total", t.CompactedFolded)
+	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/shellcmd"
 )
@@ -81,6 +82,13 @@ type Config struct {
 	// (so injected query-path faults exercise the serving layer's
 	// containment). Nil in production.
 	Faults *faultinject.Injector
+
+	// Ingest, when non-nil, enables the durable ingestion verbs (live,
+	// insert, delete, compact) on every session: live tables bind into
+	// the shared catalog next to plain layers, and the manager's
+	// durability totals are exported as wal_*/compaction_* metrics. The
+	// caller owns the manager's lifecycle (Close after Shutdown).
+	Ingest *ingest.Manager
 }
 
 // Server is a spatiald instance: listeners, shared catalog, admission
@@ -323,6 +331,7 @@ func (s *Server) newEngine() *shellcmd.Engine {
 			Budget:     s.cfg.DefaultBudget,
 		},
 		DataDir: s.cfg.DataDir,
+		Live:    s.cfg.Ingest,
 	}
 	if inj, every := s.cfg.Faults, s.cfg.SentinelEvery; inj != nil || every != 0 {
 		eng.NewTester = func(mode string) (*core.Tester, error) {

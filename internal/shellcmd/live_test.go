@@ -1,0 +1,175 @@
+package shellcmd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/query"
+)
+
+// liveEngine builds an engine with an ingest manager over a temp dir, the
+// shape spatiald uses when durable ingestion is enabled.
+func liveEngine(t *testing.T) *Engine {
+	t.Helper()
+	m := ingest.NewManager(ingest.Options{Dir: t.TempDir(), DisableCompactor: true})
+	t.Cleanup(func() { _ = m.Close() })
+	return &Engine{Store: MapStore{}, Live: m}
+}
+
+func execErr(e *Engine, line string) error {
+	var sb strings.Builder
+	_, err := e.Exec(context.Background(), line, &sb)
+	return err
+}
+
+func TestLiveIngestVerbs(t *testing.T) {
+	e := liveEngine(t)
+
+	out, res := exec(t, e, "live fleet")
+	if !strings.Contains(out, `live table "fleet": 0 objects`) {
+		t.Errorf("live output = %q", out)
+	}
+	if !res.Mutation || res.Stats.Op != "live" {
+		t.Errorf("live result = %+v", res)
+	}
+
+	// Overlapping unit squares: i and i+1 intersect, i and i+2 do not.
+	for i := 0; i < 6; i++ {
+		x := float64(i) * 0.6
+		out, res = exec(t, e, wktInsert("fleet", x))
+		if !strings.Contains(out, "inserted id") {
+			t.Errorf("insert %d output = %q", i, out)
+		}
+		if !res.Mutation {
+			t.Errorf("insert %d not a mutation", i)
+		}
+	}
+
+	out, sel := exec(t, e, "select fleet POLYGON ((0 0, 10 0, 10 1, 0 1))")
+	if sel.Stats.Results != 6 {
+		t.Errorf("live select = %d results (%q)", sel.Stats.Results, out)
+	}
+	if sel.Stats.LiveDelta != 6 || sel.Stats.LiveTombstones != 0 {
+		t.Errorf("live select provenance = +%d/-%d, want +6/-0",
+			sel.Stats.LiveDelta, sel.Stats.LiveTombstones)
+	}
+
+	out, del := exec(t, e, "delete fleet 2")
+	if !strings.Contains(out, "deleted id 2") {
+		t.Errorf("delete output = %q", out)
+	}
+	if !del.Mutation {
+		t.Error("delete not a mutation")
+	}
+	_, sel = exec(t, e, "select fleet POLYGON ((0 0, 10 0, 10 1, 0 1))")
+	if sel.Stats.Results != 5 {
+		t.Errorf("select after delete = %d results", sel.Stats.Results)
+	}
+	// id 2 lived in the delta (the base snapshot is empty), so the delete
+	// removes it outright rather than leaving a tombstone.
+	if sel.Stats.LiveDelta != 5 || sel.Stats.LiveTombstones != 0 {
+		t.Errorf("post-delete provenance = +%d/-%d, want +5/-0",
+			sel.Stats.LiveDelta, sel.Stats.LiveTombstones)
+	}
+
+	// Deleting a missing id is a typed NotFoundError, not a silent no-op.
+	err := execErr(e, "delete fleet 404")
+	var nf *ingest.NotFoundError
+	if !errors.As(err, &nf) || nf.ID != 404 {
+		t.Errorf("delete of missing id: %v", err)
+	}
+
+	// Self-join over the live view: squares overlap their neighbours.
+	_, join := exec(t, e, "join fleet fleet hw")
+	if join.Stats.Results == 0 {
+		t.Error("live self-join found no pairs")
+	}
+	if join.Stats.LiveDelta == 0 {
+		t.Error("live join carried no delta provenance")
+	}
+
+	// layers shows the uncompacted counts next to the live table.
+	out, _ = exec(t, e, "layers")
+	if !strings.Contains(out, "+5/-0 uncompacted") {
+		t.Errorf("layers output = %q", out)
+	}
+}
+
+func TestLiveUnsupportedAndCompact(t *testing.T) {
+	e := liveEngine(t)
+	exec(t, e, "live fleet")
+	for i := 0; i < 4; i++ {
+		exec(t, e, wktInsert("fleet", float64(i)*0.6))
+	}
+
+	// knn and overlay require a compacted single layer: typed refusal.
+	err := execErr(e, "knn fleet POLYGON ((0 0, 1 0, 1 1)) 2")
+	var lu *query.LiveUnsupportedError
+	if !errors.As(err, &lu) {
+		t.Errorf("knn over live view: %v", err)
+	}
+
+	out, res := exec(t, e, "compact fleet")
+	if !strings.Contains(out, `compacted "fleet"`) || !strings.Contains(out, "4 objects") {
+		t.Errorf("compact output = %q", out)
+	}
+	if !res.Mutation || res.Stats.Op != "compact" {
+		t.Errorf("compact result = %+v", res)
+	}
+
+	// Post-compaction the view is a plain snapshot again: knn works and
+	// the provenance counters go quiet.
+	_, knn := exec(t, e, "knn fleet POLYGON ((0 0, 1 0, 1 1)) 2")
+	if knn.Stats.Results != 2 {
+		t.Errorf("knn after compact = %d results", knn.Stats.Results)
+	}
+	_, sel := exec(t, e, "select fleet POLYGON ((0 0, 10 0, 10 1, 0 1))")
+	if sel.Stats.Results != 4 || sel.Stats.LiveDelta != 0 {
+		t.Errorf("post-compact select = %d results, +%d delta",
+			sel.Stats.Results, sel.Stats.LiveDelta)
+	}
+}
+
+func TestLiveVerbErrors(t *testing.T) {
+	// Without a manager, live is a clear refusal naming the missing
+	// subsystem; the other verbs fail at layer lookup like any bad name.
+	e := &Engine{Store: MapStore{}}
+	if err := execErr(e, "live x"); err == nil || !strings.Contains(err.Error(), "ingest") {
+		t.Errorf("live without manager: %v", err)
+	}
+	for _, line := range []string{"insert x POLYGON ((0 0, 1 0, 1 1))", "delete x 1", "compact x"} {
+		if err := execErr(e, line); err == nil {
+			t.Errorf("%q without manager succeeded", line)
+		}
+	}
+
+	el := liveEngine(t)
+	// insert/delete/compact against a plain (non-live) layer refuse.
+	exec(t, el, "gen water WATER 0.005")
+	if err := execErr(el, "insert water POLYGON ((0 0, 1 0, 1 1))"); err == nil || !strings.Contains(err.Error(), "not a live table") {
+		t.Errorf("insert into plain layer: %v", err)
+	}
+	if err := execErr(el, "delete water 0"); err == nil || !strings.Contains(err.Error(), "not a live table") {
+		t.Errorf("delete from plain layer: %v", err)
+	}
+	// Bad WKT and bad ids are argument errors.
+	exec(t, el, "live fleet")
+	if err := execErr(el, "insert fleet POLYGON ((0 0))"); err == nil {
+		t.Error("degenerate polygon accepted")
+	}
+	if err := execErr(el, "delete fleet notanid"); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+	if err := execErr(el, "live bad/name"); err == nil {
+		t.Error("invalid table name accepted")
+	}
+}
+
+func wktInsert(table string, x float64) string {
+	return fmt.Sprintf("insert %s POLYGON ((%.2f 0, %.2f 0, %.2f 1, %.2f 1))",
+		table, x, x+1, x+1, x)
+}

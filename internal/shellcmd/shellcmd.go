@@ -28,16 +28,19 @@ import (
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/geom"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	snap "repro/internal/store"
 )
 
-// Store is the layer namespace a command executes against.
+// Store is the layer namespace a command executes against. Values are
+// query.Source: plain immutable layers and live ingesting tables bind
+// under the same names and every query verb works on both.
 type Store interface {
-	Get(name string) (*query.Layer, bool)
-	// Set binds a name to a layer; implementations may refuse (e.g. a
+	Get(name string) (query.Source, bool)
+	// Set binds a name to a source; implementations may refuse (e.g. a
 	// bounded server catalog).
-	Set(name string, l *query.Layer) error
+	Set(name string, s query.Source) error
 	Names() []string
 }
 
@@ -51,13 +54,13 @@ type Viewer interface {
 
 // MapStore is the plain single-session Store used by the interactive
 // shell and by stateless one-shot callers.
-type MapStore map[string]*query.Layer
+type MapStore map[string]query.Source
 
 // Get looks the name up.
-func (m MapStore) Get(name string) (*query.Layer, bool) { l, ok := m[name]; return l, ok }
+func (m MapStore) Get(name string) (query.Source, bool) { s, ok := m[name]; return s, ok }
 
 // Set binds the name; a MapStore never refuses.
-func (m MapStore) Set(name string, l *query.Layer) error { m[name] = l; return nil }
+func (m MapStore) Set(name string, s query.Source) error { m[name] = s; return nil }
 
 // Names lists the bound names, sorted.
 func (m MapStore) Names() []string {
@@ -119,6 +122,10 @@ type Engine struct {
 	// names: a path without a directory separator lands under DataDir,
 	// and a missing extension gets ".snap".
 	DataDir string
+	// Live, when set, enables the durable ingestion verbs (live, insert,
+	// delete, compact); tables open rooted at the manager's data
+	// directory. Nil disables ingestion with a clear error.
+	Live *ingest.Manager
 }
 
 // snapPath resolves a snapshot argument against the engine's DataDir.
@@ -186,6 +193,14 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 		return e.setTimeout(args, out)
 	case "budget":
 		return e.setBudget(args, out)
+	case "live":
+		return e.live(store, args, out)
+	case "insert":
+		return e.insert(ctx, store, line, out)
+	case "delete":
+		return e.deleteCmd(ctx, store, args, out)
+	case "compact":
+		return e.compact(ctx, store, args, out)
 	case "join":
 		return e.join(ctx, store, args, out)
 	case "pjoin":
@@ -218,18 +233,66 @@ const Help = `commands:
   knn <layer> <WKT POLYGON> <k>     k nearest objects to a query polygon
   timeout <duration|off>            bound each query (e.g. timeout 2s)
   budget <n|off>                    cap MBR candidates per query
+  live <name>                       open (or create) a durable live table
+  insert <table> <WKT POLYGON>      durably insert; acks after the WAL group commit
+  delete <table> <id>               durably tombstone the object with the stable id
+  compact <table>                   fold the live delta into a fresh snapshot generation
   quit                              leave
 
 Interrupted queries (timeout or budget) report their partial results and
-the typed error instead of failing silently.
+the typed error instead of failing silently. Queries over a live table
+read snapshot ∪ delta − tombstones; knn and overlay need a compacted
+table.
 `
 
-func layerOf(store Store, name string) (*query.Layer, error) {
-	l, ok := store.Get(name)
+// viewOf resolves a name to a point-in-time read view; live tables
+// compose snapshot ∪ delta − tombstones, plain layers are themselves.
+func viewOf(store Store, name string) (*query.View, error) {
+	s, ok := store.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("no layer %q (see layers)", name)
 	}
-	return l, nil
+	return s.View(), nil
+}
+
+// singleOf resolves a name for verbs that require an undecorated layer
+// (kNN's ordered index walk, the overlay join): live views with pending
+// mutations are refused with the typed compact-first error.
+func singleOf(store Store, name, op string) (*query.Layer, error) {
+	v, err := viewOf(store, name)
+	if err != nil {
+		return nil, err
+	}
+	if l, ok := v.Single(); ok {
+		return l, nil
+	}
+	return nil, &query.LiveUnsupportedError{Op: op}
+}
+
+// tableOf resolves a name to a live ingesting table.
+func tableOf(store Store, name string) (*ingest.Table, error) {
+	s, ok := store.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("no layer %q (see layers)", name)
+	}
+	t, ok := s.(*ingest.Table)
+	if !ok {
+		return nil, fmt.Errorf("layer %q is not a live table (bind one with live)", name)
+	}
+	return t, nil
+}
+
+// liveStats folds the views' live composition into the stats record so
+// access logs show when a query paid the uncompacted-delta price.
+func liveStats(st *query.Stats, views ...*query.View) {
+	for _, v := range views {
+		if _, ok := v.Single(); ok {
+			continue
+		}
+		_, delta, tombs := v.Counts()
+		st.LiveDelta += delta
+		st.LiveTombstones += tombs
+	}
 }
 
 func (e *Engine) gen(store Store, args []string, out io.Writer) (Result, error) {
@@ -311,12 +374,12 @@ func (e *Engine) save(store Store, args []string, out io.Writer) (Result, error)
 	if len(args) != 2 {
 		return Result{}, fmt.Errorf("usage: save <name> <path>")
 	}
-	l, err := layerOf(store, args[0])
+	v, err := viewOf(store, args[0])
 	if err != nil {
 		return Result{}, err
 	}
 	path := e.snapPath(args[1])
-	bs, err := snap.Save(path, l.Data, snap.SaveOptions{Tool: "spatialdb"})
+	bs, err := snap.Save(path, v.Dataset(), snap.SaveOptions{Tool: "spatialdb"})
 	if err != nil {
 		return Result{}, err
 	}
@@ -332,8 +395,14 @@ func (e *Engine) listLayers(store Store, out io.Writer) {
 		return
 	}
 	for _, n := range names {
-		if l, ok := store.Get(n); ok {
-			fmt.Fprintf(out, "%-12s %6d objects  bounds %v  [%s]\n", n, len(l.Data.Objects), l.Data.Bounds(), l.Origin)
+		if s, ok := store.Get(n); ok {
+			v := s.View()
+			origin := v.Origin()
+			if _, single := v.Single(); !single {
+				_, delta, tombs := v.Counts()
+				origin = fmt.Sprintf("%s; +%d/-%d uncompacted", origin, delta, tombs)
+			}
+			fmt.Fprintf(out, "%-12s %6d objects  bounds %v  [%s]\n", n, v.NumObjects(), v.Dataset().Bounds(), origin)
 		}
 	}
 }
@@ -342,11 +411,11 @@ func (e *Engine) layerStats(store Store, args []string, out io.Writer) (Result, 
 	if len(args) != 1 {
 		return Result{}, fmt.Errorf("usage: stats <name>")
 	}
-	l, err := layerOf(store, args[0])
+	v, err := viewOf(store, args[0])
 	if err != nil {
 		return Result{}, err
 	}
-	s := l.Data.Stats()
+	s := v.Dataset().Stats()
 	fmt.Fprintf(out, "N=%d vertices min/avg/max = %d/%.0f/%d total=%d avgMBR=%.2fx%.2f\n",
 		s.N, s.MinVerts, s.AvgVerts, s.MaxVerts, s.TotalVerts, s.AvgMBRWidth, s.AvgMBRHeight)
 	return Result{Stats: query.Stats{Op: "stats"}}, nil
@@ -436,11 +505,11 @@ func (e *Engine) join(ctx context.Context, store Store, args []string, out io.Wr
 	if len(args) < 2 || len(args) > 3 {
 		return Result{}, fmt.Errorf("usage: join <a> <b> [sw|hw]")
 	}
-	a, err := layerOf(store, args[0])
+	a, err := viewOf(store, args[0])
 	if err != nil {
 		return Result{}, err
 	}
-	b, err := layerOf(store, args[1])
+	b, err := viewOf(store, args[1])
 	if err != nil {
 		return Result{}, err
 	}
@@ -454,15 +523,17 @@ func (e *Engine) join(ctx context.Context, store Store, args []string, out io.Wr
 	}
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
-	pairs, cost, qerr := query.IntersectionJoinOpt(qctx, a, b, tester,
+	pairs, cost, qerr := query.IntersectionJoinView(qctx, a, b, tester,
 		query.JoinOptions{MaxCandidates: e.Settings.Budget})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
 	}
 	report(out, "join", len(pairs), cost)
+	st := query.NewStats("join", len(pairs), cost, tester.Stats)
+	liveStats(&st, a, b)
 	return Result{
-		Stats:   query.NewStats("join", len(pairs), cost, tester.Stats),
+		Stats:   st,
 		Partial: note(out, qerr),
 	}, nil
 }
@@ -471,11 +542,11 @@ func (e *Engine) pjoin(ctx context.Context, store Store, args []string, out io.W
 	if len(args) < 2 || len(args) > 3 {
 		return Result{}, fmt.Errorf("usage: pjoin <a> <b> [workers]")
 	}
-	a, err := layerOf(store, args[0])
+	a, err := viewOf(store, args[0])
 	if err != nil {
 		return Result{}, err
 	}
-	b, err := layerOf(store, args[1])
+	b, err := viewOf(store, args[1])
 	if err != nil {
 		return Result{}, err
 	}
@@ -488,7 +559,7 @@ func (e *Engine) pjoin(ctx context.Context, store Store, args []string, out io.W
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
 	start := time.Now()
-	pairs, stats, qerr := query.ParallelIntersectionJoin(qctx, a, b,
+	pairs, stats, qerr := query.ParallelIntersectionJoinView(qctx, a, b,
 		query.ParallelOptions{Workers: workers, MaxCandidates: e.Settings.Budget})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
@@ -500,8 +571,10 @@ func (e *Engine) pjoin(ctx context.Context, store Store, args []string, out io.W
 		fmt.Fprintf(out, "; %d panics recovered, %d pairs quarantined", stats.Panics, stats.Quarantined)
 	}
 	fmt.Fprintln(out, ")")
+	st := query.NewStats("pjoin", len(pairs), query.Cost{}, stats)
+	liveStats(&st, a, b)
 	return Result{
-		Stats:   query.NewStats("pjoin", len(pairs), query.Cost{}, stats),
+		Stats:   st,
 		Partial: note(out, qerr),
 	}, nil
 }
@@ -510,11 +583,11 @@ func (e *Engine) within(ctx context.Context, store Store, args []string, out io.
 	if len(args) < 3 || len(args) > 4 {
 		return Result{}, fmt.Errorf("usage: within <a> <b> <D> [sw|hw]")
 	}
-	a, err := layerOf(store, args[0])
+	a, err := viewOf(store, args[0])
 	if err != nil {
 		return Result{}, err
 	}
-	b, err := layerOf(store, args[1])
+	b, err := viewOf(store, args[1])
 	if err != nil {
 		return Result{}, err
 	}
@@ -532,15 +605,17 @@ func (e *Engine) within(ctx context.Context, store Store, args []string, out io.
 	}
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
-	pairs, cost, qerr := query.WithinDistanceJoin(qctx, a, b, d, tester,
+	pairs, cost, qerr := query.WithinDistanceJoinView(qctx, a, b, d, tester,
 		query.DistanceFilterOptions{Use0Object: true, Use1Object: true, MaxCandidates: e.Settings.Budget})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
 	}
 	report(out, "within", len(pairs), cost)
+	st := query.NewStats("within", len(pairs), cost, tester.Stats)
+	liveStats(&st, a, b)
 	return Result{
-		Stats:   query.NewStats("within", len(pairs), cost, tester.Stats),
+		Stats:   st,
 		Partial: note(out, qerr),
 	}, nil
 }
@@ -549,11 +624,11 @@ func (e *Engine) overlay(ctx context.Context, store Store, args []string, out io
 	if len(args) != 2 {
 		return Result{}, fmt.Errorf("usage: overlay <a> <b>")
 	}
-	a, err := layerOf(store, args[0])
+	a, err := singleOf(store, args[0], "overlay")
 	if err != nil {
 		return Result{}, err
 	}
-	b, err := layerOf(store, args[1])
+	b, err := singleOf(store, args[1], "overlay")
 	if err != nil {
 		return Result{}, err
 	}
@@ -587,7 +662,7 @@ func (e *Engine) selectCmd(ctx context.Context, store Store, line string, out io
 	if !ok {
 		return Result{}, fmt.Errorf("usage: select <layer> <WKT POLYGON>")
 	}
-	l, err := layerOf(store, name)
+	v, err := viewOf(store, name)
 	if err != nil {
 		return Result{}, err
 	}
@@ -601,15 +676,17 @@ func (e *Engine) selectCmd(ctx context.Context, store Store, line string, out io
 	}
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
-	ids, cost, qerr := query.IntersectionSelect(qctx, l, q, tester,
+	ids, cost, qerr := query.IntersectionSelectView(qctx, v, q, tester,
 		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: e.Settings.Budget})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
 	}
 	report(out, "select", len(ids), cost)
+	st := query.NewStats("select", len(ids), cost, tester.Stats)
+	liveStats(&st, v)
 	return Result{
-		Stats:   query.NewStats("select", len(ids), cost, tester.Stats),
+		Stats:   st,
 		Partial: note(out, qerr),
 	}, nil
 }
@@ -620,7 +697,7 @@ func (e *Engine) knn(ctx context.Context, store Store, line string, out io.Write
 	if !ok {
 		return Result{}, fmt.Errorf("usage: knn <layer> <WKT POLYGON> <k>")
 	}
-	l, err := layerOf(store, name)
+	l, err := singleOf(store, name, "knn")
 	if err != nil {
 		return Result{}, err
 	}
@@ -648,6 +725,94 @@ func (e *Engine) knn(ctx context.Context, store Store, line string, out io.Write
 		Stats:   query.Stats{Op: "knn", Results: len(neighbors)},
 		Partial: note(out, qerr),
 	}, nil
+}
+
+func (e *Engine) live(store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 1 {
+		return Result{}, fmt.Errorf("usage: live <name>")
+	}
+	if e.Live == nil {
+		return Result{}, fmt.Errorf("live ingestion is not enabled on this engine")
+	}
+	t, err := e.Live.Open(args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	if err := store.Set(args[0], t); err != nil {
+		return Result{}, err
+	}
+	st := t.Stats()
+	fmt.Fprintf(out, "live table %q: %d objects (%d wal records recovered, applied lsn %d)\n",
+		args[0], st.Objects, st.WAL.Recovered, st.AppliedLSN)
+	return Result{Stats: query.Stats{Op: "live", Results: st.Objects}, Mutation: true}, nil
+}
+
+// insert takes the raw line because WKT contains spaces.
+func (e *Engine) insert(ctx context.Context, store Store, line string, out io.Writer) (Result, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "insert"))
+	name, wkt, ok := strings.Cut(rest, " ")
+	if !ok {
+		return Result{}, fmt.Errorf("usage: insert <table> <WKT POLYGON>")
+	}
+	t, err := tableOf(store, name)
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := geom.ParsePolygonWKT(wkt)
+	if err != nil {
+		return Result{}, err
+	}
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	start := time.Now()
+	id, err := t.Insert(qctx, p)
+	if err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(out, "inserted id %d into %q in %v (%d uncompacted)\n",
+		id, name, time.Since(start).Round(time.Microsecond), t.Pending())
+	return Result{Stats: query.Stats{Op: "insert", Results: 1}, Mutation: true}, nil
+}
+
+func (e *Engine) deleteCmd(ctx context.Context, store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 2 {
+		return Result{}, fmt.Errorf("usage: delete <table> <id>")
+	}
+	t, err := tableOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	id, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad id %q", args[1])
+	}
+	qctx, cancel := e.qctx(ctx)
+	defer cancel()
+	start := time.Now()
+	if err := t.Delete(qctx, id); err != nil {
+		return Result{}, err
+	}
+	fmt.Fprintf(out, "deleted id %d from %q in %v (%d uncompacted)\n",
+		id, args[0], time.Since(start).Round(time.Microsecond), t.Pending())
+	return Result{Stats: query.Stats{Op: "delete", Results: 1}, Mutation: true}, nil
+}
+
+func (e *Engine) compact(ctx context.Context, store Store, args []string, out io.Writer) (Result, error) {
+	if len(args) != 1 {
+		return Result{}, fmt.Errorf("usage: compact <table>")
+	}
+	t, err := tableOf(store, args[0])
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	if err := t.Compact(ctx); err != nil {
+		return Result{}, err
+	}
+	st := t.Stats()
+	fmt.Fprintf(out, "compacted %q in %v: %d objects, %d folded, wal truncated %d segments\n",
+		args[0], time.Since(start).Round(time.Microsecond), st.Objects, st.LastFolded, st.WAL.Truncated)
+	return Result{Stats: query.Stats{Op: "compact", Results: st.Objects}, Mutation: true}, nil
 }
 
 func report(out io.Writer, op string, results int, cost query.Cost) {

@@ -58,6 +58,7 @@ const (
 	secRTree      = 5 // packed STR R-tree (header + nodes + entry ids)
 	secEdgeBoxes  = 6 // per-object edge-index boxes (counts + flat rects)
 	secSigs       = 7 // per-object raster signatures (header + bitmaps)
+	secIDs        = 8 // per-object stable ids, n × uint64, strictly increasing
 )
 
 func sectionName(id uint32) string {
@@ -76,6 +77,8 @@ func sectionName(id uint32) string {
 		return "edgeboxes"
 	case secSigs:
 		return "signatures"
+	case secIDs:
+		return "ids"
 	default:
 		return fmt.Sprintf("section-%d", id)
 	}
@@ -116,6 +119,13 @@ type Meta struct {
 	SigRes     int    `json:"sig_res,omitempty"` // 0 = no signatures stored
 	Tool       string `json:"tool,omitempty"`
 	Created    string `json:"created,omitempty"` // RFC 3339
+
+	// Live-ingestion lineage (zero for load-only snapshots). NextID is
+	// the next stable object id the table will assign; AppliedLSN is the
+	// highest WAL LSN folded into this generation, so recovery replays
+	// only records beyond it.
+	NextID     uint64 `json:"next_id,omitempty"`
+	AppliedLSN uint64 `json:"applied_lsn,omitempty"`
 }
 
 // align8 rounds n up to the next multiple of 8.

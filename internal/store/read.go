@@ -59,6 +59,10 @@ type Snapshot struct {
 	sigRes   int
 	sigWords int
 	sigBits  []uint64
+
+	// Stable per-object ids (live-ingestion lineage). Nil when the
+	// section was omitted; readers then assume identity ids.
+	ids []uint64
 }
 
 // Open validates and loads the snapshot at path. The file is memory-
@@ -182,6 +186,14 @@ func openBytes(path string, raw []byte, forceCopy bool) (*Snapshot, error) {
 		if err := s.loadSignatures(path, b, forceCopy); err != nil {
 			return nil, err
 		}
+	}
+	if b, ok := sections[secIDs]; ok {
+		if err := s.loadIDs(path, b, forceCopy); err != nil {
+			return nil, err
+		}
+	}
+	if s.meta.NextID > 0 && s.nextIDFloor() > s.meta.NextID {
+		return nil, errf(path, "meta", "next id %d below the %d stored objects", s.meta.NextID, n)
 	}
 	return s, nil
 }
@@ -328,6 +340,34 @@ func (s *Snapshot) loadSignatures(path string, b []byte, forceCopy bool) error {
 	return nil
 }
 
+func (s *Snapshot) loadIDs(path string, b []byte, forceCopy bool) error {
+	n := s.meta.Objects
+	if len(b) != n*8 {
+		return errf(path, "ids", "length %d, want %d for %d objects", len(b), n*8, n)
+	}
+	ids := asUint64s(view(b, forceCopy))
+	for i := 1; i < n; i++ {
+		if ids[i] <= ids[i-1] {
+			return errf(path, "ids", "ids not strictly increasing at %d (%d after %d)", i, ids[i], ids[i-1])
+		}
+	}
+	if n > 0 && s.meta.NextID > 0 && ids[n-1] >= s.meta.NextID {
+		return errf(path, "ids", "id %d not below meta next id %d", ids[n-1], s.meta.NextID)
+	}
+	s.ids = ids
+	return nil
+}
+
+// nextIDFloor is the smallest NextID consistent with the stored objects.
+func (s *Snapshot) nextIDFloor() uint64 {
+	if n := s.meta.Objects; s.ids == nil && n > 0 {
+		return uint64(n)
+	} else if n > 0 {
+		return s.ids[n-1] + 1
+	}
+	return 0
+}
+
 // Close releases the snapshot's mapping, if any. Views handed out by the
 // accessors (datasets, signatures, edge boxes) must not be used after
 // Close; callers that keep a layer alive simply never close its snapshot.
@@ -388,6 +428,25 @@ func (s *Snapshot) HasSignatures() bool { return s.sigRes > 0 }
 
 // SigRes returns the stored signature resolution (0 when omitted).
 func (s *Snapshot) SigRes() int { return s.sigRes }
+
+// IDs returns the stored stable object ids (a view into the snapshot,
+// strictly increasing), or nil when the section was omitted — identity
+// ids then apply. The slice must not be mutated.
+func (s *Snapshot) IDs() []uint64 { return s.ids }
+
+// NextID returns the next stable id the live table should assign: the
+// persisted lineage value when present, otherwise the smallest id above
+// every stored object.
+func (s *Snapshot) NextID() uint64 {
+	if s.meta.NextID > 0 {
+		return s.meta.NextID
+	}
+	return s.nextIDFloor()
+}
+
+// AppliedLSN returns the highest WAL LSN folded into this snapshot
+// generation (0 for load-only snapshots).
+func (s *Snapshot) AppliedLSN() uint64 { return s.meta.AppliedLSN }
 
 // Signature returns object id's persisted raster signature (a view into
 // the snapshot), or an invalid zero signature when none are stored.

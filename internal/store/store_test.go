@@ -310,3 +310,62 @@ func TestSnapshotCorruption(t *testing.T) {
 		}
 	})
 }
+
+// TestSnapshotIDLineage pins the live-ingestion lineage round trip: the
+// ids section, NextID, and AppliedLSN survive save → open on both read
+// paths, and structurally invalid ids are rejected at save and at open.
+func TestSnapshotIDLineage(t *testing.T) {
+	d := testDataset(t)
+	n := len(d.Objects)
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i*3 + 7) // sparse, strictly increasing
+	}
+	opts := SaveOptions{IDs: ids, NextID: ids[n-1] + 5, AppliedLSN: 42}
+	path, _ := saveTemp(t, d, opts)
+
+	for _, forceCopy := range []bool{false, true} {
+		s, err := Open(path, OpenOptions{ForceCopy: forceCopy})
+		if err != nil {
+			t.Fatalf("open (forceCopy=%v): %v", forceCopy, err)
+		}
+		got := s.IDs()
+		if len(got) != n {
+			t.Fatalf("IDs len %d, want %d", len(got), n)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("id %d = %d, want %d", i, got[i], ids[i])
+			}
+		}
+		if s.NextID() != opts.NextID {
+			t.Fatalf("NextID %d, want %d", s.NextID(), opts.NextID)
+		}
+		if s.AppliedLSN() != 42 {
+			t.Fatalf("AppliedLSN %d, want 42", s.AppliedLSN())
+		}
+		s.Close()
+	}
+
+	// Load-only snapshots fall back to identity lineage.
+	plain, _ := saveTemp(t, d, SaveOptions{})
+	s, err := Open(plain, OpenOptions{})
+	if err != nil {
+		t.Fatalf("open plain: %v", err)
+	}
+	defer s.Close()
+	if s.IDs() != nil || s.NextID() != uint64(n) || s.AppliedLSN() != 0 {
+		t.Fatalf("plain lineage: ids=%v next=%d lsn=%d", s.IDs(), s.NextID(), s.AppliedLSN())
+	}
+
+	// The writer refuses non-increasing ids and a NextID at or below the
+	// largest stored id.
+	bad := append([]uint64(nil), ids...)
+	bad[1] = bad[0]
+	if _, err := Save(filepath.Join(t.TempDir(), "bad.snap"), d, SaveOptions{IDs: bad}); err == nil {
+		t.Fatal("save accepted non-increasing ids")
+	}
+	if _, err := Save(filepath.Join(t.TempDir(), "bad2.snap"), d, SaveOptions{IDs: ids, NextID: ids[n-1]}); err == nil {
+		t.Fatal("save accepted NextID <= max id")
+	}
+}

@@ -27,6 +27,15 @@ type SaveOptions struct {
 	NoEdgeBoxes bool
 	// Tool is recorded in the meta section as provenance.
 	Tool string
+
+	// IDs persists per-object stable ids (the ids section); must be nil
+	// or exactly one strictly-increasing id per object. Load-only
+	// snapshots omit it and readers assume identity ids.
+	IDs []uint64
+	// NextID and AppliedLSN record live-ingestion lineage in the meta
+	// section; zero values are omitted (load-only snapshots).
+	NextID     uint64
+	AppliedLSN uint64
 }
 
 // BuildStats reports what Save produced.
@@ -92,6 +101,19 @@ func buildSections(d *data.Dataset, opts SaveOptions) ([]section, BuildStats, er
 	if tool == "" {
 		tool = "repro/store"
 	}
+	if opts.IDs != nil {
+		if len(opts.IDs) != n {
+			return nil, BuildStats{}, fmt.Errorf("store: %d ids for %d objects", len(opts.IDs), n)
+		}
+		for i := 1; i < n; i++ {
+			if opts.IDs[i] <= opts.IDs[i-1] {
+				return nil, BuildStats{}, fmt.Errorf("store: ids not strictly increasing at %d", i)
+			}
+		}
+		if n > 0 && opts.NextID > 0 && opts.IDs[n-1] >= opts.NextID {
+			return nil, BuildStats{}, fmt.Errorf("store: id %d not below next id %d", opts.IDs[n-1], opts.NextID)
+		}
+	}
 	meta, err := json.Marshal(Meta{
 		Name:       d.Name,
 		Objects:    n,
@@ -99,6 +121,8 @@ func buildSections(d *data.Dataset, opts SaveOptions) ([]section, BuildStats, er
 		SigRes:     sigRes,
 		Tool:       tool,
 		Created:    time.Now().UTC().Format(time.RFC3339),
+		NextID:     opts.NextID,
+		AppliedLSN: opts.AppliedLSN,
 	})
 	if err != nil {
 		return nil, BuildStats{}, fmt.Errorf("store: encode meta: %w", err)
@@ -138,6 +162,13 @@ func buildSections(d *data.Dataset, opts SaveOptions) ([]section, BuildStats, er
 	}
 	if sigRes > 0 {
 		secs = append(secs, section{secSigs, encodeSignatures(d, sigRes)})
+	}
+	if opts.IDs != nil {
+		ids := make([]byte, 0, n*8)
+		for _, id := range opts.IDs {
+			ids = binary.LittleEndian.AppendUint64(ids, id)
+		}
+		secs = append(secs, section{secIDs, ids})
 	}
 	return secs, BuildStats{Objects: n, TotalVerts: totalVerts, SigRes: sigRes}, nil
 }
@@ -270,6 +301,17 @@ func writeAtomic(path string, blob []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: rename into %s: %w", path, err)
+	}
+	// The file's bytes are durable, but the rename lives in the directory:
+	// without fsyncing the directory a power loss can resurrect the old
+	// entry (or none), un-publishing an acked snapshot.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
 	}
 	return nil
 }
