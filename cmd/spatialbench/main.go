@@ -77,7 +77,7 @@ func main() {
 		defer cancel()
 		r.Ctx = ctx
 	}
-	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull", "locality", "coldstart", "ingest"}
+	all := []string{"table2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "hull", "locality", "coldstart", "ingest", "shard"}
 	want := map[string]bool{}
 	if *exp == "all" {
 		for _, e := range all {
@@ -108,6 +108,9 @@ func main() {
 		},
 		"ingest": func() []experiments.BenchRecord {
 			return experiments.IngestRecords(r.Ingest(), sc)
+		},
+		"shard": func() []experiments.BenchRecord {
+			return experiments.ShardRecords(r.Shard(), sc)
 		},
 	}
 	var records []experiments.BenchRecord

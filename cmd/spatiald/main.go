@@ -33,9 +33,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/data"
 	"repro/internal/faultinject"
 	"repro/internal/ingest"
+	"repro/internal/partition"
 	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -57,6 +59,10 @@ func main() {
 	preload := flag.String("preload", "", "layers to generate at startup: name=DATASET:scale[,name=DATASET:scale...]")
 	dataDir := flag.String("data", "", "snapshot directory: every *.snap inside is loaded at startup (layer name = file basename), and sessions' save/load resolve bare names here")
 	ingestDir := flag.String("ingest", "", "enable durable ingestion (live/insert/delete/compact verbs): per-table WAL segments and snapshot generations live here")
+	coordDir := flag.String("coordinator", "", "coordinator mode: serve scatter-gather queries over the shard fleet described by this partition manifest directory (see spatialdb's partition command)")
+	shardAddrs := flag.String("shards", "", "coordinator mode: comma-separated per-tile shard addresses in tile-ID order (default: the addresses recorded in the manifest)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "coordinator mode: per-shard response ceiling when a query carries no deadline (0 = 30s)")
+	shardBreaker := flag.Duration("shard-breaker", 0, "coordinator mode: breaker cooldown after consecutive shard failures (0 = 5s)")
 	compactPending := flag.Int("compact-pending", 0, "background compaction trigger: fold a live table once this many WAL records are pending (0 = default)")
 	compactSegments := flag.Int("compact-segments", 0, "background compaction trigger: fold once a table's WAL spans more than this many segments (0 = default)")
 	compactInterval := flag.Duration("compact-interval", 0, "background compactor poll cadence (0 = default)")
@@ -118,14 +124,46 @@ func main() {
 		cfg.Ingest = mgr
 		fmt.Fprintf(os.Stderr, "spatiald: durable ingestion enabled in %s\n", *ingestDir)
 	}
-	srv := server.New(cfg)
-	if err := loadSnapshots(srv.Catalog(), *dataDir); err != nil {
-		fmt.Fprintln(os.Stderr, "spatiald: data:", err)
-		os.Exit(1)
+	var co *coord.Coordinator
+	if *coordDir != "" {
+		m, err := partition.Load(*coordDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald: coordinator:", err)
+			os.Exit(1)
+		}
+		addrs, err := m.Addrs()
+		if *shardAddrs != "" {
+			addrs, err = splitAddrs(*shardAddrs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald: coordinator:", err)
+			os.Exit(1)
+		}
+		co, err = coord.New(coord.Config{
+			Manifest:        m,
+			Addrs:           addrs,
+			ReadTimeout:     *shardTimeout,
+			BreakerCooldown: *shardBreaker,
+			Faults:          cfg.Faults,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald: coordinator:", err)
+			os.Exit(1)
+		}
+		cfg.Coordinator = co
+		fmt.Fprintf(os.Stderr, "spatiald: coordinating %d tiles (generation %d, %dx%d grid, margin %g)\n",
+			m.NumTiles(), m.Generation, m.GX, m.GY, m.Margin)
 	}
-	if err := preloadLayers(srv.Catalog(), *preload); err != nil {
-		fmt.Fprintln(os.Stderr, "spatiald: preload:", err)
-		os.Exit(1)
+	srv := server.New(cfg)
+	if co == nil {
+		if err := loadSnapshots(srv.Catalog(), *dataDir); err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald: data:", err)
+			os.Exit(1)
+		}
+		if err := preloadLayers(srv.Catalog(), *preload); err != nil {
+			fmt.Fprintln(os.Stderr, "spatiald: preload:", err)
+			os.Exit(1)
+		}
 	}
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "spatiald:", err)
@@ -155,6 +193,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if co != nil {
+		co.Close()
+	}
+}
+
+// splitAddrs parses the -shards flag: comma-separated addresses, blanks
+// refused (coord.New validates the count against the manifest).
+func splitAddrs(spec string) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(spec, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("empty address in -shards %q", spec)
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, nil
 }
 
 // loadSnapshots warm-starts the catalog from a -data directory: every

@@ -1,0 +1,641 @@
+// Package coord is the scatter-gather coordinator of a sharded spatiald
+// deployment. It speaks the existing line-oriented wire protocol to one
+// spatiald process per spatial tile (see internal/partition): selections
+// are routed to the tiles whose ownership regions overlap the query MBR,
+// joins fan out to every tile with the tile's ownership region on the
+// wire, and the per-shard streams are merged — ids deduplicated for
+// selections (border objects respond from every overlapping tile), pairs
+// concatenated for joins (the shard-side reference-point rule guarantees
+// each pair arrives exactly once), and per-shard query.Stats folded with
+// Stats.Merge.
+//
+// # Failure semantics
+//
+// A shard that cannot be reached, times out, or answers with an error
+// does not fail the query: the coordinator merges what the live shards
+// returned and wraps the miss in a *query.PartialError (Done = shards
+// that answered, Total = shards asked), which the serving layer already
+// renders as a "partial:" status. Only a query with zero answering
+// shards is a hard error. Each shard has a consecutive-failure breaker:
+// after Config.BreakerThreshold failures the shard is skipped without
+// dialing for Config.BreakerCooldown, so one dead shard costs its tiles'
+// results but never a dial timeout per query. A shard that answers
+// "error: server overloaded ... retry after <d>" contributes a typed
+// *ShardBusyError carrying the largest hint, which the coordinator's own
+// serving layer propagates to clients.
+package coord
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+	"repro/internal/partition"
+	"repro/internal/query"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Manifest is the partitioned deployment being coordinated.
+	Manifest *partition.Manifest
+	// Addrs are the per-tile shard addresses, in tile-ID order. Length
+	// must equal Manifest.NumTiles().
+	Addrs []string
+	// DialTimeout bounds each shard dial (default 2s).
+	DialTimeout time.Duration
+	// ReadTimeout bounds each shard response read when the query context
+	// carries no deadline (default 30s) — a dead shard must become a
+	// typed partial, never a hang.
+	ReadTimeout time.Duration
+	// MergeReserve is the fraction of the query's deadline withheld from
+	// shards and kept for the merge phase, in [0, 0.5] (default 0.1).
+	MergeReserve float64
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// shard's breaker (default 3); BreakerCooldown is how long it stays
+	// open (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Faults optionally injects dial/read/shard-down faults at the
+	// coord.* sites.
+	Faults *faultinject.Injector
+}
+
+func (c Config) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 2 * time.Second
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout > 0 {
+		return c.ReadTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) mergeReserve() float64 {
+	if c.MergeReserve > 0 && c.MergeReserve <= 0.5 {
+		return c.MergeReserve
+	}
+	return 0.1
+}
+
+func (c Config) breakerThreshold() int {
+	if c.BreakerThreshold > 0 {
+		return c.BreakerThreshold
+	}
+	return 3
+}
+
+func (c Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 5 * time.Second
+}
+
+// ShardError reports one shard's failure, typed so callers can tell
+// which tile's results are missing from a partial answer.
+type ShardError struct {
+	Tile int
+	Addr string
+	Err  error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("coord: shard %d (%s): %v", e.Tile, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ErrBreakerOpen marks a shard skipped because its breaker is open.
+var ErrBreakerOpen = errors.New("breaker open")
+
+// ShardBusyError reports a shard that refused a query under admission
+// control. RetryAfter is the largest hint any busy shard returned; the
+// error text keeps the "retry after <d>" phrasing clients already parse.
+type ShardBusyError struct {
+	Tile       int
+	RetryAfter time.Duration
+}
+
+func (e *ShardBusyError) Error() string {
+	return fmt.Sprintf("coord: shard %d overloaded; retry after %v", e.Tile, e.RetryAfter)
+}
+
+// MarginError refuses a within-distance join whose distance exceeds the
+// deployment's replication margin — beyond it the reference-point rule
+// can no longer guarantee the owning tile holds both objects, so the
+// sharded answer could silently miss pairs.
+type MarginError struct {
+	D, Margin float64
+}
+
+func (e *MarginError) Error() string {
+	return fmt.Sprintf("coord: within-distance %g exceeds the deployment's replication margin %g (repartition with a larger margin)", e.D, e.Margin)
+}
+
+// retryAfterRe extracts the Retry-After hint from a shard's overload
+// error line (see server.OverloadError: "...; retry after 150ms").
+var retryAfterRe = regexp.MustCompile(`retry after ([0-9][^ )]*)`)
+
+// Health is one shard's live state for the /metrics surface.
+type Health struct {
+	Tile     int    `json:"tile"`
+	Addr     string `json:"addr"`
+	Open     bool   `json:"open"` // breaker open: shard currently skipped
+	Fails    int64  `json:"fails"`
+	Queries  int64  `json:"queries"`
+	LastErr  string `json:"last_err,omitempty"`
+	IdleConn int    `json:"idle_conns"`
+}
+
+// Coordinator fans queries out over the shard fleet. Safe for concurrent
+// use by many sessions; per-shard connections are pooled.
+type Coordinator struct {
+	cfg    Config
+	shards []*shard
+}
+
+// New validates the manifest/address pairing and returns a Coordinator.
+// Shards are dialed lazily on first use.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Manifest == nil {
+		return nil, errors.New("coord: nil manifest")
+	}
+	if len(cfg.Addrs) != cfg.Manifest.NumTiles() {
+		return nil, fmt.Errorf("coord: %d shard addresses for %d tiles", len(cfg.Addrs), cfg.Manifest.NumTiles())
+	}
+	c := &Coordinator{cfg: cfg}
+	for i, addr := range cfg.Addrs {
+		if addr == "" {
+			return nil, fmt.Errorf("coord: tile %d has no shard address", i)
+		}
+		c.shards = append(c.shards, &shard{tile: i, addr: addr, cfg: &c.cfg})
+	}
+	return c, nil
+}
+
+// Manifest returns the deployment manifest the coordinator routes with.
+func (c *Coordinator) Manifest() *partition.Manifest { return c.cfg.Manifest }
+
+// Health snapshots every shard's breaker state for metrics.
+func (c *Coordinator) Health() []Health {
+	out := make([]Health, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.health()
+	}
+	return out
+}
+
+// Close drops all pooled shard connections.
+func (c *Coordinator) Close() {
+	for _, s := range c.shards {
+		s.closeIdle()
+	}
+}
+
+// Result is one fanned-out query's merged answer.
+type Result struct {
+	// IDs are the deduplicated stable object ids (selections).
+	IDs []uint64
+	// Pairs are the stable-id result pairs (joins), already unique by the
+	// reference-point rule.
+	Pairs [][2]uint64
+	// Stats is the fold of every answering shard's stats record; Results
+	// is overwritten with the merged count.
+	Stats query.Stats
+	// ShardsAsked and ShardsOK count the fan-out and the answers; a
+	// ShardsOK < ShardsAsked result comes with a *query.PartialError.
+	ShardsAsked, ShardsOK int
+	// ShardMS is each answering shard's wall-clock, keyed by tile, for
+	// the merge-overhead accounting in spatialbench.
+	ShardMS map[int]float64
+}
+
+// Select routes an intersection selection to the tiles overlapping the
+// query polygon's MBR and merges their stable-id streams.
+func (c *Coordinator) Select(ctx context.Context, layer, wkt string, bounds geom.Rect) (Result, error) {
+	tiles := c.cfg.Manifest.OverlappingTiles(bounds)
+	cmd := "shardselect " + layer + " " + wkt
+	return c.fanout(ctx, "select", tiles, func(int) string { return cmd })
+}
+
+// Join fans an intersection join out to every tile with its ownership
+// region and concatenates the deduplicated pair streams.
+func (c *Coordinator) Join(ctx context.Context, a, b, mode string) (Result, error) {
+	return c.fanout(ctx, "join", c.allTiles(), func(tile int) string {
+		cmd := fmt.Sprintf("shardjoin %s %s %s", a, b, shellFormatRect(c.cfg.Manifest.Region(tile)))
+		if mode != "" {
+			cmd += " " + mode
+		}
+		return cmd
+	})
+}
+
+// Within fans a within-distance join out shard-wise. Distances beyond
+// the deployment's replication margin are refused with a *MarginError.
+func (c *Coordinator) Within(ctx context.Context, a, b string, d float64, mode string) (Result, error) {
+	if d > c.cfg.Manifest.Margin {
+		return Result{}, &MarginError{D: d, Margin: c.cfg.Manifest.Margin}
+	}
+	return c.fanout(ctx, "within", c.allTiles(), func(tile int) string {
+		cmd := fmt.Sprintf("shardwithin %s %s %s %s", a, b,
+			strconv.FormatFloat(d, 'g', -1, 64), shellFormatRect(c.cfg.Manifest.Region(tile)))
+		if mode != "" {
+			cmd += " " + mode
+		}
+		return cmd
+	})
+}
+
+func (c *Coordinator) allTiles() []int {
+	tiles := make([]int, len(c.shards))
+	for i := range tiles {
+		tiles[i] = i
+	}
+	return tiles
+}
+
+// shardAnswer is one shard's parsed response.
+type shardAnswer struct {
+	tile    int
+	ids     []uint64
+	pairs   [][2]uint64
+	stats   query.Stats
+	wallMS  float64
+	partial string // non-empty: shard answered "partial: <reason>"
+	err     error
+}
+
+// fanout runs cmdFor(tile) on every listed shard concurrently and merges
+// the answers. Missing shards degrade to a *query.PartialError; zero
+// answering shards is a hard error.
+func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor func(int) string) (Result, error) {
+	if len(tiles) == 0 {
+		return Result{Stats: query.Stats{Op: "coord." + op}}, nil
+	}
+	budget := time.Duration(0)
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			return Result{}, &query.PartialError{Op: "coord." + op, Done: 0, Total: len(tiles), Err: context.DeadlineExceeded}
+		}
+	}
+	// Deadline budget split: shards get the budget minus the merge
+	// reserve, the coordinator keeps the reserve to fold the streams.
+	shardBudget := time.Duration(0)
+	if budget > 0 {
+		shardBudget = budget - time.Duration(float64(budget)*c.cfg.mergeReserve())
+	}
+
+	answers := make([]shardAnswer, len(tiles))
+	var wg sync.WaitGroup
+	for i, tile := range tiles {
+		wg.Add(1)
+		go func(slot, tile int) {
+			defer wg.Done()
+			answers[slot] = c.shards[tile].query(ctx, cmdFor(tile), shardBudget)
+		}(i, tile)
+	}
+	wg.Wait()
+
+	res := Result{ShardsAsked: len(tiles), ShardMS: map[int]float64{}}
+	idSet := map[uint64]bool{}
+	var firstErr error
+	var busy *ShardBusyError
+	partialReasons := 0
+	for _, a := range answers {
+		if a.err != nil {
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			var sb *ShardBusyError
+			if errors.As(a.err, &sb) && (busy == nil || sb.RetryAfter > busy.RetryAfter) {
+				busy = sb
+			}
+			continue
+		}
+		res.ShardsOK++
+		res.ShardMS[a.tile] = a.wallMS
+		for _, id := range a.ids {
+			if !idSet[id] {
+				idSet[id] = true
+				res.IDs = append(res.IDs, id)
+			}
+		}
+		res.Pairs = append(res.Pairs, a.pairs...)
+		res.Stats.Merge(a.stats)
+		if a.partial != "" {
+			partialReasons++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %s", a.tile, a.partial)
+			}
+		}
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i][0] != res.Pairs[j][0] {
+			return res.Pairs[i][0] < res.Pairs[j][0]
+		}
+		return res.Pairs[i][1] < res.Pairs[j][1]
+	})
+	res.Stats.Op = "coord." + op
+	res.Stats.Results = len(res.IDs) + len(res.Pairs)
+
+	if res.ShardsOK == 0 {
+		if busy != nil {
+			return Result{}, busy
+		}
+		return Result{}, firstErr
+	}
+	if res.ShardsOK < res.ShardsAsked || partialReasons > 0 {
+		return res, &query.PartialError{
+			Op:    "coord." + op,
+			Done:  res.ShardsOK - partialReasons,
+			Total: res.ShardsAsked,
+			Err:   firstErr,
+		}
+	}
+	return res, nil
+}
+
+// shard is one tile's client: a pooled set of wire connections plus the
+// consecutive-failure breaker.
+type shard struct {
+	tile int
+	addr string
+	cfg  *Config
+
+	mu        sync.Mutex
+	idle      []*wireConn
+	fails     int   // consecutive failures
+	failTotal int64 // lifetime failures (metrics)
+	queries   int64
+	openUntil time.Time
+	lastErr   string
+}
+
+// wireConn is one established protocol connection with its session
+// state (the last timeout sent, so pooled reuse re-arms it only on
+// change).
+type wireConn struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	timeout time.Duration
+}
+
+func (s *shard) health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Health{
+		Tile:     s.tile,
+		Addr:     s.addr,
+		Open:     time.Now().Before(s.openUntil),
+		Fails:    s.failTotal,
+		Queries:  s.queries,
+		LastErr:  s.lastErr,
+		IdleConn: len(s.idle),
+	}
+}
+
+func (s *shard) closeIdle() {
+	s.mu.Lock()
+	idle := s.idle
+	s.idle = nil
+	s.mu.Unlock()
+	for _, w := range idle {
+		w.conn.Close()
+	}
+}
+
+// acquire returns a pooled connection or dials a fresh one.
+func (s *shard) acquire() (*wireConn, error) {
+	s.mu.Lock()
+	if n := len(s.idle); n > 0 {
+		w := s.idle[n-1]
+		s.idle = s.idle[:n-1]
+		s.mu.Unlock()
+		return w, nil
+	}
+	s.mu.Unlock()
+
+	if f := s.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordDial) {
+		return nil, errors.New("injected dial fault")
+	}
+	conn, err := net.DialTimeout("tcp", s.addr, s.cfg.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	w := &wireConn{conn: conn, r: bufio.NewReader(conn)}
+	conn.SetReadDeadline(time.Now().Add(s.cfg.dialTimeout()))
+	greeting, err := w.readLine(s.cfg.Faults)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("greeting: %w", err)
+	}
+	if !strings.Contains(greeting, "ready") {
+		conn.Close()
+		return nil, fmt.Errorf("unexpected greeting %q", greeting)
+	}
+	return w, nil
+}
+
+func (s *shard) release(w *wireConn) {
+	s.mu.Lock()
+	s.idle = append(s.idle, w)
+	s.mu.Unlock()
+}
+
+func (w *wireConn) readLine(f *faultinject.Injector) (string, error) {
+	if f != nil && f.Disconnect(faultinject.SiteCoordRead) {
+		w.conn.Close()
+		return "", errors.New("injected read fault")
+	}
+	line, err := w.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// exchange sends one command and reads its data lines + status line.
+func (w *wireConn) exchange(cmd string, f *faultinject.Injector) (data []string, status string, err error) {
+	if _, err := fmt.Fprintf(w.conn, "%s\n", cmd); err != nil {
+		return nil, "", err
+	}
+	for {
+		line, err := w.readLine(f)
+		if err != nil {
+			return nil, "", err
+		}
+		if line == "ok" || strings.HasPrefix(line, "partial:") || strings.HasPrefix(line, "error:") {
+			return data, line, nil
+		}
+		data = append(data, line)
+	}
+}
+
+// query runs one shard command end to end: breaker gate, connection
+// acquire, shard-side timeout arming, command exchange, stream parse,
+// breaker accounting. Never blocks past the budget (or the configured
+// read ceiling).
+func (s *shard) query(ctx context.Context, cmd string, budget time.Duration) shardAnswer {
+	ans := shardAnswer{tile: s.tile}
+	fail := func(err error) shardAnswer {
+		s.recordFailure(err)
+		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: err}
+		return ans
+	}
+
+	s.mu.Lock()
+	s.queries++
+	open := time.Now().Before(s.openUntil)
+	s.mu.Unlock()
+	if open {
+		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: ErrBreakerOpen}
+		return ans
+	}
+	if f := s.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordShardDown) {
+		return fail(errors.New("injected shard down"))
+	}
+	if err := ctx.Err(); err != nil {
+		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: err}
+		return ans
+	}
+
+	w, err := s.acquire()
+	if err != nil {
+		return fail(err)
+	}
+
+	// The connection read deadline is the hard backstop (shard process
+	// hung); the shard-side session timeout is the soft one (shard alive
+	// but the query is slow → typed partial from the shard itself).
+	readCeil := s.cfg.readTimeout()
+	if budget > 0 && budget < readCeil {
+		readCeil = budget
+	}
+	w.conn.SetDeadline(time.Now().Add(readCeil + 500*time.Millisecond))
+
+	if budget > 0 && w.timeout != budget {
+		if _, status, err := w.exchange("timeout "+budget.Round(time.Millisecond).String(), s.cfg.Faults); err != nil {
+			w.conn.Close()
+			return fail(err)
+		} else if !strings.HasPrefix(status, "ok") {
+			w.conn.Close()
+			return fail(fmt.Errorf("arming timeout: %s", status))
+		}
+		w.timeout = budget
+	}
+
+	start := time.Now()
+	data, status, err := w.exchange(cmd, s.cfg.Faults)
+	if err != nil {
+		w.conn.Close()
+		return fail(err)
+	}
+	ans.wallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	switch {
+	case status == "ok":
+	case strings.HasPrefix(status, "partial:"):
+		ans.partial = strings.TrimSpace(strings.TrimPrefix(status, "partial:"))
+	default: // error: ...
+		reason := strings.TrimSpace(strings.TrimPrefix(status, "error:"))
+		s.release(w) // protocol intact: the command failed, not the conn
+		if m := retryAfterRe.FindStringSubmatch(reason); m != nil {
+			if d, perr := time.ParseDuration(m[1]); perr == nil {
+				s.recordFailure(errors.New(reason))
+				ans.err = &ShardError{Tile: s.tile, Addr: s.addr,
+					Err: &ShardBusyError{Tile: s.tile, RetryAfter: d}}
+				return ans
+			}
+		}
+		s.recordFailure(errors.New(reason))
+		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: errors.New(reason)}
+		return ans
+	}
+
+	if err := parseStream(data, &ans); err != nil {
+		w.conn.Close()
+		return fail(err)
+	}
+	s.recordSuccess()
+	s.release(w)
+	return ans
+}
+
+func (s *shard) recordFailure(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fails++
+	s.failTotal++
+	s.lastErr = err.Error()
+	if s.fails >= s.cfg.breakerThreshold() {
+		s.openUntil = time.Now().Add(s.cfg.breakerCooldown())
+	}
+}
+
+func (s *shard) recordSuccess() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fails = 0
+	s.openUntil = time.Time{}
+}
+
+// parseStream decodes a shard's data lines: "id <N>", "pair <A> <B>",
+// one "stats <json>", and ignorable notes.
+func parseStream(lines []string, ans *shardAnswer) error {
+	for _, line := range lines {
+		word, rest, _ := strings.Cut(line, " ")
+		switch word {
+		case "id":
+			id, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad id line %q: %w", line, err)
+			}
+			ans.ids = append(ans.ids, id)
+		case "pair":
+			af, bf, ok := strings.Cut(strings.TrimSpace(rest), " ")
+			if !ok {
+				return fmt.Errorf("bad pair line %q", line)
+			}
+			a, err := strconv.ParseUint(af, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad pair line %q: %w", line, err)
+			}
+			b, err := strconv.ParseUint(strings.TrimSpace(bf), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad pair line %q: %w", line, err)
+			}
+			ans.pairs = append(ans.pairs, [2]uint64{a, b})
+		case "stats":
+			if err := json.Unmarshal([]byte(rest), &ans.stats); err != nil {
+				return fmt.Errorf("bad stats line: %w", err)
+			}
+		default:
+			// note: ... and any future informational lines are ignored.
+		}
+	}
+	return nil
+}
+
+// shellFormatRect renders an ownership region the way the shard verbs
+// parse it (four 'g'-formatted floats; ±Inf round-trips).
+func shellFormatRect(r geom.Rect) string {
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	return f(r.MinX) + " " + f(r.MinY) + " " + f(r.MaxX) + " " + f(r.MaxY)
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/partition"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// ShardPoint is one fleet size's scatter-gather measurement: the
+// coordinator's end-to-end wall clock, the slowest shard's reported wall
+// (the critical path), and their difference — the scatter-gather
+// overhead the coordinator adds on top of the shards' parallel work
+// (dial/serialize/merge).
+type ShardPoint struct {
+	Shards   int
+	Wall     time.Duration
+	Slowest  time.Duration
+	Overhead time.Duration
+	Results  int
+}
+
+// ShardResult is the shard-count sweep for one join workload, with the
+// in-process single-node baseline the speedups are measured against.
+type ShardResult struct {
+	Workload string
+	Single   time.Duration
+	Results  int
+	Points   []ShardPoint
+}
+
+// Shard measures the sharded deployment end to end: LANDC ⋈ LANDO is
+// partitioned into 1/2/4/8 spatial tiles, each tile served by a real
+// spatiald process-in-a-goroutine over its tile snapshots, and a real
+// Coordinator fans the join out over TCP and merges the streams. Every
+// fleet size must reproduce the single-node result count exactly (the
+// reference-point rule differential); the interesting numbers are the
+// wall-clock speedup over the single-node join and how much of each
+// fleet's time is scatter-gather overhead rather than shard work.
+func (r *Runner) Shard() []ShardResult {
+	a, b := r.Layer("LANDC"), r.Layer("LANDO")
+
+	tester := core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold})
+	start := time.Now()
+	basePairs, _, err := query.IntersectionJoinView(r.ctx(), a.View(), b.View(), tester, query.JoinOptions{})
+	single := time.Since(start)
+	if r.check(err) {
+		return nil
+	}
+	res := ShardResult{Workload: "LANDC⋈LANDO", Single: single, Results: len(basePairs)}
+	r.printf("\nSharded scatter-gather join (LANDC⋈LANDO, %d+%d objects, single-node %0.1fms, %d pairs)\n",
+		len(a.Data.Objects), len(b.Data.Objects), ms(single), len(basePairs))
+	r.printf("%-8s %12s %12s %12s %10s %8s\n", "shards", "wall(ms)", "slowest(ms)", "overhead(ms)", "results", "speedup")
+
+	for _, n := range []int{1, 2, 4, 8} {
+		p, err := r.shardPoint(n, a.Data, b.Data)
+		if r.check(err) {
+			break
+		}
+		if p.Results != len(basePairs) {
+			r.check(fmt.Errorf("shard sweep n=%d: %d pairs, single-node found %d", n, p.Results, len(basePairs)))
+			break
+		}
+		res.Points = append(res.Points, p)
+		r.printf("%-8d %12.1f %12.1f %12.1f %10d %7.2fx\n",
+			n, ms(p.Wall), ms(p.Slowest), ms(p.Overhead), p.Results, float64(single)/float64(p.Wall))
+	}
+	return []ShardResult{res}
+}
+
+// shardPoint boots one fleet of n tile shards, runs the coordinated join
+// once, and tears the fleet down.
+func (r *Runner) shardPoint(n int, da, db *data.Dataset) (ShardPoint, error) {
+	dir, err := os.MkdirTemp("", "shardbench-")
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := partition.Write(dir, "a", da, partition.Options{Tiles: n}); err != nil {
+		return ShardPoint{}, err
+	}
+	if _, err := partition.Write(dir, "b", db, partition.Options{Tiles: n}); err != nil {
+		return ShardPoint{}, err
+	}
+	m, err := partition.Load(dir)
+	if err != nil {
+		return ShardPoint{}, err
+	}
+
+	var shards []*server.Server
+	defer func() {
+		for _, srv := range shards {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = srv.Shutdown(ctx)
+			cancel()
+		}
+	}()
+	addrs := make([]string, 0, m.NumTiles())
+	for _, tile := range m.Tiles {
+		srv := server.New(server.Config{Addr: "127.0.0.1:0", DrainGrace: 50 * time.Millisecond})
+		for _, layer := range []string{"a", "b"} {
+			s, err := store.Open(filepath.Join(dir, tile.Dir, partition.SnapshotName(layer)), store.OpenOptions{})
+			if err != nil {
+				return ShardPoint{}, err
+			}
+			l, err := query.NewLayerFromSnapshot(s)
+			if err != nil {
+				s.Close()
+				return ShardPoint{}, err
+			}
+			if err := srv.Catalog().Set(layer, l); err != nil {
+				return ShardPoint{}, err
+			}
+		}
+		if err := srv.Start(); err != nil {
+			return ShardPoint{}, err
+		}
+		shards = append(shards, srv)
+		addrs = append(addrs, srv.Addr().String())
+	}
+
+	c, err := coord.New(coord.Config{Manifest: m, Addrs: addrs})
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	defer c.Close()
+
+	start := time.Now()
+	cres, err := c.Join(r.ctx(), "a", "b", "")
+	wall := time.Since(start)
+	if err != nil {
+		return ShardPoint{}, err
+	}
+	var slowestMS float64
+	for _, msv := range cres.ShardMS {
+		if msv > slowestMS {
+			slowestMS = msv
+		}
+	}
+	slowest := time.Duration(slowestMS * float64(time.Millisecond))
+	overhead := wall - slowest
+	if overhead < 0 {
+		overhead = 0
+	}
+	return ShardPoint{
+		Shards: n, Wall: wall, Slowest: slowest, Overhead: overhead,
+		Results: len(cres.Pairs),
+	}, nil
+}
+
+// ShardRecords flattens the shard-count sweep: one "single" baseline
+// record, then per fleet size the coordinator wall, the slowest shard's
+// wall, and the scatter-gather overhead as separate tester arms so the
+// speedup and the merge cost can both be tracked run over run.
+func ShardRecords(rows []ShardResult, scale float64) []BenchRecord {
+	var out []BenchRecord
+	for _, row := range rows {
+		out = append(out, BenchRecord{
+			Experiment: "shard", Workload: row.Workload, Tester: "single",
+			Scale: scale, WallMS: ms(row.Single), Results: row.Results,
+		})
+		for _, p := range row.Points {
+			param := fmt.Sprintf("shards=%d", p.Shards)
+			out = append(out,
+				BenchRecord{
+					Experiment: "shard", Workload: row.Workload, Tester: "coord",
+					Param: param, Scale: scale, WallMS: ms(p.Wall), Results: p.Results,
+				},
+				BenchRecord{
+					Experiment: "shard", Workload: row.Workload, Tester: "shard-slowest",
+					Param: param, Scale: scale, WallMS: ms(p.Slowest),
+				},
+				BenchRecord{
+					Experiment: "shard", Workload: row.Workload, Tester: "scatter-gather-overhead",
+					Param: param, Scale: scale, WallMS: ms(p.Overhead),
+				})
+		}
+	}
+	return out
+}

@@ -140,6 +140,22 @@ const (
 	// SiteCompactTruncate fires after the swap, before WAL truncation
 	// (crash = stale-but-idempotent WAL records survive).
 	SiteCompactTruncate = "compact.truncate"
+
+	// Coordinator sites, instrumented by internal/coord's shard clients.
+	// Delay faults model slow shards, panic faults model client bugs, and
+	// disconnect faults model shard connections dying — each must degrade
+	// to a typed partial result, never a hang or a wrong answer.
+	//
+	// SiteCoordDial fires before each shard dial attempt (disconnect =
+	// dial refused).
+	SiteCoordDial = "coord.dial"
+	// SiteCoordRead fires before each response line read from a shard
+	// (disconnect = connection severed mid-response).
+	SiteCoordRead = "coord.read"
+	// SiteCoordShardDown fires once per shard query; a disconnect marks
+	// the whole shard unreachable for that query, modeling a process
+	// kill between queries.
+	SiteCoordShardDown = "coord.shard_down"
 )
 
 // CrashExitCode is the status a KindCrash fault exits the process with,

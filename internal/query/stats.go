@@ -105,6 +105,53 @@ func NewStats(op string, results int, cost Cost, refine core.Stats) Stats {
 	}
 }
 
+// Merge combines another query's statistics into s: every counter and
+// wall-clock field sums, SnapshotMMap ORs, and Op is kept unless unset.
+// Merge is associative and commutative over the numeric fields, so a
+// coordinator (or pjoin aggregator) can fold per-shard records in any
+// order. Results sums too — callers that deduplicate merged result
+// streams (e.g. a sharded select, where border objects report from every
+// overlapping tile) must overwrite Results with the deduplicated count
+// afterward.
+func (s *Stats) Merge(o Stats) {
+	if s.Op == "" {
+		s.Op = o.Op
+	}
+	s.Results += o.Results
+	s.Candidates += o.Candidates
+	s.FilterHits += o.FilterHits
+	s.FilterRejects += o.FilterRejects
+	s.Compared += o.Compared
+	s.MBRFilterMS += o.MBRFilterMS
+	s.IntermediateMS += o.IntermediateMS
+	s.GeometryMS += o.GeometryMS
+	s.Tests += o.Tests
+	s.MBRRejects += o.MBRRejects
+	s.PIPHits += o.PIPHits
+	s.SigChecks += o.SigChecks
+	s.SigRejects += o.SigRejects
+	s.SWDirect += o.SWDirect
+	s.HWRejects += o.HWRejects
+	s.HWPassed += o.HWPassed
+	s.HWFallbacks += o.HWFallbacks
+	s.Panics += o.Panics
+	s.Quarantined += o.Quarantined
+	s.SentinelChecks += o.SentinelChecks
+	s.SentinelDisagreements += o.SentinelDisagreements
+	s.BreakerTrips += o.BreakerTrips
+	s.BreakerRecoveries += o.BreakerRecoveries
+	s.BreakerOpenSkips += o.BreakerOpenSkips
+	s.EdgeIndexHits += o.EdgeIndexHits
+	s.EdgeIndexSkippedEdges += o.EdgeIndexSkippedEdges
+	s.DirtyClearPixelsSaved += o.DirtyClearPixelsSaved
+	s.LiveDelta += o.LiveDelta
+	s.LiveTombstones += o.LiveTombstones
+	s.SnapshotBytes += o.SnapshotBytes
+	s.SnapshotSections += o.SnapshotSections
+	s.SnapshotMMap = s.SnapshotMMap || o.SnapshotMMap
+	s.SnapshotLoadMS += o.SnapshotLoadMS
+}
+
 // SWFallbacks counts pair tests that reached the hardware path but were
 // decided in software: inconclusive filter verdicts plus line-width
 // fallbacks.

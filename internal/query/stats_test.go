@@ -1,0 +1,86 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillStats sets every numeric field of a Stats to a distinct nonzero
+// value derived from base, sets bools true, and tags strings. Using
+// reflection here means a future Stats field cannot silently be skipped
+// by Merge: the exhaustiveness test below fails until Merge handles it.
+func fillStats(base int64) Stats {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		n := base + int64(i) + 1
+		switch f.Kind() {
+		case reflect.Int, reflect.Int64:
+			f.SetInt(n)
+		case reflect.Float64:
+			f.SetFloat(float64(n))
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.String:
+			f.SetString("op")
+		default:
+			panic("unhandled Stats field kind " + f.Kind().String())
+		}
+	}
+	return s
+}
+
+func TestStatsMergeSumsEveryField(t *testing.T) {
+	a, b := fillStats(100), fillStats(5000)
+	m := a
+	m.Merge(b)
+	av, bv, mv := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(m)
+	typ := av.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		switch av.Field(i).Kind() {
+		case reflect.Int, reflect.Int64:
+			if got, want := mv.Field(i).Int(), av.Field(i).Int()+bv.Field(i).Int(); got != want {
+				t.Errorf("Merge dropped %s: got %d, want %d", name, got, want)
+			}
+		case reflect.Float64:
+			if got, want := mv.Field(i).Float(), av.Field(i).Float()+bv.Field(i).Float(); got != want {
+				t.Errorf("Merge dropped %s: got %v, want %v", name, got, want)
+			}
+		case reflect.Bool:
+			if !mv.Field(i).Bool() {
+				t.Errorf("Merge cleared bool %s", name)
+			}
+		}
+	}
+}
+
+func TestStatsMergeAssociative(t *testing.T) {
+	a, b, c := fillStats(10), fillStats(200), fillStats(3000)
+	left := a
+	left.Merge(b)
+	left.Merge(c)
+	bc := b
+	bc.Merge(c)
+	right := a
+	right.Merge(bc)
+	if left != right {
+		t.Fatalf("Merge not associative:\n(a·b)·c = %+v\na·(b·c) = %+v", left, right)
+	}
+}
+
+func TestStatsMergeOpAndBool(t *testing.T) {
+	var s Stats
+	s.Merge(Stats{Op: "join", Results: 3, SnapshotMMap: true})
+	if s.Op != "join" || s.Results != 3 || !s.SnapshotMMap {
+		t.Fatalf("merge into zero value: %+v", s)
+	}
+	s.Merge(Stats{Op: "select", Results: 2})
+	if s.Op != "join" {
+		t.Fatalf("Merge overwrote Op: %q", s.Op)
+	}
+	if s.Results != 5 || !s.SnapshotMMap {
+		t.Fatalf("second merge: %+v", s)
+	}
+}

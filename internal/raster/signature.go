@@ -1,14 +1,14 @@
 // Raster signatures: per-object conservative boundary approximations in
 // the spirit of Raster Interval Object Approximations — a small fixed-
 // resolution bitmap over the object's MBR whose set cells cover every
-// point of the polygon's boundary. Signatures are computed with the same
-// conservative rasterization rules the hardware filter trusts (width-0
-// exact segment coverage: a cell is set iff some boundary segment passes
-// through it), so two objects whose signature cells are pairwise disjoint
-// provably have disjoint boundaries — the pair can skip the rendering
-// protocol entirely. They are cheap enough to persist (res 16 = 32 bytes
-// per object) and are what the snapshot format stores next to the
-// geometry.
+// point of the polygon's boundary. Signatures are computed with a
+// closed-cell conservative cell walk (a cell is set iff some boundary
+// segment may pass through its closed rectangle, boundary points on the
+// MBR's max edges included), so two objects whose signature cells are
+// pairwise disjoint provably have disjoint boundaries — the pair can skip
+// the rendering protocol entirely. They are cheap enough to persist
+// (res 16 = 32 bytes per object) and are what the snapshot format stores
+// next to the geometry.
 package raster
 
 import (
@@ -74,29 +74,69 @@ func popcount(w uint64) int {
 	return n
 }
 
-// ComputeSignature renders p's boundary into a res×res window mapped over
-// its MBR using the context-free exact-coverage rasterization rules (the
-// same cell walk DrawSegment performs at width 0) and returns the
-// resulting bitmap. The signature is conservative by the renderer's
-// contract: every cell any boundary segment passes through is set.
+// ComputeSignature rasterizes p's boundary onto a res×res grid over its
+// MBR and returns the bitmap. The cell walk attributes each boundary
+// point to the closed cell containing it, with indexes clamped into the
+// grid, so — unlike the display renderer's half-open window mapping —
+// segments lying exactly on the MBR's max edges still set the last
+// row/column. That closed-cell attribution is what makes the signature a
+// sound reject filter: every boundary point lies in a set cell, always.
+// (The viewport renderer drops fragments at exactly the window max edge,
+// which is fine for a sentinel-checked filter but not for a proof; a
+// rectangular query polygon, whose top and right edges lie exactly on
+// its own MBR, would otherwise lose half its boundary.)
 func ComputeSignature(p *geom.Polygon, res int) Signature {
 	if res <= 0 {
 		res = DefaultSignatureRes
 	}
-	ctx := NewContext(res, res)
-	ctx.SetViewport(p.Bounds())
-	// Width 0: exact segment coverage, the tightest conservative raster.
-	if err := ctx.SetLineWidth(0); err != nil {
-		panic(err) // unreachable: 0 is always a legal width
+	b := p.Bounds()
+	sig := Signature{Bounds: b, Res: res, Words: make([]uint64, SignatureWords(res))}
+	w := b.Width() / float64(res)
+	h := b.Height() / float64(res)
+	if w <= 0 {
+		w = math.SmallestNonzeroFloat64
 	}
-	ctx.DrawPolygonEdges(p)
-	sig := Signature{Bounds: p.Bounds(), Res: res, Words: make([]uint64, SignatureWords(res))}
-	buf := ctx.Color()
-	for y := 0; y < res; y++ {
-		row := y * res
-		for x := 0; x < res; x++ {
-			if buf.Pix[row+x] > 0 {
-				sig.setBit(x, y)
+	if h <= 0 {
+		h = math.SmallestNonzeroFloat64
+	}
+	clamp := func(v float64) int {
+		i := int(math.Floor(v))
+		if i < 0 {
+			return 0
+		}
+		if i >= res {
+			return res - 1
+		}
+		return i
+	}
+	for i := 0; i < p.NumEdges(); i++ {
+		e := p.Edge(i)
+		// Cell-space endpoints, sorted by x.
+		ax, ay := (e.A.X-b.MinX)/w, (e.A.Y-b.MinY)/h
+		bx, by := (e.B.X-b.MinX)/w, (e.B.Y-b.MinY)/h
+		if ax > bx {
+			ax, ay, bx, by = bx, by, ax, ay
+		}
+		x0, x1 := clamp(ax-cellEps), clamp(bx+cellEps)
+		for cx := x0; cx <= x1; cx++ {
+			var yl, yh float64
+			if bx-ax <= cellEps {
+				// (Near-)vertical in cell space: the whole y extent lands
+				// in this column.
+				yl, yh = math.Min(ay, by), math.Max(ay, by)
+			} else {
+				// y range of the segment across this column's x span.
+				m := (by - ay) / (bx - ax)
+				lo := math.Max(float64(cx), ax)
+				hi := math.Min(float64(cx+1), bx)
+				yl = ay + m*(lo-ax)
+				yh = ay + m*(hi-ax)
+				if yl > yh {
+					yl, yh = yh, yl
+				}
+			}
+			for cy, y1 := clamp(yl-cellEps), clamp(yh+cellEps); cy <= y1; cy++ {
+				sig.setBit(cx, cy)
 			}
 		}
 	}

@@ -62,6 +62,40 @@ func TestSignatureCoversBoundary(t *testing.T) {
 	}
 }
 
+// TestSignatureCoversMBREdges pins the regression where segments lying
+// exactly on the polygon's own MBR max edges (every axis-aligned
+// rectangle's top and right edge) were dropped by the half-open window
+// mapping, leaving clear cells under real boundary and turning the
+// disjointness "proof" into a wrong answer.
+func TestSignatureCoversMBREdges(t *testing.T) {
+	rect, err := geom.NewPolygon([]geom.Point{
+		geom.Pt(10, 10), geom.Pt(40, 10), geom.Pt(40, 40), geom.Pt(10, 40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := ComputeSignature(rect, 16)
+	for i := 0; i < 16; i++ {
+		for _, c := range [][2]int{{i, 0}, {i, 15}, {0, i}, {15, i}} {
+			if !sig.Bit(c[0], c[1]) {
+				t.Fatalf("perimeter cell (%d,%d) clear; the rectangle's boundary runs through it", c[0], c[1])
+			}
+		}
+	}
+	// A thin polygon hugging the rectangle's top edge must not be
+	// signature-rejected against it.
+	top, err := geom.NewPolygon([]geom.Point{
+		geom.Pt(15, 39.5), geom.Pt(35, 39.5), geom.Pt(35, 40.5), geom.Pt(15, 40.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := ComputeSignature(top, 16)
+	if !SignaturesMayIntersect(&sig, &other, 0) {
+		t.Fatalf("signatures rejected a pair whose boundaries cross the MBR top edge")
+	}
+}
+
 // TestSignaturesMayIntersectSound is the core safety property: whenever
 // the signature test says "cannot intersect / cannot be within d", the
 // brute-force boundary distance must agree. False negatives would change

@@ -53,6 +53,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		t := s.cfg.Ingest.Totals()
 		g.Ingest = &t
 	}
+	if s.cfg.Coordinator != nil {
+		g.Shards = s.cfg.Coordinator.Health()
+	}
 	s.metrics.WritePrometheus(w, g)
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/ingest"
 	"repro/internal/query"
 )
@@ -92,6 +93,9 @@ type Gauges struct {
 	WatchdogActive  int
 	WatchdogCancels int64
 	Ingest          *ingest.Totals
+	// Shards is the coordinator's per-shard health snapshot (nil on a
+	// plain data node).
+	Shards []coord.Health
 }
 
 func newMetrics() *Metrics {
@@ -199,6 +203,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges Gauges) {
 	g("spatiald_breaker_open_skips_total", m.BreakerOpenSkips.Load())
 	g("spatiald_live_delta_objects_total", m.LiveDelta.Load())
 	g("spatiald_live_tombstones_total", m.LiveTombstones.Load())
+	for _, h := range gauges.Shards {
+		up := 1
+		if h.Open {
+			up = 0
+		}
+		fmt.Fprintf(w, "spatiald_shard_up{tile=\"%d\",addr=%q} %d\n", h.Tile, h.Addr, up)
+		fmt.Fprintf(w, "spatiald_shard_queries_total{tile=\"%d\"} %d\n", h.Tile, h.Queries)
+		fmt.Fprintf(w, "spatiald_shard_failures_total{tile=\"%d\"} %d\n", h.Tile, h.Fails)
+		fmt.Fprintf(w, "spatiald_shard_idle_connections{tile=\"%d\"} %d\n", h.Tile, h.IdleConn)
+	}
 	if t := gauges.Ingest; t != nil {
 		g("spatiald_ingest_tables", t.Tables)
 		g("spatiald_ingest_objects", t.Objects)

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/ingest"
@@ -89,6 +90,14 @@ type Config struct {
 	// durability totals are exported as wal_*/compaction_* metrics. The
 	// caller owns the manager's lifecycle (Close after Shutdown).
 	Ingest *ingest.Manager
+
+	// Coordinator, when non-nil, turns this spatiald into the scatter-
+	// gather front of a sharded fleet: every session's query verbs fan
+	// out over the shards (internal/coord) under the same admission
+	// control, deadline ceiling, and watchdog as local queries, and the
+	// per-shard breaker health is exported under spatiald_shard_*. The
+	// caller owns the coordinator's lifecycle (Close after Shutdown).
+	Coordinator *coord.Coordinator
 }
 
 // Server is a spatiald instance: listeners, shared catalog, admission
@@ -332,6 +341,7 @@ func (s *Server) newEngine() *shellcmd.Engine {
 		},
 		DataDir: s.cfg.DataDir,
 		Live:    s.cfg.Ingest,
+		Coord:   s.cfg.Coordinator,
 	}
 	if inj, every := s.cfg.Faults, s.cfg.SentinelEvery; inj != nil || every != 0 {
 		eng.NewTester = func(mode string) (*core.Tester, error) {

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/dist"
@@ -126,6 +127,11 @@ type Engine struct {
 	// delete, compact); tables open rooted at the manager's data
 	// directory. Nil disables ingestion with a clear error.
 	Live *ingest.Manager
+	// Coord, when set, switches the engine into coordinator mode: the
+	// query verbs fan out over the shard fleet instead of running the
+	// local refinement pipeline, and local data verbs are refused with a
+	// typed *CoordUnsupportedError (see coordmode.go).
+	Coord *coord.Coordinator
 }
 
 // snapPath resolves a snapshot argument against the engine's DataDir.
@@ -144,7 +150,8 @@ func (e *Engine) snapPath(p string) string {
 // administrative command.
 func IsQuery(verb string) bool {
 	switch verb {
-	case "join", "pjoin", "overlay", "within", "select", "knn":
+	case "join", "pjoin", "overlay", "within", "select", "knn",
+		"shardjoin", "shardwithin", "shardselect":
 		return true
 	}
 	return false
@@ -170,6 +177,9 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 		return Result{}, nil
 	}
 	cmd, args := fields[0], fields[1:]
+	if e.Coord != nil {
+		return e.coordExec(ctx, cmd, args, line, out)
+	}
 	store := e.Store
 	if v, ok := store.(Viewer); ok {
 		store = v.View()
@@ -213,6 +223,14 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 		return e.selectCmd(ctx, store, line, out)
 	case "knn":
 		return e.knn(ctx, store, line, out)
+	case "partition":
+		return e.partitionCmd(store, args, out)
+	case "shardselect":
+		return e.shardSelect(ctx, store, line, out)
+	case "shardjoin":
+		return e.shardJoin(ctx, store, args, out)
+	case "shardwithin":
+		return e.shardWithin(ctx, store, args, out)
 	default:
 		return Result{}, fmt.Errorf("unknown command %q (try help)", cmd)
 	}
@@ -233,6 +251,10 @@ const Help = `commands:
   knn <layer> <WKT POLYGON> <k>     k nearest objects to a query polygon
   timeout <duration|off>            bound each query (e.g. timeout 2s)
   budget <n|off>                    cap MBR candidates per query
+  partition <layer> <n> <dir> [m]   split a layer into n spatial tiles under dir (replication margin m)
+  shardselect <layer> <WKT>         shard-side select: emits "id <N>" lines with stable ids
+  shardjoin <a> <b> <region> [mode] shard-side join over an ownership region (4 floats): emits "pair <A> <B>"
+  shardwithin <a> <b> <D> <region>  shard-side within-distance join with reference-point dedup
   live <name>                       open (or create) a durable live table
   insert <table> <WKT POLYGON>      durably insert; acks after the WAL group commit
   delete <table> <id>               durably tombstone the object with the stable id

@@ -104,6 +104,75 @@ RECOVERED="$(sed -n 's/.*live table "fleet": \([0-9]*\) objects.*/\1/p' "$INGDIR
 grep -q "select: $RECOVERED results" "$INGDIR/recover.txt" || { echo "live select disagrees with recovered count"; cat "$INGDIR/recover.txt"; exit 1; }
 rm -rf "$INGDIR"
 
+echo "== multi-shard smoke (partition 4 tiles, boot shards + coordinator, parity, drain)"
+# Partition two layers into 4 spatial tiles, boot one spatiald per tile
+# plus a coordinator fronting them, and verify the scatter-gather join
+# and select answers are line-identical to the single-node answers
+# (stable global ids make them directly comparable). Then SIGTERM the
+# whole fleet and require clean drains.
+SHDIR="$(mktemp -d /tmp/shard_smoke.XXXXXX)"
+SHPIDS=""
+trap '[ -z "$SHPIDS" ] || kill $SHPIDS 2>/dev/null || true; rm -rf "$SHDIR"' EXIT
+go build -o "$SHDIR/spatiald" ./cmd/spatiald
+go build -o "$SHDIR/spatialdb" ./cmd/spatialdb
+"$SHDIR/spatialdb" >"$SHDIR/single.txt" <<EOF
+gen a LANDC 0.01
+gen b LANDO 0.01
+partition a 4 $SHDIR/tiles 2
+partition b 4 $SHDIR/tiles 2
+shardjoin a b -Inf -Inf +Inf +Inf
+shardselect a POLYGON((10 10, 40 10, 40 40, 10 40, 10 10))
+EOF
+grep -c 'partitioned' "$SHDIR/single.txt" | grep -q 2 || { echo "partition failed"; cat "$SHDIR/single.txt"; exit 1; }
+# Boot one shard per tile directory on an ephemeral port.
+bound_addr() {
+	i=0
+	while [ $i -lt 100 ]; do
+		a="$(sed -n 's/.*serving wire protocol on \([0-9.]*:[0-9]*\).*/\1/p' "$1")"
+		if [ -n "$a" ]; then echo "$a"; return 0; fi
+		i=$((i + 1)); sleep 0.1
+	done
+	echo "shard did not report its address: $1" >&2; return 1
+}
+ADDRS=""
+for d in "$SHDIR"/tiles/shard-0 "$SHDIR"/tiles/shard-1 "$SHDIR"/tiles/shard-2 "$SHDIR"/tiles/shard-3; do
+	log="$SHDIR/$(basename "$d").log"
+	"$SHDIR/spatiald" -addr 127.0.0.1:0 -http "" -data "$d" -quiet >"$log" 2>&1 &
+	SHPIDS="$SHPIDS $!"
+	ADDRS="$ADDRS,$(bound_addr "$log")"
+done
+ADDRS="${ADDRS#,}"
+"$SHDIR/spatiald" -addr 127.0.0.1:0 -http "" -coordinator "$SHDIR/tiles" -shards "$ADDRS" -quiet >"$SHDIR/coord.log" 2>&1 &
+COORD_PID=$!
+SHPIDS="$SHPIDS $COORD_PID"
+COORD_ADDR="$(bound_addr "$SHDIR/coord.log")"
+"$SHDIR/spatiald" -connect "$COORD_ADDR" -e "join a b; select a POLYGON((10 10, 40 10, 40 40, 10 40, 10 10))" >"$SHDIR/fleet.txt"
+grep -oE 'pair [0-9]+ [0-9]+' "$SHDIR/single.txt" | sort >"$SHDIR/single_pairs.txt"
+grep -oE 'pair [0-9]+ [0-9]+' "$SHDIR/fleet.txt" | sort >"$SHDIR/fleet_pairs.txt"
+[ -s "$SHDIR/single_pairs.txt" ] || { echo "single-node join produced no pairs"; exit 1; }
+cmp -s "$SHDIR/single_pairs.txt" "$SHDIR/fleet_pairs.txt" || {
+	echo "sharded join differs from single-node join"
+	diff "$SHDIR/single_pairs.txt" "$SHDIR/fleet_pairs.txt" | head -10
+	exit 1
+}
+grep -oE '\bid [0-9]+' "$SHDIR/single.txt" | sort >"$SHDIR/single_ids.txt"
+grep -oE '\bid [0-9]+' "$SHDIR/fleet.txt" | sort >"$SHDIR/fleet_ids.txt"
+[ -s "$SHDIR/single_ids.txt" ] || { echo "single-node select produced no ids"; exit 1; }
+cmp -s "$SHDIR/single_ids.txt" "$SHDIR/fleet_ids.txt" || {
+	echo "sharded select differs from single-node select"
+	diff "$SHDIR/single_ids.txt" "$SHDIR/fleet_ids.txt" | head -10
+	exit 1
+}
+# Clean drain: every process must exit 0 on SIGTERM.
+for pid in $SHPIDS; do kill -TERM "$pid"; done
+for pid in $SHPIDS; do
+	wait "$pid" || { echo "fleet process $pid did not drain cleanly"; cat "$SHDIR"/*.log; exit 1; }
+done
+SHPIDS=""
+grep -q 'shutting down' "$SHDIR/coord.log" || { echo "coordinator skipped the drain path"; cat "$SHDIR/coord.log"; exit 1; }
+trap - EXIT
+rm -rf "$SHDIR"
+
 echo "== fuzz smoke (${FUZZTIME} each)"
 go test ./internal/data/ -fuzz FuzzDataRead -fuzztime "$FUZZTIME"
 go test ./internal/data/ -fuzz FuzzWKTParse -fuzztime "$FUZZTIME"
