@@ -209,10 +209,12 @@ func (c *Coordinator) Close() {
 
 // Result is one fanned-out query's merged answer.
 type Result struct {
-	// IDs are the deduplicated stable object ids (selections).
+	// IDs are the deduplicated stable object ids (selections). Empty when
+	// the query streamed through a RowSink.
 	IDs []uint64
 	// Pairs are the stable-id result pairs (joins), already unique by the
-	// reference-point rule.
+	// reference-point rule. Empty when the query streamed through a
+	// RowSink.
 	Pairs [][2]uint64
 	// Stats is the fold of every answering shard's stats record; Results
 	// is overwritten with the merged count.
@@ -223,31 +225,135 @@ type Result struct {
 	// ShardMS is each answering shard's wall-clock, keyed by tile, for
 	// the merge-overhead accounting in spatialbench.
 	ShardMS map[int]float64
+	// MaxBuffered is the high-water mark of merged result rows held in
+	// coordinator memory during the query: the whole result set when
+	// buffering, zero when a RowSink streamed rows through as they
+	// arrived.
+	MaxBuffered int
+}
+
+// RowSink streams merged result rows out of a fan-out as the shard
+// streams parse: ids already deduplicated (border objects answer from
+// every overlapping tile), pairs already unique by the shard-side
+// reference-point rule. Calls are serialized under the coordinator's
+// merge lock but interleave across shards in arrival order — callers
+// needing a sorted answer must use the buffering API. A non-nil return
+// stops the fan-out (remaining rows are dropped, shard breakers are NOT
+// tripped) and surfaces as the *query.PartialError cause.
+type RowSink struct {
+	ID   func(uint64) error
+	Pair func([2]uint64) error
+}
+
+func (s RowSink) active() bool { return s.ID != nil || s.Pair != nil }
+
+// errAbortStream marks a shard read loop aborted because the session's
+// RowSink failed — the client went away, not the shard.
+var errAbortStream = errors.New("coord: result sink failed")
+
+// merger is the fan-out's shared incremental merge state: shard reader
+// goroutines push rows in as their streams parse, and rows flow straight
+// out through the sink (or into the Result buffers when no sink is set).
+type merger struct {
+	mu      sync.Mutex
+	sink    RowSink
+	idSet   map[uint64]bool
+	res     *Result
+	rows    int
+	sinkErr error
+}
+
+func (m *merger) id(v uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sinkErr != nil {
+		return errAbortStream
+	}
+	if m.idSet[v] {
+		return nil
+	}
+	m.idSet[v] = true
+	m.rows++
+	if m.sink.ID != nil {
+		if err := m.sink.ID(v); err != nil {
+			m.sinkErr = err
+			return errAbortStream
+		}
+		return nil
+	}
+	m.res.IDs = append(m.res.IDs, v)
+	m.bump()
+	return nil
+}
+
+func (m *merger) pair(p [2]uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sinkErr != nil {
+		return errAbortStream
+	}
+	m.rows++
+	if m.sink.Pair != nil {
+		if err := m.sink.Pair(p); err != nil {
+			m.sinkErr = err
+			return errAbortStream
+		}
+		return nil
+	}
+	m.res.Pairs = append(m.res.Pairs, p)
+	m.bump()
+	return nil
+}
+
+func (m *merger) bump() {
+	if n := len(m.res.IDs) + len(m.res.Pairs); n > m.res.MaxBuffered {
+		m.res.MaxBuffered = n
+	}
 }
 
 // Select routes an intersection selection to the tiles overlapping the
-// query polygon's MBR and merges their stable-id streams.
+// query polygon's MBR and merges their stable-id streams (buffered,
+// sorted ascending).
 func (c *Coordinator) Select(ctx context.Context, layer, wkt string, bounds geom.Rect) (Result, error) {
+	return c.SelectStream(ctx, layer, wkt, bounds, RowSink{})
+}
+
+// SelectStream is Select with each deduplicated id handed to sink the
+// moment it merges, instead of buffering the result set; pass a zero
+// RowSink to buffer (sorted) into the Result.
+func (c *Coordinator) SelectStream(ctx context.Context, layer, wkt string, bounds geom.Rect, sink RowSink) (Result, error) {
 	tiles := c.cfg.Manifest.OverlappingTiles(bounds)
 	cmd := "shardselect " + layer + " " + wkt
-	return c.fanout(ctx, "select", tiles, func(int) string { return cmd })
+	return c.fanout(ctx, "select", tiles, func(int) string { return cmd }, sink)
 }
 
 // Join fans an intersection join out to every tile with its ownership
-// region and concatenates the deduplicated pair streams.
+// region and concatenates the deduplicated pair streams (buffered,
+// sorted by pair).
 func (c *Coordinator) Join(ctx context.Context, a, b, mode string) (Result, error) {
+	return c.JoinStream(ctx, a, b, mode, RowSink{})
+}
+
+// JoinStream is Join with each pair handed to sink as it arrives from
+// the shard streams; pass a zero RowSink to buffer into the Result.
+func (c *Coordinator) JoinStream(ctx context.Context, a, b, mode string, sink RowSink) (Result, error) {
 	return c.fanout(ctx, "join", c.allTiles(), func(tile int) string {
 		cmd := fmt.Sprintf("shardjoin %s %s %s", a, b, shellFormatRect(c.cfg.Manifest.Region(tile)))
 		if mode != "" {
 			cmd += " " + mode
 		}
 		return cmd
-	})
+	}, sink)
 }
 
 // Within fans a within-distance join out shard-wise. Distances beyond
 // the deployment's replication margin are refused with a *MarginError.
 func (c *Coordinator) Within(ctx context.Context, a, b string, d float64, mode string) (Result, error) {
+	return c.WithinStream(ctx, a, b, d, mode, RowSink{})
+}
+
+// WithinStream is Within with streaming row delivery, as JoinStream.
+func (c *Coordinator) WithinStream(ctx context.Context, a, b string, d float64, mode string, sink RowSink) (Result, error) {
 	if d > c.cfg.Manifest.Margin {
 		return Result{}, &MarginError{D: d, Margin: c.cfg.Manifest.Margin}
 	}
@@ -258,7 +364,7 @@ func (c *Coordinator) Within(ctx context.Context, a, b string, d float64, mode s
 			cmd += " " + mode
 		}
 		return cmd
-	})
+	}, sink)
 }
 
 func (c *Coordinator) allTiles() []int {
@@ -269,11 +375,11 @@ func (c *Coordinator) allTiles() []int {
 	return tiles
 }
 
-// shardAnswer is one shard's parsed response.
+// shardAnswer is one shard's response bookkeeping; result rows do not
+// pass through it — they flow into the fan-out's merger as the stream
+// parses.
 type shardAnswer struct {
 	tile    int
-	ids     []uint64
-	pairs   [][2]uint64
 	stats   query.Stats
 	wallMS  float64
 	partial string // non-empty: shard answered "partial: <reason>"
@@ -281,9 +387,13 @@ type shardAnswer struct {
 }
 
 // fanout runs cmdFor(tile) on every listed shard concurrently and merges
-// the answers. Missing shards degrade to a *query.PartialError; zero
-// answering shards is a hard error.
-func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor func(int) string) (Result, error) {
+// the row streams incrementally: each shard reader pushes parsed rows
+// into the shared merger the moment they arrive, so a RowSink caller
+// sees first rows while slow shards are still refining, and a buffering
+// caller never pays a second copy through per-shard slices. Missing
+// shards degrade to a *query.PartialError; zero answering shards is a
+// hard error.
+func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor func(int) string, sink RowSink) (Result, error) {
 	if len(tiles) == 0 {
 		return Result{Stats: query.Stats{Op: "coord." + op}}, nil
 	}
@@ -301,19 +411,19 @@ func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor
 		shardBudget = budget - time.Duration(float64(budget)*c.cfg.mergeReserve())
 	}
 
+	res := Result{ShardsAsked: len(tiles), ShardMS: map[int]float64{}}
+	m := &merger{sink: sink, idSet: map[uint64]bool{}, res: &res}
 	answers := make([]shardAnswer, len(tiles))
 	var wg sync.WaitGroup
 	for i, tile := range tiles {
 		wg.Add(1)
 		go func(slot, tile int) {
 			defer wg.Done()
-			answers[slot] = c.shards[tile].query(ctx, cmdFor(tile), shardBudget)
+			answers[slot] = c.shards[tile].query(ctx, cmdFor(tile), shardBudget, m)
 		}(i, tile)
 	}
 	wg.Wait()
 
-	res := Result{ShardsAsked: len(tiles), ShardMS: map[int]float64{}}
-	idSet := map[uint64]bool{}
 	var firstErr error
 	var busy *ShardBusyError
 	partialReasons := 0
@@ -330,13 +440,6 @@ func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor
 		}
 		res.ShardsOK++
 		res.ShardMS[a.tile] = a.wallMS
-		for _, id := range a.ids {
-			if !idSet[id] {
-				idSet[id] = true
-				res.IDs = append(res.IDs, id)
-			}
-		}
-		res.Pairs = append(res.Pairs, a.pairs...)
 		res.Stats.Merge(a.stats)
 		if a.partial != "" {
 			partialReasons++
@@ -353,8 +456,19 @@ func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor
 		return res.Pairs[i][1] < res.Pairs[j][1]
 	})
 	res.Stats.Op = "coord." + op
-	res.Stats.Results = len(res.IDs) + len(res.Pairs)
+	res.Stats.Results = m.rows
 
+	if m.sinkErr != nil {
+		// The caller's sink failed mid-stream (client gone); report the
+		// rows that made it out as a partial with the sink's error as the
+		// cause, no matter how many shards were cut off by the abort.
+		return res, &query.PartialError{
+			Op:    "coord." + op,
+			Done:  res.ShardsOK - partialReasons,
+			Total: res.ShardsAsked,
+			Err:   m.sinkErr,
+		}
+	}
 	if res.ShardsOK == 0 {
 		if busy != nil {
 			return Result{}, busy
@@ -471,28 +585,43 @@ func (w *wireConn) readLine(f *faultinject.Injector) (string, error) {
 	return strings.TrimRight(line, "\r\n"), nil
 }
 
-// exchange sends one command and reads its data lines + status line.
-func (w *wireConn) exchange(cmd string, f *faultinject.Injector) (data []string, status string, err error) {
+// exchangeStream sends one command and hands each data line to onLine
+// the moment it is read, returning the trailing status line. An onLine
+// error aborts the read loop and is returned as-is, leaving the
+// connection mid-stream — the caller must close it.
+func (w *wireConn) exchangeStream(cmd string, f *faultinject.Injector, onLine func(string) error) (status string, err error) {
 	if _, err := fmt.Fprintf(w.conn, "%s\n", cmd); err != nil {
-		return nil, "", err
+		return "", err
 	}
 	for {
 		line, err := w.readLine(f)
 		if err != nil {
-			return nil, "", err
+			return "", err
 		}
 		if line == "ok" || strings.HasPrefix(line, "partial:") || strings.HasPrefix(line, "error:") {
-			return data, line, nil
+			return line, nil
 		}
-		data = append(data, line)
+		if err := onLine(line); err != nil {
+			return "", err
+		}
 	}
 }
 
+// exchange is exchangeStream with the data lines collected — used for
+// small fixed exchanges like timeout arming.
+func (w *wireConn) exchange(cmd string, f *faultinject.Injector) (data []string, status string, err error) {
+	status, err = w.exchangeStream(cmd, f, func(line string) error {
+		data = append(data, line)
+		return nil
+	})
+	return data, status, err
+}
+
 // query runs one shard command end to end: breaker gate, connection
-// acquire, shard-side timeout arming, command exchange, stream parse,
-// breaker accounting. Never blocks past the budget (or the configured
-// read ceiling).
-func (s *shard) query(ctx context.Context, cmd string, budget time.Duration) shardAnswer {
+// acquire, shard-side timeout arming, command exchange with rows parsed
+// into the fan-out's merger as they stream, breaker accounting. Never
+// blocks past the budget (or the configured read ceiling).
+func (s *shard) query(ctx context.Context, cmd string, budget time.Duration, m *merger) shardAnswer {
 	ans := shardAnswer{tile: s.tile}
 	fail := func(err error) shardAnswer {
 		s.recordFailure(err)
@@ -542,9 +671,17 @@ func (s *shard) query(ctx context.Context, cmd string, budget time.Duration) sha
 	}
 
 	start := time.Now()
-	data, status, err := w.exchange(cmd, s.cfg.Faults)
+	status, err := w.exchangeStream(cmd, s.cfg.Faults, func(line string) error {
+		return parseLine(line, m, &ans)
+	})
 	if err != nil {
 		w.conn.Close()
+		if errors.Is(err, errAbortStream) {
+			// The session's result sink failed — the client went away, not
+			// the shard. Abandon the stream without touching the breaker.
+			ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: err}
+			return ans
+		}
 		return fail(err)
 	}
 	ans.wallMS = float64(time.Since(start).Microseconds()) / 1000
@@ -569,10 +706,6 @@ func (s *shard) query(ctx context.Context, cmd string, budget time.Duration) sha
 		return ans
 	}
 
-	if err := parseStream(data, &ans); err != nil {
-		w.conn.Close()
-		return fail(err)
-	}
 	s.recordSuccess()
 	s.release(w)
 	return ans
@@ -596,39 +729,38 @@ func (s *shard) recordSuccess() {
 	s.openUntil = time.Time{}
 }
 
-// parseStream decodes a shard's data lines: "id <N>", "pair <A> <B>",
-// one "stats <json>", and ignorable notes.
-func parseStream(lines []string, ans *shardAnswer) error {
-	for _, line := range lines {
-		word, rest, _ := strings.Cut(line, " ")
-		switch word {
-		case "id":
-			id, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad id line %q: %w", line, err)
-			}
-			ans.ids = append(ans.ids, id)
-		case "pair":
-			af, bf, ok := strings.Cut(strings.TrimSpace(rest), " ")
-			if !ok {
-				return fmt.Errorf("bad pair line %q", line)
-			}
-			a, err := strconv.ParseUint(af, 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad pair line %q: %w", line, err)
-			}
-			b, err := strconv.ParseUint(strings.TrimSpace(bf), 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad pair line %q: %w", line, err)
-			}
-			ans.pairs = append(ans.pairs, [2]uint64{a, b})
-		case "stats":
-			if err := json.Unmarshal([]byte(rest), &ans.stats); err != nil {
-				return fmt.Errorf("bad stats line: %w", err)
-			}
-		default:
-			// note: ... and any future informational lines are ignored.
+// parseLine decodes one shard data line — "id <N>" and "pair <A> <B>"
+// rows go straight into the fan-out merger, "stats <json>" into the
+// shard's answer, other lines (notes) are ignored.
+func parseLine(line string, m *merger, ans *shardAnswer) error {
+	word, rest, _ := strings.Cut(line, " ")
+	switch word {
+	case "id":
+		id, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad id line %q: %w", line, err)
 		}
+		return m.id(id)
+	case "pair":
+		af, bf, ok := strings.Cut(strings.TrimSpace(rest), " ")
+		if !ok {
+			return fmt.Errorf("bad pair line %q", line)
+		}
+		a, err := strconv.ParseUint(af, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad pair line %q: %w", line, err)
+		}
+		b, err := strconv.ParseUint(strings.TrimSpace(bf), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad pair line %q: %w", line, err)
+		}
+		return m.pair([2]uint64{a, b})
+	case "stats":
+		if err := json.Unmarshal([]byte(rest), &ans.stats); err != nil {
+			return fmt.Errorf("bad stats line: %w", err)
+		}
+	default:
+		// note: ... and any future informational lines are ignored.
 	}
 	return nil
 }

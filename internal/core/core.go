@@ -52,6 +52,13 @@ const (
 	// detector for a broken conservative-rasterization invariant at ~1.6%
 	// re-check overhead on the rejected population.
 	DefaultSentinelEvery = 64
+
+	// DefaultBatchSize is the pipeline's candidate-pair batch size. Large
+	// enough that the per-batch queue handoff amortizes to noise, small
+	// enough that the first refined batch — the client's time-to-first-row
+	// — arrives after a fraction of a percent of the join.
+	// spatialbench -exp pipeline sweeps the value.
+	DefaultBatchSize = 256
 )
 
 // Config controls a Tester.
@@ -103,6 +110,19 @@ type Config struct {
 	// draw path). Production configurations leave it nil; the resilience
 	// tests use it to prove degradation semantics. See internal/faultinject.
 	Faults *faultinject.Injector
+
+	// BatchSize is the candidate-pair batch size of the staged join
+	// pipeline (query.PipelineIntersectionJoin): how many pairs travel
+	// together through the filter → refine → emit stages. Zero means
+	// DefaultBatchSize. Batches bound the queue memory between stages and
+	// set the streaming granularity — a smaller batch delivers the first
+	// rows sooner at more per-batch overhead.
+	BatchSize int
+	// NoPipeline is the ablation knob: it reconstructs the pre-pipeline
+	// per-pair call chain (filter and refine interleaved per candidate on
+	// one goroutine set, results emitted only at the end). Differential
+	// tests pin the two paths bit-identical.
+	NoPipeline bool
 }
 
 // Stats counts how pair tests were resolved; the evaluation harness reads
@@ -156,6 +176,18 @@ type Stats struct {
 	HWTime      time.Duration // rendering + buffer search
 	SWTime      time.Duration // software segment / distance tests
 	CollectTime time.Duration // candidate-edge collection (shared by both)
+
+	// Pipeline accounting, filled by the staged batch drivers
+	// (query.PipelineIntersectionJoin and friends) rather than by the
+	// tester itself: batches that crossed the stage queues, wall time the
+	// filter and refine worker pools spent, the deepest queue backlog
+	// observed (a bounded gauge — Add keeps the max, not the sum), and
+	// result rows handed to a streaming sink.
+	PipelineBatches    int64
+	PipelineFilterNS   int64
+	PipelineRefineNS   int64
+	PipelineQueueDepth int64
+	StreamRowsEmitted  int64
 }
 
 // Add accumulates other into s.
@@ -182,6 +214,13 @@ func (s *Stats) Add(other Stats) {
 	s.HWTime += other.HWTime
 	s.SWTime += other.SWTime
 	s.CollectTime += other.CollectTime
+	s.PipelineBatches += other.PipelineBatches
+	s.PipelineFilterNS += other.PipelineFilterNS
+	s.PipelineRefineNS += other.PipelineRefineNS
+	if other.PipelineQueueDepth > s.PipelineQueueDepth {
+		s.PipelineQueueDepth = other.PipelineQueueDepth
+	}
+	s.StreamRowsEmitted += other.StreamRowsEmitted
 }
 
 // Tester runs refinement tests for one worker. It owns a rendering context
@@ -274,11 +313,45 @@ func (t *Tester) Intersects(p, q *geom.Polygon) bool {
 	return t.IntersectsCtx(p, q, PairContext{})
 }
 
+// Verdict is a filter stage's outcome for one candidate pair: resolved
+// negative (Miss), resolved positive (Hit), or left for the refinement
+// stage (Undecided). The pipeline drivers route batches by it; the plain
+// per-pair entry points compose Filter and Refine back into one call.
+type Verdict int8
+
+const (
+	// VerdictMiss resolves the pair negative — no refinement needed.
+	VerdictMiss Verdict = iota
+	// VerdictHit resolves the pair positive — no refinement needed.
+	VerdictHit
+	// VerdictUndecided passes the pair to the refinement stage.
+	VerdictUndecided
+)
+
 // IntersectsCtx is Intersects with shared per-object derived data: edge
 // indexes in pc replace the linear candidate-edge scans on both the
 // hardware and the direct-software path. The verdict is identical for any
 // pc — the indexes return exactly the edge sets the scan would.
 func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
+	switch t.FilterIntersects(p, q, pc) {
+	case VerdictHit:
+		return true
+	case VerdictMiss:
+		return false
+	}
+	return t.RefineIntersects(p, q, pc)
+}
+
+// FilterIntersects runs the cheap, render-free front of Algorithm 3.1 —
+// MBR pre-test, point-in-polygon containment, persisted-signature
+// disjointness — and reports whether the pair is resolved or must go to
+// RefineIntersects. It is the pipeline's filter stage: dense, branch-light
+// work that touches no rendering context, so filter workers stay hot while
+// refine workers own the expensive edge tests. Exactly one Refine call per
+// Undecided verdict keeps the Stats resolution partition (Tests == sum of
+// the resolution counters) intact even when filter and refine run on
+// different testers and the stats are summed afterwards.
+func (t *Tester) FilterIntersects(p, q *geom.Polygon, pc PairContext) Verdict {
 	// The fault hook runs before any counter moves, so an injected panic
 	// leaves the Stats partition (Tests == sum of resolution paths) intact.
 	if t.cfg.Faults != nil {
@@ -287,7 +360,7 @@ func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
 	t.Stats.Tests++
 	if !p.Bounds().Intersects(q.Bounds()) {
 		t.Stats.MBRRejects++
-		return false
+		return VerdictMiss
 	}
 
 	// Step 1: software point-in-polygon test, both directions. Linear and
@@ -295,16 +368,23 @@ func (t *Tester) IntersectsCtx(p, q *geom.Polygon, pc PairContext) bool {
 	// the edge rendering cannot.
 	if sweep.ContainmentPossible(p, q) {
 		t.Stats.PIPHits++
-		return true
+		return VerdictHit
 	}
 
 	// Persisted-signature filter: with containment excluded, the predicate
 	// reduces to a boundary intersection, which disjoint signatures refute
 	// outright — no rendering, no software test.
 	if t.sigReject(p, q, 0, pc) {
-		return false
+		return VerdictMiss
 	}
+	return VerdictUndecided
+}
 
+// RefineIntersects decides a pair FilterIntersects left Undecided: the
+// adaptive software/hardware dispatch, the hardware overlap filter, and
+// the exact software cross test. Callers must not invoke it on pairs the
+// filter resolved — the stats partition counts each test exactly once.
+func (t *Tester) RefineIntersects(p, q *geom.Polygon, pc PairContext) bool {
 	// Adaptive threshold (§4.3): for simple pairs the fixed hardware
 	// overhead exceeds the software sweep, so skip straight to software.
 	// The software test runs on the same restricted (and possibly
@@ -504,13 +584,26 @@ func (t *Tester) WithinDistance(p, q *geom.Polygon, d float64) bool {
 // WithinDistanceCtx is WithinDistance with shared per-object derived
 // data; see IntersectsCtx.
 func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext) bool {
+	switch t.FilterWithin(p, q, d, pc) {
+	case VerdictHit:
+		return true
+	case VerdictMiss:
+		return false
+	}
+	return t.RefineWithin(p, q, d, pc)
+}
+
+// FilterWithin is the within-distance filter stage: MBR distance pre-test,
+// containment, and d-expanded signature disjointness, none of which touch
+// the rendering context. See FilterIntersects for the stats contract.
+func (t *Tester) FilterWithin(p, q *geom.Polygon, d float64, pc PairContext) Verdict {
 	if t.cfg.Faults != nil {
 		t.cfg.Faults.Apply(faultinject.SiteWithinDistance)
 	}
 	t.Stats.Tests++
 	if p.Bounds().Dist(q.Bounds()) > d {
 		t.Stats.MBRRejects++
-		return false
+		return VerdictMiss
 	}
 
 	// Containment makes the region distance zero but leaves boundaries
@@ -518,16 +611,22 @@ func (t *Tester) WithinDistanceCtx(p, q *geom.Polygon, d float64, pc PairContext
 	// exactly as in Algorithm 3.1.
 	if sweep.ContainmentPossible(p, q) {
 		t.Stats.PIPHits++
-		return true
+		return VerdictHit
 	}
 
 	// Persisted-signature filter: with containment excluded, within-d
 	// reduces to the boundaries coming within d, which the signatures
 	// refute when their d-expanded cells are disjoint.
 	if t.sigReject(p, q, d, pc) {
-		return false
+		return VerdictMiss
 	}
+	return VerdictUndecided
+}
 
+// RefineWithin decides a pair FilterWithin left Undecided: threshold
+// dispatch, the widened-edge hardware filter (with its line-width
+// fallback), and the exact software distance test.
+func (t *Tester) RefineWithin(p, q *geom.Polygon, d float64, pc PairContext) bool {
 	if t.ctx == nil || p.NumVerts()+q.NumVerts() <= t.cfg.SWThreshold {
 		t.Stats.SWDirect++
 		return t.softwareWithin(p, q, d)

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/query"
+)
+
+// PipelinePoint is one configuration's measurement of the staged batch
+// pipeline: total join wall clock, time to first row (the latency until
+// the emit stage delivered its first batch to the sink), and the number
+// of batches that flowed through the stages.
+type PipelinePoint struct {
+	Config  string // "buffered", "nopipeline", or "batch=<n>"
+	Wall    time.Duration
+	TTFR    time.Duration
+	Results int
+	Batches int64
+}
+
+// PipelineResult is the batch-size × pipeline-on/off sweep for one join
+// workload, differentially checked against the buffered baseline.
+type PipelineResult struct {
+	Workload string
+	Points   []PipelinePoint
+}
+
+// Pipeline measures what the staged pipeline buys on LANDC ⋈ LANDO:
+// time to first row against the buffered parallel join (which cannot
+// deliver anything until the last refine lands), and total wall across
+// batch sizes, plus the NoPipeline ablation arm that runs the same
+// code path without stage overlap. Every arm must reproduce the
+// baseline's result count exactly.
+func (r *Runner) Pipeline() []PipelineResult {
+	a, b := r.Layer("LANDC"), r.Layer("LANDO")
+	res := PipelineResult{Workload: "LANDC⋈LANDO"}
+	r.printf("\nStaged pipeline join (LANDC⋈LANDO, %d+%d objects): time to first row vs batch size\n",
+		len(a.Data.Objects), len(b.Data.Objects))
+	r.printf("%-12s %12s %12s %10s %10s\n", "config", "wall(ms)", "ttfr(ms)", "results", "batches")
+
+	// Buffered baseline: the pre-pipeline parallel driver holds every
+	// pair until refinement finishes, so its first row arrives with its
+	// last — TTFR is the whole wall.
+	start := time.Now()
+	basePairs, _, err := query.ParallelIntersectionJoin(r.ctx(), a, b, query.ParallelOptions{})
+	wall := time.Since(start)
+	if r.check(err) {
+		return nil
+	}
+	base := len(basePairs)
+	res.Points = append(res.Points, PipelinePoint{Config: "buffered", Wall: wall, TTFR: wall, Results: base})
+	r.printf("%-12s %12.1f %12.1f %10d %10s\n", "buffered", ms(wall), ms(wall), base, "-")
+
+	arms := []struct {
+		config string
+		batch  int
+		noPipe bool
+	}{
+		{"nopipeline", 0, true},
+		{"batch=64", 64, false},
+		{"batch=256", 256, false},
+		{"batch=1024", 1024, false},
+		{"batch=4096", 4096, false},
+	}
+	for _, arm := range arms {
+		var ttfr time.Duration
+		rows := 0
+		start := time.Now()
+		opt := query.PipelineOptions{
+			BatchSize:  arm.batch,
+			NoPipeline: arm.noPipe,
+			Sink: func(pairs []query.Pair) error {
+				if rows == 0 && len(pairs) > 0 {
+					ttfr = time.Since(start)
+				}
+				rows += len(pairs)
+				return nil
+			},
+		}
+		pairs, stats, err := query.PipelineIntersectionJoin(r.ctx(), a, b, opt)
+		wall := time.Since(start)
+		if r.check(err) {
+			break
+		}
+		if rows != base || len(pairs) != base {
+			r.check(fmt.Errorf("pipeline %s: streamed %d / returned %d pairs, baseline found %d",
+				arm.config, rows, len(pairs), base))
+			break
+		}
+		res.Points = append(res.Points, PipelinePoint{
+			Config: arm.config, Wall: wall, TTFR: ttfr, Results: rows,
+			Batches: stats.PipelineBatches,
+		})
+		r.printf("%-12s %12.1f %12.1f %10d %10d\n", arm.config, ms(wall), ms(ttfr), rows, stats.PipelineBatches)
+	}
+	return []PipelineResult{res}
+}
+
+// PipelineRecords flattens the pipeline sweep. TTFR rides in its own
+// column so the streaming-latency trajectory is tracked alongside total
+// wall run over run.
+func PipelineRecords(rows []PipelineResult, scale float64) []BenchRecord {
+	var out []BenchRecord
+	for _, row := range rows {
+		for _, p := range row.Points {
+			out = append(out, BenchRecord{
+				Experiment: "pipeline", Workload: row.Workload, Tester: p.Config,
+				Scale:  scale,
+				WallMS: ms(p.Wall), TTFRMS: ms(p.TTFR),
+				Results: p.Results,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,509 @@
+package query
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rtree"
+)
+
+// This file implements the staged batch pipeline for joins: candidate
+// generation → filter (MBR / containment / persisted-signature, the
+// render-free front of Algorithm 3.1) → refine (hardware filter + exact
+// software tests) → emit, with bounded batch queues between the stages
+// and a worker pool per stage. Batching keeps each stage's working set
+// hot (the filter stage runs dense and branch-light over whole batches,
+// modeled on 3DPipe's pipelined join framework), and the emit stage
+// delivers refined batches to a streaming sink as they complete — clients
+// measure time-to-first-row instead of time-to-last-row.
+//
+// Determinism: batches are numbered at generation and the emit stage
+// restores sequence order, so with the default locality order the
+// complete result — returned and streamed — is exactly the serial
+// driver's candidate-sorted output, bit for bit. Config.NoPipeline (or
+// PipelineOptions.NoPipeline) reconstructs the pre-pipeline per-pair
+// worker path, emitting one final batch; differential tests pin the two
+// paths identical.
+
+// PipelineOptions configure the staged batch join drivers.
+type PipelineOptions struct {
+	ParallelOptions
+
+	// BatchSize is the candidate-pair batch size; 0 falls back to the
+	// tester configuration's Config.BatchSize, then core.DefaultBatchSize.
+	BatchSize int
+	// NoPipeline reconstructs the per-pair worker path (one emit at the
+	// end); OR-ed with the tester configuration's Config.NoPipeline.
+	NoPipeline bool
+	// Sink, when non-nil, receives each completed batch's positive pairs
+	// in sequence order as refinement finishes, from the calling
+	// goroutine. The slice is reused between calls — consume it before
+	// returning, don't retain it. A non-nil return stops the join:
+	// completed batches still drain into the returned result, and the
+	// error surfaces as the *PartialError cause (the streaming wind-down
+	// path).
+	Sink func(pairs []Pair) error
+}
+
+// pipeBatch is one candidate batch traveling through the stage queues.
+type pipeBatch struct {
+	seq   int
+	pairs []Pair
+	// keep is the per-pair verdict, filled in by the filter stage for
+	// resolved pairs and the refine stage for the rest; emission order is
+	// candidate order, so hits are read back out through it.
+	keep []bool
+	// undecided indexes into pairs the filter stage could not resolve.
+	undecided []int32
+}
+
+// PipelineIntersectionJoin computes the same result set as
+// IntersectionJoinOpt through the staged batch pipeline, streaming
+// completed batches to opt.Sink. The result slice (and the concatenated
+// sink batches) are in candidate order — with the default locality order,
+// sorted by (A, B). Cancellation, budget, and panic-quarantine semantics
+// match ParallelIntersectionJoin.
+func PipelineIntersectionJoin(ctx context.Context, a, b *Layer, opt PipelineOptions) ([]Pair, core.Stats, error) {
+	col := collector[Pair]{ctx: ctx, op: "pipeline-join", budget: opt.MaxCandidates}
+	rtree.Join(a.Index, b.Index, func(ea, eb rtree.Entry) bool {
+		return col.add(Pair{ea.ID, eb.ID})
+	})
+	if col.err != nil {
+		return nil, core.Stats{}, col.err
+	}
+	if !opt.NoLocalityOrder {
+		sortPairsByOuter(col.items)
+	}
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	return pipelineRun(ctx, col.items, opt, "pipeline-join",
+		func(t *core.Tester, pr Pair) core.Verdict {
+			return t.FilterIntersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
+		},
+		func(t *core.Tester, pr Pair) bool {
+			return t.RefineIntersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
+		},
+		func(t *core.Tester, pr Pair) bool {
+			return t.IntersectsCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
+		})
+}
+
+// PipelineWithinDistanceJoin is PipelineIntersectionJoin for the buffer
+// query (no intermediate distance filters, matching
+// ParallelWithinDistanceJoin).
+func PipelineWithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, opt PipelineOptions) ([]Pair, core.Stats, error) {
+	col := collector[Pair]{ctx: ctx, op: "pipeline-within-join", budget: opt.MaxCandidates}
+	rtree.JoinWithin(a.Index, b.Index, d, func(ea, eb rtree.Entry) bool {
+		return col.add(Pair{ea.ID, eb.ID})
+	})
+	if col.err != nil {
+		return nil, core.Stats{}, col.err
+	}
+	if !opt.NoLocalityOrder {
+		sortPairsByOuter(col.items)
+	}
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	return pipelineRun(ctx, col.items, opt, "pipeline-within-join",
+		func(t *core.Tester, pr Pair) core.Verdict {
+			return t.FilterWithin(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))
+		},
+		func(t *core.Tester, pr Pair) bool {
+			return t.RefineWithin(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))
+		},
+		func(t *core.Tester, pr Pair) bool {
+			return t.WithinDistanceCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))
+		})
+}
+
+// PipelineIntersectionJoinView composes PipelineIntersectionJoin across
+// the views' components. Single×single views take the exact single-layer
+// path; composed views stream each component join through a
+// canonical-remapping sink (tombstoned participants dropped) and return
+// the union sorted by (A, B).
+func PipelineIntersectionJoinView(ctx context.Context, a, b *View, opt PipelineOptions) ([]Pair, core.Stats, error) {
+	la, aok := a.Single()
+	lb, bok := b.Single()
+	if aok && bok {
+		return PipelineIntersectionJoin(ctx, la, lb, opt)
+	}
+	return composePipelineJoin(a, b, opt, func(x, y *Layer, o PipelineOptions) ([]Pair, core.Stats, error) {
+		return PipelineIntersectionJoin(ctx, x, y, o)
+	})
+}
+
+// PipelineWithinDistanceJoinView is PipelineIntersectionJoinView for the
+// buffer query.
+func PipelineWithinDistanceJoinView(ctx context.Context, a, b *View, d float64, opt PipelineOptions) ([]Pair, core.Stats, error) {
+	la, aok := a.Single()
+	lb, bok := b.Single()
+	if aok && bok {
+		return PipelineWithinDistanceJoin(ctx, la, lb, d, opt)
+	}
+	return composePipelineJoin(a, b, opt, func(x, y *Layer, o PipelineOptions) ([]Pair, core.Stats, error) {
+		return PipelineWithinDistanceJoin(ctx, x, y, d, o)
+	})
+}
+
+// composePipelineJoin runs a pipeline join per component combination,
+// remapping streamed batches to canonical positions inside the sink so
+// composed views still deliver rows incrementally.
+func composePipelineJoin(a, b *View, opt PipelineOptions, join func(x, y *Layer, o PipelineOptions) ([]Pair, core.Stats, error)) ([]Pair, core.Stats, error) {
+	var out []Pair
+	var stats core.Stats
+	for _, ca := range a.components() {
+		for _, cb := range b.components() {
+			o := opt
+			if opt.Sink != nil {
+				canonA, canonB := ca.canon, cb.canon
+				var remapped []Pair
+				o.Sink = func(pairs []Pair) error {
+					remapped = remapped[:0]
+					for _, pr := range pairs {
+						pa, pb := canonA(pr.A), canonB(pr.B)
+						if pa >= 0 && pb >= 0 {
+							remapped = append(remapped, Pair{int(pa), int(pb)})
+						}
+					}
+					if len(remapped) == 0 {
+						return nil
+					}
+					return opt.Sink(remapped)
+				}
+			}
+			pairs, st, err := join(ca.layer, cb.layer, o)
+			stats.Add(st)
+			for _, pr := range pairs {
+				pa, pb := ca.canon(pr.A), cb.canon(pr.B)
+				if pa >= 0 && pb >= 0 {
+					out = append(out, Pair{int(pa), int(pb)})
+				}
+			}
+			if err != nil {
+				if _, ok := err.(*BudgetError); ok {
+					return nil, stats, err
+				}
+				sortPairsByOuter(out)
+				return out, stats, err
+			}
+		}
+	}
+	sortPairsByOuter(out)
+	return out, stats, nil
+}
+
+// resolvePipeline reads the effective batch size and ablation flag from
+// the options and the tester factory's configuration.
+func resolvePipeline(opt PipelineOptions) (batch int, noPipe bool) {
+	cfg := opt.newTester().Config()
+	batch = opt.BatchSize
+	if batch <= 0 {
+		batch = cfg.BatchSize
+	}
+	if batch <= 0 {
+		batch = core.DefaultBatchSize
+	}
+	return batch, opt.NoPipeline || cfg.NoPipeline
+}
+
+// maxInt64 raises the atomic gauge to v if larger (the queue-depth
+// high-water mark shared by the stage goroutines).
+func maxInt64(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// pipelineRun drives candidates through the staged pipeline.
+//
+// Topology: a generator goroutine cuts the (locality-sorted) candidate
+// slice into batches aligned to outer-object group boundaries and feeds a
+// bounded filter queue; filter workers resolve the render-free verdicts
+// and pass batches to a bounded refine queue; refine workers decide the
+// undecided pairs; the emit stage — the calling goroutine — restores
+// sequence order and hands each completed batch to the sink. Bounded
+// queues give backpressure end to end: a slow sink (a congested client
+// connection) stalls emit, which stalls refine, which stalls filter and
+// generation, so in-flight memory stays proportional to
+// workers × batch size, never to the result set.
+//
+// Failure semantics match parallelRefine: a panicking filter verdict is
+// retried as a whole test on a software-only tester; a panicking refine
+// is retried refine-only (its filter half already counted); a second
+// panic quarantines the pair. Workers check ctx per pair and the whole
+// pipeline winds down through channel closes — no goroutine outlives the
+// call. A sink error cancels the pipeline's derived context and surfaces
+// as the *PartialError cause.
+func pipelineRun(ctx context.Context, candidates []Pair, opt PipelineOptions, op string,
+	filter func(*core.Tester, Pair) core.Verdict,
+	refine func(*core.Tester, Pair) bool,
+	full func(*core.Tester, Pair) bool) ([]Pair, core.Stats, error) {
+
+	batch, noPipe := resolvePipeline(opt)
+	if noPipe {
+		// Ablation: the pre-pipeline per-pair worker path. One terminal
+		// emit models the buffered delivery the pipeline replaces.
+		pairs, stats, err := parallelRefine(ctx, candidates, opt.ParallelOptions, op, full)
+		sortPairsByOuter(pairs)
+		if _, budget := err.(*BudgetError); !budget && opt.Sink != nil && len(pairs) > 0 {
+			if serr := opt.Sink(pairs); serr != nil && err == nil {
+				err = &PartialError{Op: op, Done: len(candidates), Total: len(candidates), Err: serr}
+			}
+			stats.StreamRowsEmitted += int64(len(pairs))
+		}
+		return pairs, stats, err
+	}
+
+	refineWorkers := min(opt.workers(), max(1, (len(candidates)+batch-1)/batch))
+	filterWorkers := max(1, (refineWorkers+1)/2)
+
+	pctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	filterCh := make(chan *pipeBatch, filterWorkers)
+	refineCh := make(chan *pipeBatch, refineWorkers)
+	emitCh := make(chan *pipeBatch, refineWorkers)
+	var queueDepth atomic.Int64
+	var filterNS, refineNS atomic.Int64
+	workerStats := make([]core.Stats, filterWorkers+refineWorkers)
+
+	// Stage 0: generation. Batches extend past the nominal size to the end
+	// of the current outer object's run (bounded at 4×) so one outer
+	// polygon's pairs — and its lazily built edge index — stay on one
+	// filter/refine worker pass.
+	go func() {
+		defer close(filterCh)
+		seq := 0
+		for lo := 0; lo < len(candidates); {
+			hi := min(lo+batch, len(candidates))
+			if !opt.NoLocalityOrder {
+				limit := min(lo+4*batch, len(candidates))
+				for hi < limit && candidates[hi].A == candidates[hi-1].A {
+					hi++
+				}
+			}
+			b := &pipeBatch{seq: seq, pairs: candidates[lo:hi]}
+			select {
+			case filterCh <- b:
+				maxInt64(&queueDepth, int64(len(filterCh)))
+			case <-pctx.Done():
+				return
+			}
+			seq++
+			lo = hi
+		}
+	}()
+
+	var filterWG sync.WaitGroup
+	for w := range filterWorkers {
+		filterWG.Add(1)
+		go func() {
+			defer filterWG.Done()
+			tester := opt.newTester()
+			var swRetry *core.Tester
+			start := time.Now()
+			for b := range filterCh {
+				if pctx.Err() != nil {
+					continue // drain so the generator never blocks
+				}
+				b.keep = make([]bool, len(b.pairs))
+				for i, pr := range b.pairs {
+					if pctx.Err() != nil {
+						b.keep = nil // mark unprocessed; emit skips it
+						break
+					}
+					v, panicked := safeFilter(tester, pr, filter)
+					if panicked {
+						// The whole test retries on the software path: the
+						// panicked attempt never counted Tests, so the
+						// retry re-counts from the top (see parallelRefine).
+						tester.Stats.Panics++
+						if swRetry == nil {
+							swRetry = softwareRetryTester(tester)
+						}
+						keep, panicked := safeTest(swRetry, pr, full)
+						if panicked {
+							tester.Stats.Quarantined++
+							keep = false
+						}
+						b.keep[i] = keep
+						continue
+					}
+					switch v {
+					case core.VerdictHit:
+						b.keep[i] = true
+					case core.VerdictUndecided:
+						b.undecided = append(b.undecided, int32(i))
+					}
+				}
+				if b.keep == nil {
+					continue
+				}
+				select {
+				case refineCh <- b:
+					maxInt64(&queueDepth, int64(len(refineCh)))
+				case <-pctx.Done():
+				}
+			}
+			filterNS.Add(int64(time.Since(start)))
+			stats := tester.Stats
+			if swRetry != nil {
+				stats.Add(swRetry.Stats)
+			}
+			workerStats[w] = stats
+		}()
+	}
+	go func() {
+		filterWG.Wait()
+		close(refineCh)
+	}()
+
+	var refineWG sync.WaitGroup
+	for w := range refineWorkers {
+		refineWG.Add(1)
+		go func() {
+			defer refineWG.Done()
+			tester := opt.newTester()
+			var swRetry *core.Tester
+			start := time.Now()
+			for b := range refineCh {
+				if pctx.Err() != nil {
+					continue
+				}
+				done := true
+				for _, i := range b.undecided {
+					if pctx.Err() != nil {
+						done = false
+						break
+					}
+					pr := b.pairs[i]
+					keep, panicked := safeTest(tester, pr, refine)
+					if panicked {
+						// Refine-only retry: the pair's filter half already
+						// counted on the filter worker's tester, so the
+						// software retry supplies just the resolution.
+						tester.Stats.Panics++
+						if swRetry == nil {
+							swRetry = softwareRetryTester(tester)
+						}
+						keep, panicked = safeTest(swRetry, pr, refine)
+						if panicked {
+							tester.Stats.Quarantined++
+							keep = false
+						}
+					}
+					b.keep[i] = keep
+				}
+				if !done {
+					continue
+				}
+				select {
+				case emitCh <- b:
+					maxInt64(&queueDepth, int64(len(emitCh)))
+				case <-pctx.Done():
+				}
+			}
+			refineNS.Add(int64(time.Since(start)))
+			stats := tester.Stats
+			if swRetry != nil {
+				stats.Add(swRetry.Stats)
+			}
+			workerStats[filterWorkers+w] = stats
+		}()
+	}
+	go func() {
+		refineWG.Wait()
+		close(emitCh)
+	}()
+
+	// Stage 3: emit, on the calling goroutine. Batches are re-sequenced so
+	// the stream (and the returned slice) follow candidate order; on
+	// wind-down the completed out-of-order tail still drains, ascending.
+	var results []Pair
+	var stats core.Stats
+	processed := 0
+	var sinkErr error
+	pending := map[int]*pipeBatch{}
+	next := 0
+	handle := func(b *pipeBatch) {
+		n := len(results)
+		for i, keep := range b.keep {
+			if keep {
+				results = append(results, b.pairs[i])
+			}
+		}
+		processed += len(b.pairs)
+		stats.PipelineBatches++
+		if opt.Sink != nil && sinkErr == nil && len(results) > n {
+			if err := opt.Sink(results[n:]); err != nil {
+				sinkErr = err
+				cancel(sinkErr)
+			} else {
+				stats.StreamRowsEmitted += int64(len(results) - n)
+			}
+		}
+	}
+	for b := range emitCh {
+		pending[b.seq] = b
+		for {
+			nb, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			handle(nb)
+		}
+	}
+	if len(pending) > 0 {
+		seqs := make([]int, 0, len(pending))
+		for s := range pending {
+			seqs = append(seqs, s)
+		}
+		sort.Ints(seqs)
+		for _, s := range seqs {
+			handle(pending[s])
+		}
+	}
+
+	for _, ws := range workerStats {
+		stats.Add(ws)
+	}
+	stats.PipelineFilterNS += filterNS.Load()
+	stats.PipelineRefineNS += refineNS.Load()
+	maxInt64(&queueDepth, stats.PipelineQueueDepth)
+	stats.PipelineQueueDepth = queueDepth.Load()
+
+	if sinkErr != nil {
+		return results, stats, &PartialError{Op: op, Done: processed, Total: len(candidates), Err: sinkErr}
+	}
+	if ctx.Err() != nil {
+		return results, stats, &PartialError{Op: op, Done: processed, Total: len(candidates), Err: ctxCause(ctx)}
+	}
+	return results, stats, nil
+}
+
+// safeFilter runs one filter verdict with panic isolation, mirroring
+// safeTest.
+func safeFilter(t *core.Tester, pr Pair, filter func(*core.Tester, Pair) core.Verdict) (v core.Verdict, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, panicked = core.VerdictMiss, true
+		}
+	}()
+	return filter(t, pr), false
+}
+
+// softwareRetryTester degrades a worker's configuration to the pure
+// software path with fault injection disarmed, for post-panic retries.
+func softwareRetryTester(t *core.Tester) *core.Tester {
+	cfg := t.Config()
+	cfg.DisableHardware = true
+	cfg.Faults = nil
+	return core.NewTester(cfg)
+}

@@ -294,6 +294,16 @@ type SelectionOptions struct {
 	// snapshot-backed layers. Ablation knob; no effect on layers without
 	// signatures.
 	NoSignatures bool
+	// BatchSize is the streaming flush granularity for Sink; 0 falls back
+	// to core.DefaultBatchSize.
+	BatchSize int
+	// Sink, when non-nil, receives result IDs incrementally as refinement
+	// proceeds, from the calling goroutine, in result order. The slice is
+	// reused between calls — consume it before returning, don't retain it.
+	// A non-nil return stops the selection and surfaces as the
+	// *PartialError cause. Rows already handed to the sink are still
+	// present in the returned slice.
+	Sink func(ids []int) error
 }
 
 // collectBudget gathers MBR-filter output while enforcing a candidate
@@ -365,6 +375,28 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 		cost.FilterHits = len(results)
 	}
 
+	// Streaming delivery: flush pending result IDs to the sink once a
+	// batch accumulates (or unconditionally on wind-down). The sink runs on
+	// the calling goroutine, so a slow consumer simply slows the scan — no
+	// result buffering beyond one batch.
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = core.DefaultBatchSize
+	}
+	emitted := 0
+	flush := func(force bool) error {
+		pending := len(results) - emitted
+		if opt.Sink == nil || pending == 0 || (!force && pending < batch) {
+			return nil
+		}
+		if err := opt.Sink(results[emitted:]); err != nil {
+			return err
+		}
+		emitted = len(results)
+		tester.Stats.StreamRowsEmitted += int64(pending)
+		return nil
+	}
+
 	// Stage 3: geometry comparison, cancellable every cancelStride tests.
 	// The query polygon's edge index is built once and shared across every
 	// candidate test; the layer side reuses the per-object cached indexes.
@@ -377,6 +409,7 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 	}
 	for i, id := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
+			flush(true) // best effort: the partial rows stream out too
 			cost.GeometryComparison = time.Since(start)
 			cost.Compared = i
 			cost.Results = len(results)
@@ -386,10 +419,19 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 		if tester.IntersectsCtx(query, layer.Data.Objects[id], pc) {
 			results = append(results, id)
 		}
+		if err := flush(false); err != nil {
+			cost.GeometryComparison = time.Since(start)
+			cost.Compared = i + 1
+			cost.Results = len(results)
+			return results, cost, &PartialError{Op: "select", Done: i + 1, Total: len(remaining), Err: err}
+		}
 	}
 	cost.GeometryComparison = time.Since(start)
 	cost.Compared = len(remaining)
 	cost.Results = len(results)
+	if err := flush(true); err != nil {
+		return results, cost, &PartialError{Op: "select", Done: len(remaining), Total: len(remaining), Err: err}
+	}
 	return results, cost, nil
 }
 

@@ -55,6 +55,14 @@ type Stats struct {
 	EdgeIndexSkippedEdges int64 `json:"edge_index_skipped_edges"`
 	DirtyClearPixelsSaved int64 `json:"dirty_clear_pixels_saved"`
 
+	// Staged-pipeline and streaming-delivery counters (see core.Stats;
+	// zero for the ablated per-pair path and non-streaming queries).
+	PipelineBatches    int64 `json:"pipeline_batches,omitempty"`
+	PipelineFilterNS   int64 `json:"pipeline_filter_ns,omitempty"`
+	PipelineRefineNS   int64 `json:"pipeline_refine_ns,omitempty"`
+	PipelineQueueDepth int64 `json:"pipeline_queue_depth,omitempty"`
+	StreamRowsEmitted  int64 `json:"stream_rows_emitted,omitempty"`
+
 	// Live-view composition (filled by serving layers when the query ran
 	// over an uncompacted snapshot ∪ delta view; zero for plain layers).
 	LiveDelta      int `json:"live_delta,omitempty"`
@@ -102,6 +110,12 @@ func NewStats(op string, results int, cost Cost, refine core.Stats) Stats {
 		EdgeIndexHits:         refine.EdgeIndexHits,
 		EdgeIndexSkippedEdges: refine.EdgeIndexSkippedEdges,
 		DirtyClearPixelsSaved: refine.DirtyClearPixelsSaved,
+
+		PipelineBatches:    refine.PipelineBatches,
+		PipelineFilterNS:   refine.PipelineFilterNS,
+		PipelineRefineNS:   refine.PipelineRefineNS,
+		PipelineQueueDepth: refine.PipelineQueueDepth,
+		StreamRowsEmitted:  refine.StreamRowsEmitted,
 	}
 }
 
@@ -144,6 +158,15 @@ func (s *Stats) Merge(o Stats) {
 	s.EdgeIndexHits += o.EdgeIndexHits
 	s.EdgeIndexSkippedEdges += o.EdgeIndexSkippedEdges
 	s.DirtyClearPixelsSaved += o.DirtyClearPixelsSaved
+	s.PipelineBatches += o.PipelineBatches
+	s.PipelineFilterNS += o.PipelineFilterNS
+	s.PipelineRefineNS += o.PipelineRefineNS
+	// Queue depth is a per-run high-water mark, not a flow counter: the
+	// merged record keeps the deepest queue seen anywhere.
+	if o.PipelineQueueDepth > s.PipelineQueueDepth {
+		s.PipelineQueueDepth = o.PipelineQueueDepth
+	}
+	s.StreamRowsEmitted += o.StreamRowsEmitted
 	s.LiveDelta += o.LiveDelta
 	s.LiveTombstones += o.LiveTombstones
 	s.SnapshotBytes += o.SnapshotBytes

@@ -41,7 +41,12 @@ func TestStatsMergeSumsEveryField(t *testing.T) {
 		name := typ.Field(i).Name
 		switch av.Field(i).Kind() {
 		case reflect.Int, reflect.Int64:
-			if got, want := mv.Field(i).Int(), av.Field(i).Int()+bv.Field(i).Int(); got != want {
+			want := av.Field(i).Int() + bv.Field(i).Int()
+			if name == "PipelineQueueDepth" {
+				// High-water-mark gauge: merges by max, not sum.
+				want = max(av.Field(i).Int(), bv.Field(i).Int())
+			}
+			if got := mv.Field(i).Int(); got != want {
 				t.Errorf("Merge dropped %s: got %d, want %d", name, got, want)
 			}
 		case reflect.Float64:

@@ -150,7 +150,27 @@ func IntersectionSelectView(ctx context.Context, v *View, query *geom.Polygon, t
 	var out []int
 	var cost Cost
 	for _, c := range v.components() {
-		ids, cc, err := IntersectionSelect(ctx, c.layer, query, tester, opt)
+		o := opt
+		if opt.Sink != nil {
+			// Stream per-component rows through a canonical-remapping sink
+			// (tombstoned objects dropped); the returned union is still
+			// sorted, the stream is per-component ordered.
+			canon := c.canon
+			var remapped []int
+			o.Sink = func(ids []int) error {
+				remapped = remapped[:0]
+				for _, id := range ids {
+					if p := canon(id); p >= 0 {
+						remapped = append(remapped, int(p))
+					}
+				}
+				if len(remapped) == 0 {
+					return nil
+				}
+				return opt.Sink(remapped)
+			}
+		}
+		ids, cc, err := IntersectionSelect(ctx, c.layer, query, tester, o)
 		cost.Add(cc)
 		for _, id := range ids {
 			if p := c.canon(id); p >= 0 {

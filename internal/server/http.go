@@ -29,6 +29,7 @@ func (s *Server) httpHandler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stream", s.handleStream)
 	return mux
 }
 
@@ -150,6 +151,128 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.observe(st, status, dur)
 	s.logCommand(r.RemoteAddr, st, status, dur)
 	writeJSON(w, code, resp)
+}
+
+// handleStream is /query's streaming sibling: it runs one command and
+// delivers the output as a chunked plain-text stream in the TCP wire
+// framing — data lines flushed to the client as the command produces
+// them, then exactly one status line ("ok" / "partial: <reason>" /
+// "error: <reason>"). Admission control, watchdog coverage, and metrics
+// match /query; a client that goes away mid-stream cancels the command
+// so its sinks wind down. Pre-execution failures (bad request,
+// overload) still get proper HTTP status codes — once streaming starts
+// the response is committed as 200 and the trailing status line is
+// authoritative.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.metrics.HTTPRequests.Add(1)
+	var cmd string
+	switch r.Method {
+	case http.MethodPost:
+		var body struct {
+			Cmd string `json:"cmd"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<24)).Decode(&body); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cmd = body.Cmd
+	case http.MethodGet:
+		cmd = r.URL.Query().Get("cmd")
+	default:
+		http.Error(w, "use GET ?cmd= or POST {\"cmd\": ...}", http.StatusMethodNotAllowed)
+		return
+	}
+	verb := shellcmd.Verb(cmd)
+	if verb == "" {
+		http.Error(w, "empty command", http.StatusBadRequest)
+		return
+	}
+
+	start := time.Now()
+	if shellcmd.IsQuery(verb) {
+		if err := s.lim.acquire(s.baseCtx); err != nil {
+			st := query.Stats{Op: verb}
+			status := StatusError
+			var oe *OverloadError
+			if errors.As(err, &oe) {
+				status = StatusOverload
+				if oe.RetryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(oe.RetryAfter)))
+				}
+			}
+			s.metrics.observe(st, status, time.Since(start))
+			s.logCommand(r.RemoteAddr, st, status, time.Since(start))
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.lim.release()
+	}
+
+	ctx, cancel := context.WithCancelCause(s.baseCtx)
+	defer cancel(nil)
+	stop := context.AfterFunc(r.Context(), func() { cancel(nil) })
+	defer stop()
+	if shellcmd.IsQuery(verb) && s.dog.enabled() {
+		id := s.dog.register(verb, cancel)
+		defer s.dog.deregister(id)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	fw := &flushWriter{w: w, cancel: cancel}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
+	eng := s.newEngine()
+	res, err := eng.Exec(ctx, cmd, fw)
+
+	st := res.Stats
+	if st.Op == "" {
+		st.Op = verb
+	}
+	status, statusLine := StatusOK, "ok"
+	switch {
+	case err != nil:
+		status, statusLine = StatusError, "error: "+err.Error()
+	case res.Partial != nil:
+		status, statusLine = StatusPartial, "partial: "+res.Partial.Error()
+		s.metrics.observeFailure(res.Partial)
+	}
+	dur := time.Since(start)
+	s.metrics.observe(st, status, dur)
+	s.logCommand(r.RemoteAddr, st, status, dur)
+	if fw.err == nil {
+		io.WriteString(w, statusLine+"\n")
+	}
+}
+
+// flushWriter streams Exec output over an HTTP response: each Write is
+// pushed to the client immediately via the chunked encoder, and a
+// failed write — the client hung up — is sticky and cancels the running
+// command.
+type flushWriter struct {
+	w      io.Writer
+	f      http.Flusher
+	cancel context.CancelCauseFunc
+	err    error
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	if fw.err != nil {
+		return 0, fw.err
+	}
+	n, err := fw.w.Write(p)
+	if err != nil {
+		fw.err = err
+		if fw.cancel != nil {
+			fw.cancel(err)
+		}
+		return n, err
+	}
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, nil
 }
 
 // retryAfterSeconds converts an OverloadError's backoff hint to the

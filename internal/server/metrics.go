@@ -81,6 +81,16 @@ type Metrics struct {
 	// tombstones carried by the views that served queries.
 	LiveDelta      atomic.Int64
 	LiveTombstones atomic.Int64
+
+	// Staged-pipeline and streaming-delivery counters: batches through
+	// the join pipeline, cumulative filter/refine stage time, the largest
+	// queue depth any single run observed, and result rows streamed to
+	// clients as they were produced.
+	PipelineBatches       atomic.Int64
+	PipelineFilterNS      atomic.Int64
+	PipelineRefineNS      atomic.Int64
+	PipelineQueueDepthMax atomic.Int64
+	StreamRowsEmitted     atomic.Int64
 }
 
 // Gauges carries the point-in-time values the server samples alongside
@@ -142,6 +152,16 @@ func (m *Metrics) observe(st query.Stats, status Status, dur time.Duration) {
 	m.BreakerTrips.Add(st.BreakerTrips)
 	m.BreakerRecoveries.Add(st.BreakerRecoveries)
 	m.BreakerOpenSkips.Add(st.BreakerOpenSkips)
+	m.PipelineBatches.Add(st.PipelineBatches)
+	m.PipelineFilterNS.Add(st.PipelineFilterNS)
+	m.PipelineRefineNS.Add(st.PipelineRefineNS)
+	m.StreamRowsEmitted.Add(st.StreamRowsEmitted)
+	for {
+		cur := m.PipelineQueueDepthMax.Load()
+		if st.PipelineQueueDepth <= cur || m.PipelineQueueDepthMax.CompareAndSwap(cur, st.PipelineQueueDepth) {
+			break
+		}
+	}
 }
 
 // observeFailure classifies an interrupted command's error chain into the
@@ -203,6 +223,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges Gauges) {
 	g("spatiald_breaker_open_skips_total", m.BreakerOpenSkips.Load())
 	g("spatiald_live_delta_objects_total", m.LiveDelta.Load())
 	g("spatiald_live_tombstones_total", m.LiveTombstones.Load())
+	g("spatiald_pipeline_batches_total", m.PipelineBatches.Load())
+	g("spatiald_pipeline_filter_seconds_total", float64(m.PipelineFilterNS.Load())/float64(time.Second))
+	g("spatiald_pipeline_refine_seconds_total", float64(m.PipelineRefineNS.Load())/float64(time.Second))
+	g("spatiald_pipeline_queue_depth_max", m.PipelineQueueDepthMax.Load())
+	g("spatiald_stream_rows_emitted_total", m.StreamRowsEmitted.Load())
 	for _, h := range gauges.Shards {
 		up := 1
 		if h.Open {

@@ -27,6 +27,15 @@ import (
 // No data line ever begins with "ok", "partial:" or "error:", so clients
 // frame responses by scanning for those prefixes. "quit" (or "exit")
 // answers "ok" and closes the connection.
+//
+// Data lines stream: each line goes to the client the moment the
+// executing command produces it (one flush per emitted batch), so a
+// join's first rows arrive while refinement is still running. The
+// framing is unchanged — data lines, then exactly one status line. A
+// hard error still usually means "no results": the verbs validate
+// before emitting, and the rare exception (every shard of a fan-out
+// dying mid-stream) leaves valid-but-incomplete rows above an "error:"
+// status.
 
 // serveConn runs one TCP session. Any panic — an injected accept-site
 // fault or a session-handler bug — is contained here: the connection
@@ -109,21 +118,23 @@ func (s *Server) runCommand(eng *shellcmd.Engine, conn net.Conn, w *bufio.Writer
 	// session's recover — from leaking its admission slot; the deferred
 	// deregister keeps the watchdog's registry consistent on every exit,
 	// including a watchdog kill itself (deregister tolerates the double
-	// removal).
-	var buf bytes.Buffer
+	// removal). Output streams through lw: complete lines reach the
+	// client while the command is still running, and a write failure
+	// cancels the command's context so streaming sinks wind down instead
+	// of refining for a dead connection.
+	lw := &lineWriter{s: s, conn: conn, w: w}
 	res, err := func() (shellcmd.Result, error) {
 		if acquired {
 			defer s.lim.release()
 		}
-		ctx := s.baseCtx
+		ctx, cancel := context.WithCancelCause(s.baseCtx)
+		defer cancel(nil)
+		lw.cancel = cancel
 		if acquired && s.dog.enabled() {
-			wctx, cancel := context.WithCancelCause(s.baseCtx)
-			defer cancel(nil)
 			id := s.dog.register(verb, cancel)
 			defer s.dog.deregister(id)
-			ctx = wctx
 		}
-		return eng.Exec(ctx, line, &buf)
+		return eng.Exec(ctx, line, lw)
 	}()
 
 	status, statusLine := StatusOK, "ok"
@@ -142,12 +153,64 @@ func (s *Server) runCommand(eng *shellcmd.Engine, conn net.Conn, w *bufio.Writer
 	s.metrics.observe(st, status, dur)
 	s.logCommand(remote, st, status, dur)
 
-	if buf.Len() > 0 {
-		if s.sendText(conn, w, buf.String()) != nil {
-			return false
-		}
+	lw.finish()
+	if lw.err != nil {
+		return false
 	}
 	return s.send(conn, w, statusLine) == nil
+}
+
+// lineWriter is the io.Writer a session hands to Exec: every complete
+// line written into it goes to the client immediately through s.send —
+// one protocol line per data line, flushed — so streaming sinks deliver
+// rows as batches complete. The write-site disconnect fault keeps
+// striking per line, exactly as it did when responses were buffered. A
+// send failure is sticky: it cancels the command's context (winding
+// streaming sinks down) and every later Write fails fast.
+type lineWriter struct {
+	s      *Server
+	conn   net.Conn
+	w      *bufio.Writer
+	rest   []byte // trailing bytes of an unterminated line
+	err    error
+	cancel context.CancelCauseFunc
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	if lw.err != nil {
+		return 0, lw.err
+	}
+	n := len(p)
+	for {
+		i := bytes.IndexByte(p, '\n')
+		if i < 0 {
+			lw.rest = append(lw.rest, p...)
+			return n, nil
+		}
+		lw.rest = append(lw.rest, p[:i]...)
+		line := string(lw.rest)
+		lw.rest = lw.rest[:0]
+		p = p[i+1:]
+		if err := lw.s.send(lw.conn, lw.w, line); err != nil {
+			lw.err = err
+			if lw.cancel != nil {
+				lw.cancel(err)
+			}
+			return 0, err
+		}
+	}
+}
+
+// finish sends a trailing unterminated line, if any, so no output is
+// lost when a command ends without a final newline.
+func (lw *lineWriter) finish() {
+	if lw.err == nil && len(lw.rest) > 0 {
+		line := string(lw.rest)
+		lw.rest = lw.rest[:0]
+		if err := lw.s.send(lw.conn, lw.w, line); err != nil {
+			lw.err = err
+		}
+	}
 }
 
 // send writes one protocol line and flushes. A disconnect fault armed at
@@ -165,15 +228,4 @@ func (s *Server) send(conn net.Conn, w *bufio.Writer, line string) error {
 		return err
 	}
 	return w.Flush()
-}
-
-// sendText writes a multi-line body as individual protocol lines, so
-// write-site faults can strike between any two of them.
-func (s *Server) sendText(conn net.Conn, w *bufio.Writer, text string) error {
-	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
-		if err := s.send(conn, w, line); err != nil {
-			return err
-		}
-	}
-	return nil
 }

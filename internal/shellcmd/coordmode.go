@@ -98,8 +98,8 @@ func (e *Engine) coordExec(ctx context.Context, cmd string, args []string, line 
 		if cmd == "join" && len(args) == 3 {
 			mode = args[2]
 		}
-		return e.coordFan(ctx, "join", out, func(qctx context.Context) (coord.Result, error) {
-			return e.Coord.Join(qctx, args[0], args[1], mode)
+		return e.coordFan(ctx, "join", out, func(qctx context.Context, sink coord.RowSink) (coord.Result, error) {
+			return e.Coord.JoinStream(qctx, args[0], args[1], mode, sink)
 		})
 	case "within":
 		if len(args) < 3 || len(args) > 4 {
@@ -113,8 +113,8 @@ func (e *Engine) coordExec(ctx context.Context, cmd string, args []string, line 
 		if len(args) == 4 {
 			mode = args[3]
 		}
-		return e.coordFan(ctx, "within", out, func(qctx context.Context) (coord.Result, error) {
-			return e.Coord.Within(qctx, args[0], args[1], d, mode)
+		return e.coordFan(ctx, "within", out, func(qctx context.Context, sink coord.RowSink) (coord.Result, error) {
+			return e.Coord.WithinStream(qctx, args[0], args[1], d, mode, sink)
 		})
 	default:
 		return Result{}, &CoordUnsupportedError{Verb: cmd}
@@ -131,29 +131,36 @@ func (e *Engine) coordSelect(ctx context.Context, line string, out io.Writer) (R
 	if err != nil {
 		return Result{}, err
 	}
-	return e.coordFan(ctx, "select", out, func(qctx context.Context) (coord.Result, error) {
-		return e.Coord.Select(qctx, name, wkt, q.Bounds())
+	return e.coordFan(ctx, "select", out, func(qctx context.Context, sink coord.RowSink) (coord.Result, error) {
+		return e.Coord.SelectStream(qctx, name, wkt, q.Bounds(), sink)
 	})
 }
 
-// coordFan runs one fanned-out query with the session's deadline, streams
-// the merged id/pair lines, and folds a shard miss into the typed partial.
-func (e *Engine) coordFan(ctx context.Context, op string, out io.Writer, run func(context.Context) (coord.Result, error)) (Result, error) {
+// coordFan runs one fanned-out query with the session's deadline,
+// streaming each merged id/pair line to the client the moment the
+// merger releases it (no coordinator-side buffering), and folds a shard
+// miss into the typed partial. Rows arrive in cross-shard merge order,
+// not sorted — dedup and the reference-point rule still hold.
+func (e *Engine) coordFan(ctx context.Context, op string, out io.Writer, run func(context.Context, coord.RowSink) (coord.Result, error)) (Result, error) {
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
 	start := time.Now()
-	res, cerr := run(qctx)
+	sink := coord.RowSink{
+		ID: func(id uint64) error {
+			_, err := fmt.Fprintf(out, "id %d\n", id)
+			return err
+		},
+		Pair: func(p [2]uint64) error {
+			_, err := fmt.Fprintf(out, "pair %d %d\n", p[0], p[1])
+			return err
+		},
+	}
+	res, cerr := run(qctx, sink)
 	if cerr != nil {
 		var pe *query.PartialError
 		if !errors.As(cerr, &pe) {
 			return Result{}, cerr
 		}
-	}
-	for _, id := range res.IDs {
-		fmt.Fprintf(out, "id %d\n", id)
-	}
-	for _, p := range res.Pairs {
-		fmt.Fprintf(out, "pair %d %d\n", p[0], p[1])
 	}
 	writeStats(out, res.Stats)
 	var slowest float64

@@ -21,6 +21,7 @@ package shellcmd
 //     comparable with a single-node run.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -137,15 +138,26 @@ func (e *Engine) shardSelect(ctx context.Context, store Store, line string, out 
 	}
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
+	// Streaming delivery: result ids flush to the client in batches as
+	// refinement proceeds instead of buffering the whole selection. Rows
+	// returned by the view were already streamed, so nothing is re-printed
+	// below — on a partial, the rows out are exactly the rows found.
+	stable := globalIDs(v)
+	var buf bytes.Buffer
+	sink := func(batch []int) error {
+		buf.Reset()
+		for _, i := range batch {
+			fmt.Fprintf(&buf, "id %d\n", gid(stable, i))
+		}
+		_, werr := out.Write(buf.Bytes())
+		return werr
+	}
 	ids, cost, qerr := query.IntersectionSelectView(qctx, v, q, tester,
-		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: e.Settings.Budget})
+		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: e.Settings.Budget,
+			BatchSize: e.Settings.BatchSize, Sink: sink})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
-	}
-	stable := globalIDs(v)
-	for _, i := range ids {
-		fmt.Fprintf(out, "id %d\n", gid(stable, i))
 	}
 	st := query.NewStats("shardselect", len(ids), cost, tester.Stats)
 	liveStats(&st, v)
@@ -176,30 +188,43 @@ func (e *Engine) shardJoin(ctx context.Context, store Store, args []string, out 
 	if len(args) == 7 {
 		mode = args[6]
 	}
-	tester, err := e.tester(mode)
+	opt, err := e.pipelineOpts(mode, 0)
 	if err != nil {
 		return Result{}, err
 	}
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
-	pairs, cost, qerr := query.IntersectionJoinView(qctx, a, b, tester,
-		query.JoinOptions{MaxCandidates: e.Settings.Budget})
+	// The join runs through the staged batch pipeline; each refined batch
+	// streams its owned pairs to the client immediately (the emit stage),
+	// so the coordinator and wire clients see first rows while refinement
+	// is still running. The reference-point ownership filter runs inside
+	// the sink.
+	da, db := a.Dataset(), b.Dataset()
+	idsA, idsB := globalIDs(a), globalIDs(b)
+	owned := 0
+	var buf bytes.Buffer
+	opt.Sink = func(pairs []query.Pair) error {
+		buf.Reset()
+		for _, p := range pairs {
+			ref := partition.RefPoint(da.Objects[p.A].Bounds(), db.Objects[p.B].Bounds())
+			if !partition.OwnsRect(region, ref) {
+				continue
+			}
+			owned++
+			fmt.Fprintf(&buf, "pair %d %d\n", gid(idsA, p.A), gid(idsB, p.B))
+		}
+		if buf.Len() == 0 {
+			return nil
+		}
+		_, werr := out.Write(buf.Bytes())
+		return werr
+	}
+	_, stats, qerr := query.PipelineIntersectionJoinView(qctx, a, b, opt)
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
 	}
-	da, db := a.Dataset(), b.Dataset()
-	idsA, idsB := globalIDs(a), globalIDs(b)
-	owned := 0
-	for _, p := range pairs {
-		ref := partition.RefPoint(da.Objects[p.A].Bounds(), db.Objects[p.B].Bounds())
-		if !partition.OwnsRect(region, ref) {
-			continue
-		}
-		owned++
-		fmt.Fprintf(out, "pair %d %d\n", gid(idsA, p.A), gid(idsB, p.B))
-	}
-	st := query.NewStats("shardjoin", owned, cost, tester.Stats)
+	st := query.NewStats("shardjoin", owned, query.Cost{}, stats)
 	liveStats(&st, a, b)
 	writeStats(out, st)
 	return Result{Stats: st, Partial: note(out, qerr)}, nil
@@ -234,30 +259,40 @@ func (e *Engine) shardWithin(ctx context.Context, store Store, args []string, ou
 	if len(args) == 8 {
 		mode = args[7]
 	}
-	tester, err := e.tester(mode)
+	opt, err := e.pipelineOpts(mode, 0)
 	if err != nil {
 		return Result{}, err
 	}
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
-	pairs, cost, qerr := query.WithinDistanceJoinView(qctx, a, b, d, tester,
-		query.DistanceFilterOptions{Use0Object: true, Use1Object: true, MaxCandidates: e.Settings.Budget})
+	// Same staged pipeline + streaming emit as shardJoin; the d-expanded
+	// reference-point ownership filter runs inside the sink.
+	da, db := a.Dataset(), b.Dataset()
+	idsA, idsB := globalIDs(a), globalIDs(b)
+	owned := 0
+	var buf bytes.Buffer
+	opt.Sink = func(pairs []query.Pair) error {
+		buf.Reset()
+		for _, p := range pairs {
+			ref := partition.RefPointWithin(da.Objects[p.A].Bounds(), db.Objects[p.B].Bounds(), d)
+			if !partition.OwnsRect(region, ref) {
+				continue
+			}
+			owned++
+			fmt.Fprintf(&buf, "pair %d %d\n", gid(idsA, p.A), gid(idsB, p.B))
+		}
+		if buf.Len() == 0 {
+			return nil
+		}
+		_, werr := out.Write(buf.Bytes())
+		return werr
+	}
+	_, stats, qerr := query.PipelineWithinDistanceJoinView(qctx, a, b, d, opt)
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
 	}
-	da, db := a.Dataset(), b.Dataset()
-	idsA, idsB := globalIDs(a), globalIDs(b)
-	owned := 0
-	for _, p := range pairs {
-		ref := partition.RefPointWithin(da.Objects[p.A].Bounds(), db.Objects[p.B].Bounds(), d)
-		if !partition.OwnsRect(region, ref) {
-			continue
-		}
-		owned++
-		fmt.Fprintf(out, "pair %d %d\n", gid(idsA, p.A), gid(idsB, p.B))
-	}
-	st := query.NewStats("shardwithin", owned, cost, tester.Stats)
+	st := query.NewStats("shardwithin", owned, query.Cost{}, stats)
 	liveStats(&st, a, b)
 	writeStats(out, st)
 	return Result{Stats: st, Partial: note(out, qerr)}, nil

@@ -86,6 +86,14 @@ type Settings struct {
 	MaxTimeout time.Duration
 	// Budget caps MBR-filter candidates per query; zero means unlimited.
 	Budget int
+	// BatchSize overrides the staged join pipeline's candidate batch size
+	// and the selection sink's flush granularity; zero means
+	// core.DefaultBatchSize.
+	BatchSize int
+	// NoPipeline ablates the staged join pipeline back to the per-pair
+	// worker path (one terminal emit). Differential knob for the pipeline
+	// verb.
+	NoPipeline bool
 }
 
 // EffectiveTimeout resolves the session timeout against the server
@@ -151,7 +159,7 @@ func (e *Engine) snapPath(p string) string {
 func IsQuery(verb string) bool {
 	switch verb {
 	case "join", "pjoin", "overlay", "within", "select", "knn",
-		"shardjoin", "shardwithin", "shardselect":
+		"shardjoin", "shardwithin", "shardselect", "batch":
 		return true
 	}
 	return false
@@ -177,6 +185,15 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 		return Result{}, nil
 	}
 	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "batch":
+		// One round trip, one admission slot, N sub-commands; works in
+		// both local and coordinator mode, so it dispatches before the
+		// coordinator switch.
+		return e.batchCmd(ctx, line, out)
+	case "pipeline":
+		return e.setPipeline(args, out)
+	}
 	if e.Coord != nil {
 		return e.coordExec(ctx, cmd, args, line, out)
 	}
@@ -251,6 +268,8 @@ const Help = `commands:
   knn <layer> <WKT POLYGON> <k>     k nearest objects to a query polygon
   timeout <duration|off>            bound each query (e.g. timeout 2s)
   budget <n|off>                    cap MBR candidates per query
+  pipeline <on|off> [batch]         staged batch pipeline for pjoin/shard verbs (off = per-pair path)
+  batch <cmd>; <cmd>; ...           run N commands in one round trip under one admission slot
   partition <layer> <n> <dir> [m]   split a layer into n spatial tiles under dir (replication margin m)
   shardselect <layer> <WKT>         shard-side select: emits "id <N>" lines with stable ids
   shardjoin <a> <b> <region> [mode] shard-side join over an ownership region (4 floats): emits "pair <A> <B>"
@@ -483,6 +502,113 @@ func (e *Engine) setBudget(args []string, out io.Writer) (Result, error) {
 	return Result{Stats: query.Stats{Op: "budget"}, Mutation: true}, nil
 }
 
+// setPipeline toggles the staged batch pipeline and its batch size:
+// pipeline <on|off> [batch]. "off" reconstructs the per-pair execution
+// path (the ablation baseline); the batch size also governs the
+// selection sink's streaming flush granularity.
+func (e *Engine) setPipeline(args []string, out io.Writer) (Result, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return Result{}, fmt.Errorf("usage: pipeline <on|off> [batch]")
+	}
+	switch args[0] {
+	case "on":
+		e.Settings.NoPipeline = false
+	case "off":
+		e.Settings.NoPipeline = true
+	default:
+		return Result{}, fmt.Errorf("pipeline must be on or off, got %q", args[0])
+	}
+	if len(args) == 2 {
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 1 {
+			return Result{}, fmt.Errorf("bad batch size %q", args[1])
+		}
+		e.Settings.BatchSize = n
+	}
+	state, batch := "on", e.Settings.BatchSize
+	if e.Settings.NoPipeline {
+		state = "off"
+	}
+	if batch == 0 {
+		batch = core.DefaultBatchSize
+	}
+	fmt.Fprintf(out, "pipeline %s (batch %d)\n", state, batch)
+	return Result{Stats: query.Stats{Op: "pipeline"}, Mutation: true}, nil
+}
+
+// batchCmd executes N ";"-separated sub-commands in one round trip under
+// the single admission slot the batch verb itself was admitted on. Each
+// sub-command's output streams in order, delimited by a "sub <n> ok:
+// <op>" / "sub <n> error: <reason>" trailer line, and the merged stats
+// record reports the whole batch. A failing sub-command does not abort
+// the rest; a partial sub-result marks the batch partial.
+func (e *Engine) batchCmd(ctx context.Context, line string, out io.Writer) (Result, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "batch"))
+	if rest == "" {
+		return Result{}, fmt.Errorf("usage: batch <cmd>; <cmd>; ...")
+	}
+	agg := Result{Stats: query.Stats{Op: "batch"}}
+	n := 0
+	for _, sub := range strings.Split(rest, ";") {
+		sub = strings.TrimSpace(sub)
+		if sub == "" {
+			continue
+		}
+		if Verb(sub) == "batch" {
+			return Result{}, fmt.Errorf("batch cannot nest batch")
+		}
+		n++
+		res, err := e.Exec(ctx, sub, out)
+		if err != nil {
+			fmt.Fprintf(out, "sub %d error: %v\n", n, err)
+			continue
+		}
+		if res.Partial != nil {
+			agg.Partial = res.Partial
+		}
+		agg.Mutation = agg.Mutation || res.Mutation
+		op := res.Stats.Op
+		res.Stats.Op = ""
+		agg.Stats.Merge(res.Stats)
+		agg.Stats.Op = "batch"
+		fmt.Fprintf(out, "sub %d ok: %s\n", n, op)
+	}
+	if n == 0 {
+		return Result{}, fmt.Errorf("usage: batch <cmd>; <cmd>; ...")
+	}
+	return agg, nil
+}
+
+// testerFactory validates the tester mode once and returns the
+// per-worker constructor the pipeline drivers need (core.Tester is not
+// safe for concurrent use, so each stage worker builds its own).
+func (e *Engine) testerFactory(mode string) (func() *core.Tester, error) {
+	if _, err := e.tester(mode); err != nil {
+		return nil, err
+	}
+	return func() *core.Tester {
+		t, err := e.tester(mode)
+		if err != nil { // unreachable: the mode was validated above
+			return core.NewTester(core.Config{DisableHardware: true})
+		}
+		return t
+	}, nil
+}
+
+// pipelineOpts assembles the staged-pipeline options from the session
+// settings for the given tester mode.
+func (e *Engine) pipelineOpts(mode string, workers int) (query.PipelineOptions, error) {
+	tf, err := e.testerFactory(mode)
+	if err != nil {
+		return query.PipelineOptions{}, err
+	}
+	return query.PipelineOptions{
+		ParallelOptions: query.ParallelOptions{Workers: workers, Tester: tf, MaxCandidates: e.Settings.Budget},
+		BatchSize:       e.Settings.BatchSize,
+		NoPipeline:      e.Settings.NoPipeline,
+	}, nil
+}
+
 // qctx derives the per-query context from the session's timeout setting
 // capped by the server ceiling. Deadline expiry is attributed to a typed
 // *query.DeadlineError cause, so partial results distinguish "ran out of
@@ -581,8 +707,13 @@ func (e *Engine) pjoin(ctx context.Context, store Store, args []string, out io.W
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
 	start := time.Now()
-	pairs, stats, qerr := query.ParallelIntersectionJoinView(qctx, a, b,
-		query.ParallelOptions{Workers: workers, MaxCandidates: e.Settings.Budget})
+	// pjoin runs the staged batch pipeline (pipeline off reconstructs the
+	// per-pair worker path); testers stay the parallel defaults.
+	pairs, stats, qerr := query.PipelineIntersectionJoinView(qctx, a, b, query.PipelineOptions{
+		ParallelOptions: query.ParallelOptions{Workers: workers, MaxCandidates: e.Settings.Budget},
+		BatchSize:       e.Settings.BatchSize,
+		NoPipeline:      e.Settings.NoPipeline,
+	})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr

@@ -5,10 +5,11 @@
 #   scripts/benchdiff.sh BENCH_baseline.json BENCH_current.json
 #   THRESHOLD=5 scripts/benchdiff.sh old.json new.json
 #
-# With one argument, the second file is produced by running the locality +
-# fig12 experiments fresh at the baseline's scale:
+# With one argument, the second file is produced by running the EXPERIMENTS
+# list (default locality,fig12) fresh at the baseline's scale:
 #
 #   scripts/benchdiff.sh BENCH_baseline.json
+#   EXPERIMENTS=pipeline scripts/benchdiff.sh BENCH_pipeline.json
 #
 # Exit status: 0 clean, 1 regressions found, 2 usage/IO error.
 set -eu
@@ -16,14 +17,15 @@ set -eu
 cd "$(dirname "$0")/.."
 THRESHOLD="${THRESHOLD:-10}"
 SCALE="${SCALE:-0.01}"
+EXPERIMENTS="${EXPERIMENTS:-locality,fig12}"
 
 case $# in
 1)
 	BASE="$1"
 	CUR="$(mktemp /tmp/bench_current.XXXXXX.json)"
 	trap 'rm -f "$CUR"' EXIT
-	echo "== benchdiff: running current locality,fig12 at scale $SCALE"
-	go run ./cmd/spatialbench -exp locality,fig12 -scale "$SCALE" -json "$CUR" >/dev/null
+	echo "== benchdiff: running current $EXPERIMENTS at scale $SCALE"
+	go run ./cmd/spatialbench -exp "$EXPERIMENTS" -scale "$SCALE" -json "$CUR" >/dev/null
 	;;
 2)
 	BASE="$1"

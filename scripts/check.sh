@@ -47,6 +47,18 @@ if [ -f BENCH_baseline.json ]; then
 else
 	echo "benchdiff: no BENCH_baseline.json, skipping"
 fi
+if [ -f BENCH_pipeline.json ]; then
+	if EXPERIMENTS=pipeline SCALE=0.01 scripts/benchdiff.sh BENCH_pipeline.json; then
+		:
+	else
+		echo "benchdiff: pipeline wall/TTFR regressions vs committed baseline (warn-only; STRICT_BENCH=1 to enforce)"
+		if [ "${STRICT_BENCH:-0}" = "1" ]; then
+			exit 1
+		fi
+	fi
+else
+	echo "benchdiff: no BENCH_pipeline.json, skipping"
+fi
 
 echo "== snapshot round-trip + corruption-rejection smoke"
 # A layer saved as a binary snapshot must reload and join identically to
@@ -172,6 +184,67 @@ SHPIDS=""
 grep -q 'shutting down' "$SHDIR/coord.log" || { echo "coordinator skipped the drain path"; cat "$SHDIR/coord.log"; exit 1; }
 trap - EXIT
 rm -rf "$SHDIR"
+
+echo "== streaming + batch smoke (in-process vs wire-streamed vs pipeline-off parity)"
+# The staged pipeline must never change answers: the same full-extent
+# join must produce line-identical pairs run in-process (pipelined),
+# over the wire (rows streamed as batches complete), and with the
+# pipeline ablated ("pipeline off"). The batch verb must run its
+# ";"-separated sub-commands in one round trip with per-sub trailers.
+STDIR="$(mktemp -d /tmp/stream_smoke.XXXXXX)"
+STPID=""
+trap '[ -z "$STPID" ] || kill $STPID 2>/dev/null || true; rm -rf "$STDIR"' EXIT
+go build -o "$STDIR/spatiald" ./cmd/spatiald
+go build -o "$STDIR/spatialdb" ./cmd/spatialdb
+mkdir "$STDIR/snap"
+"$STDIR/spatialdb" -data "$STDIR/snap" >"$STDIR/pipe.txt" <<'EOF'
+gen a LANDC 0.01
+gen b LANDO 0.01
+save a a
+save b b
+shardjoin a b -Inf -Inf +Inf +Inf
+EOF
+"$STDIR/spatialdb" -data "$STDIR/snap" >"$STDIR/nopipe.txt" <<'EOF'
+load a a
+load b b
+pipeline off
+shardjoin a b -Inf -Inf +Inf +Inf
+EOF
+grep -q 'pipeline off' "$STDIR/nopipe.txt" || { echo "pipeline off verb failed"; cat "$STDIR/nopipe.txt"; exit 1; }
+"$STDIR/spatiald" -addr 127.0.0.1:0 -http "" -data "$STDIR/snap" -quiet >"$STDIR/stream.log" 2>&1 &
+STPID=$!
+ST_ADDR="$(bound_addr "$STDIR/stream.log")"
+# One stdin line so the ";" reaches the server inside the batch verb
+# (the client's -e flag splits scripts on ";" before sending).
+echo "shardjoin a b -Inf -Inf +Inf +Inf" | "$STDIR/spatiald" -connect "$ST_ADDR" >"$STDIR/wire.txt"
+for f in pipe nopipe wire; do
+	grep -oE 'pair [0-9]+ [0-9]+' "$STDIR/$f.txt" | sort >"$STDIR/$f.pairs"
+done
+[ -s "$STDIR/pipe.pairs" ] || { echo "pipelined shardjoin produced no pairs"; cat "$STDIR/pipe.txt"; exit 1; }
+cmp -s "$STDIR/pipe.pairs" "$STDIR/nopipe.pairs" || {
+	echo "pipeline off changed the join answer"
+	diff "$STDIR/pipe.pairs" "$STDIR/nopipe.pairs" | head -10
+	exit 1
+}
+cmp -s "$STDIR/pipe.pairs" "$STDIR/wire.pairs" || {
+	echo "wire-streamed join differs from in-process join"
+	diff "$STDIR/pipe.pairs" "$STDIR/wire.pairs" | head -10
+	exit 1
+}
+echo "batch join a b sw; shardjoin a b -Inf -Inf +Inf +Inf" | "$STDIR/spatiald" -connect "$ST_ADDR" >"$STDIR/batch.txt"
+grep -q 'sub 1 ok: join' "$STDIR/batch.txt" || { echo "batch sub 1 trailer missing"; cat "$STDIR/batch.txt"; exit 1; }
+grep -q 'sub 2 ok: shardjoin' "$STDIR/batch.txt" || { echo "batch sub 2 trailer missing"; cat "$STDIR/batch.txt"; exit 1; }
+grep -oE 'pair [0-9]+ [0-9]+' "$STDIR/batch.txt" | sort >"$STDIR/batch.pairs"
+cmp -s "$STDIR/pipe.pairs" "$STDIR/batch.pairs" || {
+	echo "batch-verb join differs from in-process join"
+	diff "$STDIR/pipe.pairs" "$STDIR/batch.pairs" | head -10
+	exit 1
+}
+kill -TERM "$STPID"
+wait "$STPID" || { echo "streaming server did not drain cleanly"; cat "$STDIR/stream.log"; exit 1; }
+STPID=""
+trap - EXIT
+rm -rf "$STDIR"
 
 echo "== fuzz smoke (${FUZZTIME} each)"
 go test ./internal/data/ -fuzz FuzzDataRead -fuzztime "$FUZZTIME"

@@ -12,7 +12,7 @@ set -euo pipefail
 #   scripts/run_all.sh [outdir]
 #
 # Environment knobs:
-#   EXPERIMENTS   comma list passed to spatialbench -exp  (default: shard,ingest)
+#   EXPERIMENTS   comma list passed to spatialbench -exp  (default: shard,ingest,pipeline)
 #   SCALE         dataset scale                            (default: spatialbench default)
 #   REPEATS       repeats per experiment                   (default: 3)
 
@@ -21,7 +21,7 @@ cd "$ROOT_DIR"
 
 STAMP="$(date +%Y-%m-%d_%H%M%S)"
 OUT_DIR="${1:-$ROOT_DIR/bench_runs/$STAMP}"
-EXPERIMENTS="${EXPERIMENTS:-shard,ingest}"
+EXPERIMENTS="${EXPERIMENTS:-shard,ingest,pipeline}"
 REPEATS="${REPEATS:-3}"
 SCALE="${SCALE:-}"
 
