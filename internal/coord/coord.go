@@ -207,7 +207,12 @@ func (c *Coordinator) Close() {
 	}
 }
 
-// Result is one fanned-out query's merged answer.
+// Result is one fanned-out query's merged answer. Buffered results hold
+// rows only from shards whose status line arrived ("ok" or "partial"):
+// a shard that failed mid-stream contributes nothing, so on a partial
+// answer the reported-missing tiles can be re-queried and unioned in
+// without double-counting. (Streamed RowSink delivery is weaker; see
+// RowSink.)
 type Result struct {
 	// IDs are the deduplicated stable object ids (selections). Empty when
 	// the query streamed through a RowSink.
@@ -240,6 +245,16 @@ type Result struct {
 // needing a sorted answer must use the buffering API. A non-nil return
 // stops the fan-out (remaining rows are dropped, shard breakers are NOT
 // tripped) and surfaces as the *query.PartialError cause.
+//
+// Streaming trades away the buffering API's failed-shard isolation:
+// rows flow out before a shard's status line arrives, so a shard that
+// dies mid-stream has already delivered its earlier rows. A
+// *query.PartialError naming missing shards therefore means those
+// shards' streams were cut part-way, not that they contributed nothing
+// — re-querying just the missing tiles may repeat pairs; retry the
+// whole query when exactly-once delivery matters. The buffering API
+// commits a shard's rows only after its "ok"/"partial" status, so a
+// buffered Result never contains rows from a failed shard.
 type RowSink struct {
 	ID   func(uint64) error
 	Pair func([2]uint64) error
@@ -251,9 +266,12 @@ func (s RowSink) active() bool { return s.ID != nil || s.Pair != nil }
 // RowSink failed — the client went away, not the shard.
 var errAbortStream = errors.New("coord: result sink failed")
 
-// merger is the fan-out's shared incremental merge state: shard reader
-// goroutines push rows in as their streams parse, and rows flow straight
-// out through the sink (or into the Result buffers when no sink is set).
+// merger is the fan-out's shared incremental merge state. In streaming
+// (RowSink) mode shard reader goroutines push rows in as their streams
+// parse and rows flow straight out through the sink; in buffered mode
+// each shard's rows stage in its shardAnswer and commit here only after
+// the shard's status line proves the stream complete, so a shard that
+// fails mid-stream contributes nothing to the Result.
 type merger struct {
 	mu      sync.Mutex
 	sink    RowSink
@@ -304,6 +322,10 @@ func (m *merger) pair(p [2]uint64) error {
 	m.bump()
 	return nil
 }
+
+// streaming reports whether rows flow out through a sink as they parse
+// (versus staging per shard and committing on status).
+func (m *merger) streaming() bool { return m.sink.active() }
 
 func (m *merger) bump() {
 	if n := len(m.res.IDs) + len(m.res.Pairs); n > m.res.MaxBuffered {
@@ -375,24 +397,31 @@ func (c *Coordinator) allTiles() []int {
 	return tiles
 }
 
-// shardAnswer is one shard's response bookkeeping; result rows do not
-// pass through it — they flow into the fan-out's merger as the stream
-// parses.
+// shardAnswer is one shard's response bookkeeping. In streaming mode
+// result rows do not pass through it — they flow into the fan-out's
+// merger as the stream parses. In buffered mode the rows stage in ids/
+// pairs and fanout commits them into the merger only once the shard's
+// status line arrives, so a shard that fails mid-stream (read error,
+// parse error, trailing "error:" status) contributes no rows.
 type shardAnswer struct {
 	tile    int
+	ids     []uint64    // staged rows (buffered mode only)
+	pairs   [][2]uint64 // staged rows (buffered mode only)
 	stats   query.Stats
 	wallMS  float64
 	partial string // non-empty: shard answered "partial: <reason>"
 	err     error
 }
 
-// fanout runs cmdFor(tile) on every listed shard concurrently and merges
-// the row streams incrementally: each shard reader pushes parsed rows
-// into the shared merger the moment they arrive, so a RowSink caller
-// sees first rows while slow shards are still refining, and a buffering
-// caller never pays a second copy through per-shard slices. Missing
-// shards degrade to a *query.PartialError; zero answering shards is a
-// hard error.
+// fanout runs cmdFor(tile) on every listed shard concurrently. With a
+// RowSink each shard reader pushes parsed rows into the shared merger
+// the moment they arrive, so the caller sees first rows while slow
+// shards are still refining; without one, each shard's rows stage until
+// its status line arrives and only complete ("ok"/"partial") streams
+// commit into the Result — a shard that dies mid-stream contributes
+// zero rows, so a reported-missing tile can be re-queried without
+// double-counting. Missing shards degrade to a *query.PartialError;
+// zero answering shards is a hard error.
 func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor func(int) string, sink RowSink) (Result, error) {
 	if len(tiles) == 0 {
 		return Result{Stats: query.Stats{Op: "coord." + op}}, nil
@@ -441,6 +470,15 @@ func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor
 		res.ShardsOK++
 		res.ShardMS[a.tile] = a.wallMS
 		res.Stats.Merge(a.stats)
+		// Commit the shard's staged rows (buffered mode; empty otherwise):
+		// its status line arrived, so the stream is complete. The merge
+		// cannot fail here — there is no sink to error.
+		for _, id := range a.ids {
+			_ = m.id(id)
+		}
+		for _, p := range a.pairs {
+			_ = m.pair(p)
+		}
 		if a.partial != "" {
 			partialReasons++
 			if firstErr == nil {
@@ -730,8 +768,10 @@ func (s *shard) recordSuccess() {
 }
 
 // parseLine decodes one shard data line — "id <N>" and "pair <A> <B>"
-// rows go straight into the fan-out merger, "stats <json>" into the
-// shard's answer, other lines (notes) are ignored.
+// rows go straight into the fan-out merger when it streams, and stage in
+// the shard's answer otherwise (committed by fanout once the status line
+// proves the stream complete); "stats <json>" goes into the shard's
+// answer, other lines (notes) are ignored.
 func parseLine(line string, m *merger, ans *shardAnswer) error {
 	word, rest, _ := strings.Cut(line, " ")
 	switch word {
@@ -740,7 +780,11 @@ func parseLine(line string, m *merger, ans *shardAnswer) error {
 		if err != nil {
 			return fmt.Errorf("bad id line %q: %w", line, err)
 		}
-		return m.id(id)
+		if m.streaming() {
+			return m.id(id)
+		}
+		ans.ids = append(ans.ids, id)
+		return nil
 	case "pair":
 		af, bf, ok := strings.Cut(strings.TrimSpace(rest), " ")
 		if !ok {
@@ -754,7 +798,11 @@ func parseLine(line string, m *merger, ans *shardAnswer) error {
 		if err != nil {
 			return fmt.Errorf("bad pair line %q: %w", line, err)
 		}
-		return m.pair([2]uint64{a, b})
+		if m.streaming() {
+			return m.pair([2]uint64{a, b})
+		}
+		ans.pairs = append(ans.pairs, [2]uint64{a, b})
+		return nil
 	case "stats":
 		if err := json.Unmarshal([]byte(rest), &ans.stats); err != nil {
 			return fmt.Errorf("bad stats line: %w", err)

@@ -8,9 +8,11 @@ package coord_test
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"testing"
 
 	"repro/internal/coord"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/query"
 )
@@ -121,6 +123,72 @@ func TestCoordinatorSelectStreamDedupsUnbuffered(t *testing.T) {
 	if res.MaxBuffered != 0 || len(res.IDs) != 0 {
 		t.Fatalf("streamed select buffered rows coordinator-side (MaxBuffered=%d, IDs=%d), want none",
 			res.MaxBuffered, len(res.IDs))
+	}
+}
+
+// TestCoordinatorFailedShardContributesNoRows severs one shard's stream
+// mid-response and pins the buffered merge's failed-shard isolation:
+// rows stage per shard until the status line proves the stream
+// complete, so the partial result contains nothing from the cut shard
+// and the reported-missing tile can be re-queried and unioned in
+// without double-counting a single pair.
+func TestCoordinatorFailedShardContributesNoRows(t *testing.T) {
+	f := bootFleet(t, 4)
+	inj := faultinject.New(7)
+	// Read sequence 12 lands inside some shard's data stream (greetings
+	// and timeout-arming consume the first 8 reads across the 4 shards).
+	inj.InjectAt(faultinject.SiteCoordRead, faultinject.KindDisconnect, 12)
+	c := f.coordinator(t, coord.Config{Faults: inj})
+
+	res, err := c.Join(qctx(t), "a", "b", "")
+	var pe *query.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("join with a severed stream returned %v, want *query.PartialError", err)
+	}
+	var se *coord.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("partial cause is %v, want *coord.ShardError naming the cut tile", err)
+	}
+
+	// The cut tile's full answer, straight from the shard (the injector
+	// only arms coord.* sites, so the direct dial is untouched).
+	g := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	region := f.m.Region(se.Tile)
+	lines, status := wireExec(t, f.addrs[se.Tile],
+		fmt.Sprintf("shardjoin a b %s %s %s %s", g(region.MinX), g(region.MinY), g(region.MaxX), g(region.MaxY)))
+	if status != "ok" {
+		t.Fatalf("direct shard %d join answered %q", se.Tile, status)
+	}
+	failed := map[[2]uint64]bool{}
+	for _, l := range lines {
+		var a, b uint64
+		if n, _ := fmt.Sscanf(l, "pair %d %d", &a, &b); n == 2 {
+			failed[[2]uint64{a, b}] = true
+		}
+	}
+
+	// Disjointness: nothing from the cut shard leaked into the partial
+	// buffered result...
+	got := map[[2]uint64]bool{}
+	for _, p := range res.Pairs {
+		if failed[p] {
+			t.Fatalf("partial result contains pair %v from failed shard %d", p, se.Tile)
+		}
+		got[p] = true
+	}
+	// ...and re-querying just the missing tile reassembles the
+	// single-node answer exactly: no pair lost, none double-counted.
+	for p := range failed {
+		got[p] = true
+	}
+	want := f.singleJoin(t)
+	if len(got) != len(want) {
+		t.Fatalf("partial result + failed tile = %d pairs, single-node join has %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("pair %v missing from the reassembled answer", p)
+		}
 	}
 }
 

@@ -195,9 +195,14 @@ func composePipelineJoin(a, b *View, opt PipelineOptions, join func(x, y *Layer,
 }
 
 // resolvePipeline reads the effective batch size and ablation flag from
-// the options and the tester factory's configuration.
-func resolvePipeline(opt PipelineOptions) (batch int, noPipe bool) {
-	cfg := opt.newTester().Config()
+// the options and the tester factory's configuration. The tester built
+// to probe the configuration is returned for reuse as the first
+// worker's — a Tester owns a raster rendering context (a
+// resolution-squared buffer), too expensive to build and discard once
+// per pipeline join (once per component pair for composed views).
+func resolvePipeline(opt PipelineOptions) (batch int, noPipe bool, seed *core.Tester) {
+	seed = opt.newTester()
+	cfg := seed.Config()
 	batch = opt.BatchSize
 	if batch <= 0 {
 		batch = cfg.BatchSize
@@ -205,7 +210,7 @@ func resolvePipeline(opt PipelineOptions) (batch int, noPipe bool) {
 	if batch <= 0 {
 		batch = core.DefaultBatchSize
 	}
-	return batch, opt.NoPipeline || cfg.NoPipeline
+	return batch, opt.NoPipeline || cfg.NoPipeline, seed
 }
 
 // maxInt64 raises the atomic gauge to v if larger (the queue-depth
@@ -244,17 +249,34 @@ func pipelineRun(ctx context.Context, candidates []Pair, opt PipelineOptions, op
 	refine func(*core.Tester, Pair) bool,
 	full func(*core.Tester, Pair) bool) ([]Pair, core.Stats, error) {
 
-	batch, noPipe := resolvePipeline(opt)
+	batch, noPipe, seed := resolvePipeline(opt)
+	// The config-probe tester seeds exactly one worker (whichever asks
+	// first); everyone else builds their own as before.
+	var seedUsed atomic.Bool
+	newTester := func() *core.Tester {
+		if seedUsed.CompareAndSwap(false, true) {
+			return seed
+		}
+		return opt.newTester()
+	}
 	if noPipe {
 		// Ablation: the pre-pipeline per-pair worker path. One terminal
 		// emit models the buffered delivery the pipeline replaces.
-		pairs, stats, err := parallelRefine(ctx, candidates, opt.ParallelOptions, op, full)
+		po := opt.ParallelOptions
+		po.Tester = newTester
+		pairs, stats, err := parallelRefine(ctx, candidates, po, op, full)
 		sortPairsByOuter(pairs)
 		if _, budget := err.(*BudgetError); !budget && opt.Sink != nil && len(pairs) > 0 {
-			if serr := opt.Sink(pairs); serr != nil && err == nil {
-				err = &PartialError{Op: op, Done: len(candidates), Total: len(candidates), Err: serr}
+			if serr := opt.Sink(pairs); serr != nil {
+				if err == nil {
+					err = &PartialError{Op: op, Done: len(candidates), Total: len(candidates), Err: serr}
+				}
+			} else {
+				// Count only successfully sunk rows, exactly like the
+				// pipelined emit stage — the two modes must not diverge on
+				// this counter in the sink-failure case.
+				stats.StreamRowsEmitted += int64(len(pairs))
 			}
-			stats.StreamRowsEmitted += int64(len(pairs))
 		}
 		return pairs, stats, err
 	}
@@ -304,7 +326,7 @@ func pipelineRun(ctx context.Context, candidates []Pair, opt PipelineOptions, op
 		filterWG.Add(1)
 		go func() {
 			defer filterWG.Done()
-			tester := opt.newTester()
+			tester := newTester()
 			var swRetry *core.Tester
 			start := time.Now()
 			for b := range filterCh {
@@ -368,7 +390,7 @@ func pipelineRun(ctx context.Context, candidates []Pair, opt PipelineOptions, op
 		refineWG.Add(1)
 		go func() {
 			defer refineWG.Done()
-			tester := opt.newTester()
+			tester := newTester()
 			var swRetry *core.Tester
 			start := time.Now()
 			for b := range refineCh {

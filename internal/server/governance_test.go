@@ -153,7 +153,7 @@ func TestLimiterCancelledWaiterHandsSlotOn(t *testing.T) {
 func TestWatchdogCancelsStuckQuery(t *testing.T) {
 	dog := newWatchdog(10 * time.Millisecond)
 	ctx, cancel := context.WithCancelCause(context.Background())
-	id := dog.register("join", cancel)
+	id := dog.register("join", cancel, nil)
 	if id == 0 {
 		t.Fatal("register returned 0 for enabled watchdog")
 	}

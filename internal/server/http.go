@@ -119,7 +119,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(r.Context(), func() { cancel(nil) })
 	defer stop()
 	if shellcmd.IsQuery(verb) && s.dog.enabled() {
-		id := s.dog.register(verb, cancel)
+		id := s.dog.register(verb, cancel, nil)
 		defer s.dog.deregister(id)
 	}
 
@@ -150,6 +150,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.observe(st, status, dur)
 	s.logCommand(r.RemoteAddr, st, status, dur)
+	// The response write is deadline-bounded like every other client-bound
+	// write: a client that stopped reading must not pin the handler (and,
+	// for query verbs, the admission slot held until this handler returns).
+	if d := s.writeTimeout(); d > 0 {
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(d))
+	}
 	writeJSON(w, code, resp)
 }
 
@@ -213,16 +219,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(r.Context(), func() { cancel(nil) })
 	defer stop()
 	if shellcmd.IsQuery(verb) && s.dog.enabled() {
-		id := s.dog.register(verb, cancel)
+		id := s.dog.register(verb, cancel, nil)
 		defer s.dog.deregister(id)
 	}
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
-	fw := &flushWriter{w: w, cancel: cancel}
-	if f, ok := w.(http.Flusher); ok {
-		fw.f = f
-	}
+	fw := &flushWriter{w: w, rc: http.NewResponseController(w), d: s.writeTimeout(), cancel: cancel}
 	eng := s.newEngine()
 	res, err := eng.Exec(ctx, cmd, fw)
 
@@ -242,17 +245,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.metrics.observe(st, status, dur)
 	s.logCommand(r.RemoteAddr, st, status, dur)
 	if fw.err == nil {
-		io.WriteString(w, statusLine+"\n")
+		_, _ = fw.Write([]byte(statusLine + "\n"))
 	}
 }
 
 // flushWriter streams Exec output over an HTTP response: each Write is
 // pushed to the client immediately via the chunked encoder, and a
 // failed write — the client hung up — is sticky and cancels the running
-// command.
+// command. Each write+flush carries its own deadline (http.Server has
+// no per-flush WriteTimeout), so a client that merely stops reading
+// fails the stream instead of pinning the handler and its admission
+// slot in a write the context cancel cannot unblock.
 type flushWriter struct {
 	w      io.Writer
-	f      http.Flusher
+	rc     *http.ResponseController
+	d      time.Duration // per-write deadline; 0 means unbounded
 	cancel context.CancelCauseFunc
 	err    error
 }
@@ -260,6 +267,11 @@ type flushWriter struct {
 func (fw *flushWriter) Write(p []byte) (int, error) {
 	if fw.err != nil {
 		return 0, fw.err
+	}
+	if fw.d > 0 {
+		// ErrNotSupported (a recording ResponseWriter in tests) just means
+		// no deadline; real server connections support it.
+		_ = fw.rc.SetWriteDeadline(time.Now().Add(fw.d))
 	}
 	n, err := fw.w.Write(p)
 	if err != nil {
@@ -269,8 +281,12 @@ func (fw *flushWriter) Write(p []byte) (int, error) {
 		}
 		return n, err
 	}
-	if fw.f != nil {
-		fw.f.Flush()
+	if ferr := fw.rc.Flush(); ferr != nil && !errors.Is(ferr, http.ErrNotSupported) {
+		fw.err = ferr
+		if fw.cancel != nil {
+			fw.cancel(ferr)
+		}
+		return n, ferr
 	}
 	return n, nil
 }

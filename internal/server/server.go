@@ -56,6 +56,14 @@ type Config struct {
 	// *StuckQueryError) and its admission slot reclaimed. It should
 	// comfortably exceed QueryTimeout; 0 disables the watchdog.
 	WatchdogTimeout time.Duration
+	// WriteTimeout bounds every client-bound write+flush (wire-protocol
+	// lines and HTTP stream chunks). A client that stops reading without
+	// disconnecting would otherwise block the session in conn.Write once
+	// the socket buffer fills — where context cancellation cannot reach —
+	// pinning the query goroutine and its admission slot; with the
+	// deadline the write fails, the command context cancels, and the
+	// slot frees. 0 means 30s; negative disables the bound.
+	WriteTimeout time.Duration
 	// SentinelEvery seeds every served tester's sentinel verification
 	// cadence (core.Config.SentinelEvery): 0 means the core default,
 	// negative disables verification.
@@ -249,6 +257,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// writeTimeout resolves the per-write deadline for client-bound output;
+// zero means unbounded (explicitly disabled with a negative config).
+func (s *Server) writeTimeout() time.Duration {
+	switch {
+	case s.cfg.WriteTimeout > 0:
+		return s.cfg.WriteTimeout
+	case s.cfg.WriteTimeout < 0:
+		return 0
+	}
+	return 30 * time.Second
 }
 
 func (s *Server) draining() bool {

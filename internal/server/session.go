@@ -131,7 +131,10 @@ func (s *Server) runCommand(eng *shellcmd.Engine, conn net.Conn, w *bufio.Writer
 		defer cancel(nil)
 		lw.cancel = cancel
 		if acquired && s.dog.enabled() {
-			id := s.dog.register(verb, cancel)
+			// The sever hook closes the connection if the query is still
+			// pinned a grace period after the kill — the cancel cannot
+			// unblock a conn.Write, but the close can.
+			id := s.dog.register(verb, cancel, func() { conn.Close() })
 			defer s.dog.deregister(id)
 		}
 		return eng.Exec(ctx, line, lw)
@@ -215,11 +218,18 @@ func (lw *lineWriter) finish() {
 
 // send writes one protocol line and flushes. A disconnect fault armed at
 // the write site severs the connection instead — the mid-response
-// disconnect clients must survive.
+// disconnect clients must survive. Every write is bounded by the
+// server's write deadline: a client that stops reading (without
+// disconnecting) fails the write once its socket buffer fills, instead
+// of pinning the session — and, mid-query, the admission slot — in a
+// conn.Write that no context cancellation can unblock.
 func (s *Server) send(conn net.Conn, w *bufio.Writer, line string) error {
 	if inj := s.cfg.Faults; inj != nil && inj.Disconnect(faultinject.SiteServerWrite) {
 		conn.Close()
 		return net.ErrClosed
+	}
+	if d := s.writeTimeout(); d > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(d))
 	}
 	if _, err := w.WriteString(line); err != nil {
 		return err

@@ -1,8 +1,12 @@
 package server
 
 import (
+	"bufio"
 	"context"
+	"errors"
+	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -183,6 +187,76 @@ func TestBatchVerbOverWire(t *testing.T) {
 	}
 	if got := countFrom(t, lines, "join: %d results"); got != wantJoin {
 		t.Errorf("join after failing sub reports %d results, want %d", got, wantJoin)
+	}
+}
+
+// TestSendWriteDeadlineUnblocksStalledClient pins the slow-reader
+// defense: a client that stops reading (without disconnecting) must fail
+// the protocol write within the configured write deadline, instead of
+// parking the session — and, mid-query, its admission slot — in a
+// conn.Write that context cancellation cannot unblock. net.Pipe is
+// unbuffered, so the unread write models a full socket buffer exactly.
+func TestSendWriteDeadlineUnblocksStalledClient(t *testing.T) {
+	s := New(Config{WriteTimeout: 50 * time.Millisecond})
+	srv, client := net.Pipe()
+	defer srv.Close()
+	defer client.Close() // never read from: the stalled client
+
+	start := time.Now()
+	err := s.send(srv, bufio.NewWriter(srv), "row nobody reads")
+	if err == nil {
+		t.Fatal("send to a client that never reads returned nil, want deadline error")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("send error = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("send took %v to fail; the write deadline never armed", d)
+	}
+}
+
+// TestWatchdogSeversPinnedQuery pins the watchdog escalation: the first
+// overdue scan cancels the query (once), and a query still registered a
+// grace period after its kill — pinned where cancellation cannot reach —
+// has its sever hook run, which closes the client connection. Scan times
+// are synthetic, so the sequence is deterministic.
+func TestWatchdogSeversPinnedQuery(t *testing.T) {
+	dog := newWatchdog(10 * time.Millisecond)
+	cancelled := 0
+	severed := make(chan struct{})
+	id := dog.register("join", func(error) { cancelled++ }, func() { close(severed) })
+	base := time.Now()
+
+	if n := dog.scan(base.Add(15 * time.Millisecond)); n != 1 {
+		t.Fatalf("overdue scan killed %d, want 1", n)
+	}
+	if cancelled != 1 {
+		t.Fatalf("cancelled %d times, want 1", cancelled)
+	}
+	select {
+	case <-severed:
+		t.Fatal("severed on the first kill; escalation must wait out the grace period")
+	default:
+	}
+	// Within the grace (threshold floored at 1s after the kill): no
+	// re-kill, no sever.
+	if n := dog.scan(base.Add(515 * time.Millisecond)); n != 0 || cancelled != 1 {
+		t.Fatalf("in-grace scan re-killed (n=%d cancels=%d), want one kill per query", n, cancelled)
+	}
+	select {
+	case <-severed:
+		t.Fatal("severed inside the grace period")
+	default:
+	}
+	dog.scan(base.Add(1200 * time.Millisecond)) // grace expired since the kill at +15ms
+	select {
+	case <-severed:
+	default:
+		t.Fatal("query pinned past the kill grace was not severed")
+	}
+	dog.deregister(id) // double removal after the sever must be harmless
+	if dog.active() != 0 || dog.cancelCount() != 1 {
+		t.Fatalf("active=%d cancels=%d after sever+deregister", dog.active(), dog.cancelCount())
 	}
 }
 

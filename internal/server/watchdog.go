@@ -28,7 +28,12 @@ func (e *StuckQueryError) Unwrap() error { return context.Canceled }
 // the stuck threshold. It is the backstop *behind* deadline governance:
 // deadlines bound well-behaved queries cooperatively, while the watchdog
 // reaps queries whose deadline was unset or whose wind-down itself
-// stalled, and guarantees their admission slots are returned.
+// stalled, and guarantees their admission slots are returned. A killed
+// query that still has not wound down a grace period later is severed
+// (its registered sever hook — closing the client connection — runs):
+// cancellation cannot unblock a query pinned in conn.Write, but closing
+// the connection can, so a stalled client cannot hold a slot
+// indefinitely even with write deadlines disabled.
 type watchdog struct {
 	timeout time.Duration
 
@@ -40,9 +45,11 @@ type watchdog struct {
 }
 
 type watchedQuery struct {
-	op      string
-	started time.Time
-	cancel  context.CancelCauseFunc
+	op       string
+	started  time.Time
+	cancel   context.CancelCauseFunc
+	sever    func()    // optional escalation: sever the client connection
+	killedAt time.Time // zero until the cancel is delivered; sever is next
 }
 
 // newWatchdog builds a watchdog with the given stuck threshold; zero or
@@ -54,15 +61,18 @@ func newWatchdog(timeout time.Duration) *watchdog {
 func (w *watchdog) enabled() bool { return w != nil && w.timeout > 0 }
 
 // register tracks one starting query; the returned id must be handed back
-// to deregister when the query completes (normally or not).
-func (w *watchdog) register(op string, cancel context.CancelCauseFunc) int64 {
+// to deregister when the query completes (normally or not). sever, when
+// non-nil, is the escalation hook scan runs if the query is still
+// registered a grace period after its kill (see scan); nil skips the
+// escalation (HTTP handlers, whose writes carry their own deadlines).
+func (w *watchdog) register(op string, cancel context.CancelCauseFunc, sever func()) int64 {
 	if !w.enabled() {
 		return 0
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.seq++
-	w.running[w.seq] = &watchedQuery{op: op, started: time.Now(), cancel: cancel}
+	w.running[w.seq] = &watchedQuery{op: op, started: time.Now(), cancel: cancel, sever: sever}
 	return w.seq
 }
 
@@ -78,23 +88,38 @@ func (w *watchdog) deregister(id int64) {
 // scan cancels every tracked query older than the threshold, reporting
 // how many it killed. Cancellation is by cause: the query observes a
 // *StuckQueryError and returns partial results; its deferred release and
-// deregister run as usual, so no slot can leak.
+// deregister run as usual, so no slot can leak. A query the cancel did
+// not dislodge — still registered a grace period after its kill, meaning
+// it is pinned somewhere cancellation cannot reach, like a conn.Write to
+// a client that stopped reading — is severed through its escalation
+// hook, which fails the blocked write and lets the session unwind. The
+// grace is the threshold floored at a second, so an ordinary kill's
+// wind-down (cancel → partial results → status line) always has room to
+// finish naturally first.
 func (w *watchdog) scan(now time.Time) int {
 	if !w.enabled() {
 		return 0
 	}
+	grace := max(w.timeout, time.Second)
 	w.mu.Lock()
-	var overdue []*watchedQuery
+	var overdue, pinned []*watchedQuery
 	for id, q := range w.running {
-		if now.Sub(q.started) > w.timeout {
+		switch {
+		case q.killedAt.IsZero() && now.Sub(q.started) > w.timeout:
+			q.killedAt = now // one kill per query
 			overdue = append(overdue, q)
-			delete(w.running, id) // one kill per query; deregister tolerates the double delete
+		case !q.killedAt.IsZero() && now.Sub(q.killedAt) > grace && q.sever != nil:
+			pinned = append(pinned, q)
+			delete(w.running, id) // one sever per query; deregister tolerates the double delete
 		}
 	}
 	w.mu.Unlock()
 	for _, q := range overdue {
 		q.cancel(&StuckQueryError{Op: q.op, Age: now.Sub(q.started)})
 		w.cancels.Add(1)
+	}
+	for _, q := range pinned {
+		q.sever()
 	}
 	return len(overdue)
 }

@@ -539,9 +539,11 @@ func (e *Engine) setPipeline(args []string, out io.Writer) (Result, error) {
 // batchCmd executes N ";"-separated sub-commands in one round trip under
 // the single admission slot the batch verb itself was admitted on. Each
 // sub-command's output streams in order, delimited by a "sub <n> ok:
-// <op>" / "sub <n> error: <reason>" trailer line, and the merged stats
-// record reports the whole batch. A failing sub-command does not abort
-// the rest; a partial sub-result marks the batch partial.
+// <op>" / "sub <n> partial: <reason>" / "sub <n> error: <reason>"
+// trailer line, and the merged stats record reports the whole batch. A
+// failing sub-command does not abort the rest; a partial sub-result
+// marks the batch partial (the first partial's reason wins — the
+// per-sub trailers name every incomplete sub-command).
 func (e *Engine) batchCmd(ctx context.Context, line string, out io.Writer) (Result, error) {
 	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "batch"))
 	if rest == "" {
@@ -563,7 +565,7 @@ func (e *Engine) batchCmd(ctx context.Context, line string, out io.Writer) (Resu
 			fmt.Fprintf(out, "sub %d error: %v\n", n, err)
 			continue
 		}
-		if res.Partial != nil {
+		if res.Partial != nil && agg.Partial == nil {
 			agg.Partial = res.Partial
 		}
 		agg.Mutation = agg.Mutation || res.Mutation
@@ -571,7 +573,11 @@ func (e *Engine) batchCmd(ctx context.Context, line string, out io.Writer) (Resu
 		res.Stats.Op = ""
 		agg.Stats.Merge(res.Stats)
 		agg.Stats.Op = "batch"
-		fmt.Fprintf(out, "sub %d ok: %s\n", n, op)
+		if res.Partial != nil {
+			fmt.Fprintf(out, "sub %d partial: %v\n", n, res.Partial)
+		} else {
+			fmt.Fprintf(out, "sub %d ok: %s\n", n, op)
+		}
 	}
 	if n == 0 {
 		return Result{}, fmt.Errorf("usage: batch <cmd>; <cmd>; ...")

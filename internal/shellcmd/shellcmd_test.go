@@ -136,6 +136,30 @@ func TestTimeoutYieldsPartial(t *testing.T) {
 	}
 }
 
+// TestBatchPartialSubTrailer pins the batch framing for an interrupted
+// sub-command: it must answer a "sub <n> partial: <reason>" trailer (not
+// claim "ok" for an incomplete answer), later subs still run, and the
+// first partial marks the whole batch partial.
+func TestBatchPartialSubTrailer(t *testing.T) {
+	e := &Engine{Store: MapStore{}}
+	exec(t, e, "gen water WATER 0.02")
+	exec(t, e, "gen prism PRISM 0.02")
+	exec(t, e, "timeout 1ns")
+	out, res := exec(t, e, "batch pjoin water prism 1; layers")
+	if !strings.Contains(out, "sub 1 partial:") {
+		t.Fatalf("interrupted sub got no partial trailer: %q", out)
+	}
+	if strings.Contains(out, "sub 1 ok:") {
+		t.Fatalf("interrupted sub still claimed ok: %q", out)
+	}
+	if !strings.Contains(out, "sub 2 ok: layers") {
+		t.Fatalf("sub after the partial did not run: %q", out)
+	}
+	if res.Partial == nil {
+		t.Fatal("partial sub did not mark the batch result partial")
+	}
+}
+
 func TestIsQueryAndVerb(t *testing.T) {
 	for _, v := range []string{"join", "pjoin", "overlay", "within", "select", "knn"} {
 		if !IsQuery(v) {
