@@ -60,9 +60,11 @@ func main() {
 	dataDir := flag.String("data", "", "snapshot directory: every *.snap inside is loaded at startup (layer name = file basename), and sessions' save/load resolve bare names here")
 	ingestDir := flag.String("ingest", "", "enable durable ingestion (live/insert/delete/compact verbs): per-table WAL segments and snapshot generations live here")
 	coordDir := flag.String("coordinator", "", "coordinator mode: serve scatter-gather queries over the shard fleet described by this partition manifest directory (see spatialdb's partition command)")
-	shardAddrs := flag.String("shards", "", "coordinator mode: comma-separated per-tile shard addresses in tile-ID order (default: the addresses recorded in the manifest)")
+	shardAddrs := flag.String("shards", "", "coordinator mode: comma-separated per-tile shard addresses in tile-ID order; separate a tile's replica addresses with \"/\" (default: the addresses recorded in the manifest)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "coordinator mode: per-shard response ceiling when a query carries no deadline (0 = 30s)")
 	shardBreaker := flag.Duration("shard-breaker", 0, "coordinator mode: breaker cooldown after consecutive shard failures (0 = 5s)")
+	shardHedge := flag.Duration("shard-hedge", 0, "coordinator mode: hedge a tile's sub-query on a second replica when the first has not answered within this delay (0 = disabled)")
+	shardProbe := flag.Duration("shard-probe", 0, "coordinator mode: background health-probe interval; probe failures open a replica's breaker, probe successes half-open it for recovery (0 = disabled, passive cooldown)")
 	compactPending := flag.Int("compact-pending", 0, "background compaction trigger: fold a live table once this many WAL records are pending (0 = default)")
 	compactSegments := flag.Int("compact-segments", 0, "background compaction trigger: fold once a table's WAL spans more than this many segments (0 = default)")
 	compactInterval := flag.Duration("compact-interval", 0, "background compactor poll cadence (0 = default)")
@@ -131,9 +133,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "spatiald: coordinator:", err)
 			os.Exit(1)
 		}
-		addrs, err := m.Addrs()
+		replicaAddrs, err := m.ReplicaAddrs()
 		if *shardAddrs != "" {
-			addrs, err = splitAddrs(*shardAddrs)
+			replicaAddrs, err = splitAddrs(*shardAddrs)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spatiald: coordinator:", err)
@@ -141,9 +143,11 @@ func main() {
 		}
 		co, err = coord.New(coord.Config{
 			Manifest:        m,
-			Addrs:           addrs,
+			ReplicaAddrs:    replicaAddrs,
 			ReadTimeout:     *shardTimeout,
 			BreakerCooldown: *shardBreaker,
+			HedgeDelay:      *shardHedge,
+			ProbeInterval:   *shardProbe,
 			Faults:          cfg.Faults,
 		})
 		if err != nil {
@@ -151,8 +155,8 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Coordinator = co
-		fmt.Fprintf(os.Stderr, "spatiald: coordinating %d tiles (generation %d, %dx%d grid, margin %g)\n",
-			m.NumTiles(), m.Generation, m.GX, m.GY, m.Margin)
+		fmt.Fprintf(os.Stderr, "spatiald: coordinating %d tiles x %d replicas (generation %d, %dx%d grid, margin %g)\n",
+			m.NumTiles(), m.Replicas(), m.Generation, m.GX, m.GY, m.Margin)
 	}
 	srv := server.New(cfg)
 	if co == nil {
@@ -198,18 +202,24 @@ func main() {
 	}
 }
 
-// splitAddrs parses the -shards flag: comma-separated addresses, blanks
+// splitAddrs parses the -shards flag: comma-separated per-tile slots in
+// tile-ID order, each slot either one address or a "/"-separated replica
+// list (primary first) — e.g. "a:1/a:2,b:1/b:2". Blanks are
 // refused (coord.New validates the count against the manifest).
-func splitAddrs(spec string) ([]string, error) {
-	var addrs []string
-	for _, a := range strings.Split(spec, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			return nil, fmt.Errorf("empty address in -shards %q", spec)
+func splitAddrs(spec string) ([][]string, error) {
+	var table [][]string
+	for _, slot := range strings.Split(spec, ",") {
+		var reps []string
+		for _, a := range strings.Split(slot, "/") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("empty address in -shards %q", spec)
+			}
+			reps = append(reps, a)
 		}
-		addrs = append(addrs, a)
+		table = append(table, reps)
 	}
-	return addrs, nil
+	return table, nil
 }
 
 // loadSnapshots warm-starts the catalog from a -data directory: every

@@ -31,12 +31,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -49,9 +51,15 @@ import (
 type Config struct {
 	// Manifest is the partitioned deployment being coordinated.
 	Manifest *partition.Manifest
-	// Addrs are the per-tile shard addresses, in tile-ID order. Length
-	// must equal Manifest.NumTiles().
+	// Addrs are the per-tile shard addresses, in tile-ID order — the
+	// single-replica shorthand. Length must equal Manifest.NumTiles().
+	// Ignored when ReplicaAddrs is set.
 	Addrs []string
+	// ReplicaAddrs is the full routing table of a replicated deployment:
+	// element [t][r] is the address serving replica r of tile t, primary
+	// first (see Manifest.ReplicaAddrs). Every tile needs at least one
+	// replica; replicas of one tile must be distinct addresses.
+	ReplicaAddrs [][]string
 	// DialTimeout bounds each shard dial (default 2s).
 	DialTimeout time.Duration
 	// ReadTimeout bounds each shard response read when the query context
@@ -62,13 +70,48 @@ type Config struct {
 	// shards and kept for the merge phase, in [0, 0.5] (default 0.1).
 	MergeReserve float64
 	// BreakerThreshold is the consecutive-failure count that opens a
-	// shard's breaker (default 3); BreakerCooldown is how long it stays
-	// open (default 5s).
+	// replica's breaker (default 3); BreakerCooldown is how long it stays
+	// open before a passive half-open trial (default 5s). With a prober
+	// running (ProbeInterval > 0) the cooldown is ignored: only a probe
+	// success half-opens the breaker.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
-	// Faults optionally injects dial/read/shard-down faults at the
-	// coord.* sites.
+	// RetryBackoff is the base delay between failover attempts on a
+	// tile's replicas, jittered to 50–150% (default 25ms). The backoff
+	// never sleeps past the sub-query's deadline.
+	RetryBackoff time.Duration
+	// HedgeDelay, when > 0, arms hedged sub-queries: if a tile's first
+	// replica has not answered within the delay, the sub-query is
+	// launched on the next live replica too and the first complete
+	// stream wins (the loser is cancelled).
+	HedgeDelay time.Duration
+	// ProbeInterval, when > 0, runs a background health prober: every
+	// interval each replica gets a lightweight probe, failures open its
+	// breaker before query traffic has to discover the corpse, and a
+	// probe success is what half-opens an open breaker (active recovery
+	// instead of the passive cooldown).
+	ProbeInterval time.Duration
+	// RecoveryWait bounds how long a tile sub-query waits for the prober
+	// to readmit a replica before conceding a partial when no replica is
+	// routable — a kill's stale failures can trip a just-restarted
+	// replica's breaker, so "every breaker open" often means "readmission
+	// in flight", not "tile lost". Defaults to two probe cycles; without
+	// a prober there is no readmission to wait for and the wait is
+	// skipped.
+	RecoveryWait time.Duration
+	// Faults optionally injects dial/read/shard-down/replica-down/probe
+	// faults at the coord.* sites.
 	Faults *faultinject.Injector
+}
+
+func (c Config) recoveryWait() time.Duration {
+	if c.RecoveryWait > 0 {
+		return c.RecoveryWait
+	}
+	if c.ProbeInterval > 0 {
+		return 2*c.ProbeInterval + 5*time.Millisecond
+	}
+	return 0
 }
 
 func (c Config) dialTimeout() time.Duration {
@@ -104,6 +147,13 @@ func (c Config) breakerCooldown() time.Duration {
 		return c.BreakerCooldown
 	}
 	return 5 * time.Second
+}
+
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 25 * time.Millisecond
 }
 
 // ShardError reports one shard's failure, typed so callers can tell
@@ -151,39 +201,108 @@ func (e *MarginError) Error() string {
 // error line (see server.OverloadError: "...; retry after 150ms").
 var retryAfterRe = regexp.MustCompile(`retry after ([0-9][^ )]*)`)
 
-// Health is one shard's live state for the /metrics surface.
+// Breaker states reported through Health.State and the
+// spatiald_shard_breaker_state metric.
+const (
+	BreakerClosed   = "closed"    // replica in rotation
+	BreakerOpen     = "open"      // replica skipped without dialing
+	BreakerHalfOpen = "half-open" // trial traffic allowed; next result decides
+)
+
+// Health is one replica's live state for the shards verb and the
+// /metrics surface.
 type Health struct {
-	Tile     int    `json:"tile"`
-	Addr     string `json:"addr"`
-	Open     bool   `json:"open"` // breaker open: shard currently skipped
-	Fails    int64  `json:"fails"`
-	Queries  int64  `json:"queries"`
-	LastErr  string `json:"last_err,omitempty"`
-	IdleConn int    `json:"idle_conns"`
+	Tile    int    `json:"tile"`
+	Replica int    `json:"replica"`
+	Role    string `json:"role"` // "primary" or "replica"
+	Addr    string `json:"addr"`
+	// State is the replica's breaker state (BreakerClosed/Open/HalfOpen);
+	// Open mirrors State == BreakerOpen for older consumers.
+	State string `json:"state"`
+	Open  bool   `json:"open"`
+	// Fails counts lifetime failures; ConsecFails is the current
+	// consecutive-failure run the breaker trips on.
+	Fails       int64  `json:"fails"`
+	ConsecFails int    `json:"consec_fails"`
+	Queries     int64  `json:"queries"`
+	LastErr     string `json:"last_err,omitempty"`
+	IdleConn    int    `json:"idle_conns"`
+}
+
+// Totals counts coordinator-level failover events since start, for the
+// /metrics surface.
+type Totals struct {
+	// Retries counts sub-queries re-dispatched to another replica after
+	// a replica failed.
+	Retries int64 `json:"retries"`
+	// Hedges counts hedged sub-queries launched; HedgesWon counts the
+	// hedges that finished before the original attempt.
+	Hedges    int64 `json:"hedges"`
+	HedgesWon int64 `json:"hedges_won"`
+	// Probes and ProbeFails count background health probes.
+	Probes     int64 `json:"probes"`
+	ProbeFails int64 `json:"probe_failures"`
 }
 
 // Coordinator fans queries out over the shard fleet. Safe for concurrent
-// use by many sessions; per-shard connections are pooled.
+// use by many sessions; per-replica connections are pooled.
 type Coordinator struct {
-	cfg    Config
-	shards []*shard
+	cfg   Config
+	tiles [][]*replica // [tile][replica]
+
+	retries    atomic.Int64
+	hedges     atomic.Int64
+	hedgesWon  atomic.Int64
+	probes     atomic.Int64
+	probeFails atomic.Int64
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New validates the manifest/address pairing and returns a Coordinator.
-// Shards are dialed lazily on first use.
+// Shards are dialed lazily on first use; with ProbeInterval set the
+// background health prober starts immediately (stop it with Close).
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.Manifest == nil {
 		return nil, errors.New("coord: nil manifest")
 	}
-	if len(cfg.Addrs) != cfg.Manifest.NumTiles() {
-		return nil, fmt.Errorf("coord: %d shard addresses for %d tiles", len(cfg.Addrs), cfg.Manifest.NumTiles())
-	}
-	c := &Coordinator{cfg: cfg}
-	for i, addr := range cfg.Addrs {
-		if addr == "" {
-			return nil, fmt.Errorf("coord: tile %d has no shard address", i)
+	n := cfg.Manifest.NumTiles()
+	table := cfg.ReplicaAddrs
+	if table == nil {
+		if len(cfg.Addrs) != n {
+			return nil, fmt.Errorf("coord: %d shard addresses for %d tiles", len(cfg.Addrs), n)
 		}
-		c.shards = append(c.shards, &shard{tile: i, addr: addr, cfg: &c.cfg})
+		table = make([][]string, n)
+		for i, addr := range cfg.Addrs {
+			table[i] = []string{addr}
+		}
+	} else if len(table) != n {
+		return nil, fmt.Errorf("coord: replica table covers %d tiles, manifest has %d", len(table), n)
+	}
+	c := &Coordinator{cfg: cfg, stopProbe: make(chan struct{})}
+	for t, addrs := range table {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("coord: tile %d has no replicas", t)
+		}
+		seen := map[string]bool{}
+		reps := make([]*replica, len(addrs))
+		for r, addr := range addrs {
+			if addr == "" {
+				return nil, fmt.Errorf("coord: tile %d replica %d has no shard address", t, r)
+			}
+			if seen[addr] {
+				return nil, fmt.Errorf("coord: tile %d lists address %s twice; replicas must be distinct shards", t, addr)
+			}
+			seen[addr] = true
+			reps[r] = &replica{tile: t, idx: r, addr: addr, cfg: &c.cfg}
+		}
+		c.tiles = append(c.tiles, reps)
+	}
+	if cfg.ProbeInterval > 0 {
+		c.probeWG.Add(1)
+		go c.probeLoop()
 	}
 	return c, nil
 }
@@ -191,19 +310,38 @@ func New(cfg Config) (*Coordinator, error) {
 // Manifest returns the deployment manifest the coordinator routes with.
 func (c *Coordinator) Manifest() *partition.Manifest { return c.cfg.Manifest }
 
-// Health snapshots every shard's breaker state for metrics.
+// Health snapshots every replica's breaker state, tile-major with the
+// primary first — so in a replica-less deployment Health()[t] is tile
+// t, exactly as before.
 func (c *Coordinator) Health() []Health {
-	out := make([]Health, len(c.shards))
-	for i, s := range c.shards {
-		out[i] = s.health()
+	var out []Health
+	for _, reps := range c.tiles {
+		for _, r := range reps {
+			out = append(out, r.health())
+		}
 	}
 	return out
 }
 
-// Close drops all pooled shard connections.
+// Totals snapshots the failover counters.
+func (c *Coordinator) Totals() Totals {
+	return Totals{
+		Retries:    c.retries.Load(),
+		Hedges:     c.hedges.Load(),
+		HedgesWon:  c.hedgesWon.Load(),
+		Probes:     c.probes.Load(),
+		ProbeFails: c.probeFails.Load(),
+	}
+}
+
+// Close stops the health prober and drops all pooled shard connections.
 func (c *Coordinator) Close() {
-	for _, s := range c.shards {
-		s.closeIdle()
+	c.closeOnce.Do(func() { close(c.stopProbe) })
+	c.probeWG.Wait()
+	for _, reps := range c.tiles {
+		for _, r := range reps {
+			r.closeIdle()
+		}
 	}
 }
 
@@ -273,9 +411,16 @@ var errAbortStream = errors.New("coord: result sink failed")
 // the shard's status line proves the stream complete, so a shard that
 // fails mid-stream contributes nothing to the Result.
 type merger struct {
-	mu      sync.Mutex
-	sink    RowSink
-	idSet   map[uint64]bool
+	mu    sync.Mutex
+	sink  RowSink
+	idSet map[uint64]bool
+	// pairSet dedups streamed pairs. The reference-point rule makes pairs
+	// unique across tiles, but failover and hedging can replay one tile's
+	// stream (a retried or hedged attempt re-delivers rows the failed or
+	// losing attempt already pushed), so streaming mode keys pairs too.
+	// Buffered mode commits exactly one winning attempt per tile and
+	// needs no pair dedup.
+	pairSet map[[2]uint64]bool
 	res     *Result
 	rows    int
 	sinkErr error
@@ -309,6 +454,12 @@ func (m *merger) pair(p [2]uint64) error {
 	defer m.mu.Unlock()
 	if m.sinkErr != nil {
 		return errAbortStream
+	}
+	if m.streaming() {
+		if m.pairSet[p] {
+			return nil
+		}
+		m.pairSet[p] = true
 	}
 	m.rows++
 	if m.sink.Pair != nil {
@@ -390,7 +541,7 @@ func (c *Coordinator) WithinStream(ctx context.Context, a, b string, d float64, 
 }
 
 func (c *Coordinator) allTiles() []int {
-	tiles := make([]int, len(c.shards))
+	tiles := make([]int, len(c.tiles))
 	for i := range tiles {
 		tiles[i] = i
 	}
@@ -405,6 +556,7 @@ func (c *Coordinator) allTiles() []int {
 // parse error, trailing "error:" status) contributes no rows.
 type shardAnswer struct {
 	tile    int
+	replica int         // replica index that produced the answer
 	ids     []uint64    // staged rows (buffered mode only)
 	pairs   [][2]uint64 // staged rows (buffered mode only)
 	stats   query.Stats
@@ -441,14 +593,14 @@ func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor
 	}
 
 	res := Result{ShardsAsked: len(tiles), ShardMS: map[int]float64{}}
-	m := &merger{sink: sink, idSet: map[uint64]bool{}, res: &res}
+	m := &merger{sink: sink, idSet: map[uint64]bool{}, pairSet: map[[2]uint64]bool{}, res: &res}
 	answers := make([]shardAnswer, len(tiles))
 	var wg sync.WaitGroup
 	for i, tile := range tiles {
 		wg.Add(1)
 		go func(slot, tile int) {
 			defer wg.Done()
-			answers[slot] = c.shards[tile].query(ctx, cmdFor(tile), shardBudget, m)
+			answers[slot] = c.queryTile(ctx, tile, cmdFor(tile), shardBudget, m)
 		}(i, tile)
 	}
 	wg.Wait()
@@ -524,10 +676,296 @@ func (c *Coordinator) fanout(ctx context.Context, op string, tiles []int, cmdFor
 	return res, nil
 }
 
-// shard is one tile's client: a pooled set of wire connections plus the
-// consecutive-failure breaker.
-type shard struct {
+// queryTile runs one tile's sub-query with failover: route to the
+// preferred (lowest-index, breaker-closed) replica, and on dial/read
+// failure, shard-side error, shard-side partial (the shard itself was
+// interrupted — draining for shutdown, or out of budget), or
+// per-attempt deadline expiry retry on the next live replica with a
+// jittered backoff, re-splitting whatever budget remains across the
+// attempt. Replica selection is live, not a snapshot: each retry
+// re-consults the breakers, so a replica that was down (or open) when
+// the sub-query began is picked up once the prober readmits it — and a
+// replica that already failed this sub-query is retried only after its
+// success epoch advances (see replica.epoch), which is what saves a
+// long query that outlives a whole kill-restart-kill cycle across the
+// tile's replicas. With HedgeDelay armed, a second replica is raced
+// once the first goes quiet for the delay; the first complete stream
+// wins and the loser is cancelled (its connection closed) without
+// charging its breaker. The sub-query fails — becoming the tile's
+// share of a *query.PartialError — only when every replica is
+// exhausted.
+func (c *Coordinator) queryTile(ctx context.Context, tile int, cmd string, budget time.Duration, m *merger) shardAnswer {
+	reps := c.tiles[tile]
+	if f := c.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordShardDown) {
+		// The whole tile is injected down, replicas and all.
+		err := errors.New("injected shard down")
+		reps[0].recordFailure(err)
+		return shardAnswer{tile: tile, err: &ShardError{Tile: tile, Addr: reps[0].addr, Err: err}}
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+
+	type outcome struct {
+		ans    shardAnswer
+		hedged bool
+	}
+	maxAttempts := 4 * len(reps)
+	results := make(chan outcome, maxAttempts)
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+	attempts, inflight := 0, 0
+	tried := make(map[int]uint64) // replica idx -> okEpoch when its attempt failed
+	running := make(map[int]bool) // replica idx currently in flight
+	// pick chooses the next attempt from the replicas routable right now:
+	// an untried one in candidate order, else one that failed earlier but
+	// has fresh success evidence (probe or concurrent query) proving it
+	// came back.
+	pick := func() *replica {
+		if attempts >= maxAttempts {
+			return nil
+		}
+		routable := candidates(reps)
+		for _, r := range routable {
+			if _, failed := tried[r.idx]; !failed && !running[r.idx] {
+				return r
+			}
+		}
+		for _, r := range routable {
+			if at, failed := tried[r.idx]; failed && !running[r.idx] && r.epoch() > at {
+				return r
+			}
+		}
+		return nil
+	}
+	launch := func(rep *replica, hedged bool) {
+		attempts++
+		running[rep.idx] = true
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		inflight++
+		ab := budget
+		if !deadline.IsZero() {
+			// Budget-aware re-split: each attempt gets what actually remains
+			// of the tile's share, not the original full budget.
+			ab = time.Until(deadline)
+		}
+		go func() {
+			results <- outcome{ans: rep.query(actx, cmd, ab, m), hedged: hedged}
+		}()
+	}
+	// awaitPick rides out a window where no replica is routable: stale
+	// failures from a kill can trip a just-restarted replica's breaker,
+	// so the tile often only LOOKS fully down until the prober readmits
+	// it. Bounded by RecoveryWait, the deadline, and the context.
+	awaitPick := func() *replica {
+		rw := c.cfg.recoveryWait()
+		if rw <= 0 {
+			return nil
+		}
+		until := time.Now().Add(rw)
+		if !deadline.IsZero() && deadline.Before(until) {
+			until = deadline
+		}
+		for time.Now().Before(until) {
+			if rep := pick(); rep != nil {
+				return rep
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		return nil
+	}
+	first := pick()
+	if first == nil {
+		if first = awaitPick(); first == nil {
+			return shardAnswer{tile: tile, err: &ShardError{Tile: tile, Addr: reps[0].addr, Err: ErrBreakerOpen}}
+		}
+	}
+	launch(first, false)
+
+	var hedgeC <-chan time.Time
+	if c.cfg.HedgeDelay > 0 && len(reps) > 1 {
+		t := time.NewTimer(c.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var winner, partialAns, errAns shardAnswer
+	won, havePartial := false, false
+	retryOK := func() bool {
+		return !won && ctx.Err() == nil &&
+			(deadline.IsZero() || time.Until(deadline) > 0)
+	}
+	for inflight > 0 {
+		select {
+		case out := <-results:
+			inflight--
+			running[out.ans.replica] = false
+			switch {
+			case errors.Is(out.ans.err, errAttemptCancelled):
+				// A cancelled loser; nothing to learn from it.
+			case out.ans.err == nil && out.ans.partial != "":
+				// The shard answered but could not finish — drained by its own
+				// shutdown mid-query, or out of budget. (Exactly how a graceful
+				// kill mid-join lands: the dying shard flushes a "partial: ...
+				// context canceled" status.) Never crown it: keep it as the
+				// fallback, retry if another replica is routable, and otherwise
+				// let any attempt still in flight — typically the hedge — race
+				// to turn the tile back into a complete answer.
+				partialAns, havePartial = out.ans, true
+				tried[out.ans.replica] = reps[out.ans.replica].epoch()
+				if retryOK() {
+					if rep := pick(); rep != nil {
+						c.retries.Add(1)
+						c.backoff(ctx, deadline)
+						launch(rep, false)
+					}
+				}
+			case out.ans.err == nil || errors.Is(out.ans.err, errAbortStream):
+				// A complete stream (or the session's own sink failed — no
+				// replica will fix that). First one wins; cancel the rest.
+				if !won {
+					won, winner = true, out.ans
+					if out.hedged {
+						c.hedgesWon.Add(1)
+					}
+					for _, cancel := range cancels {
+						cancel()
+					}
+				}
+			default:
+				errAns = out.ans
+				tried[out.ans.replica] = reps[out.ans.replica].epoch()
+				if retryOK() {
+					if rep := pick(); rep != nil {
+						c.retries.Add(1)
+						c.backoff(ctx, deadline)
+						launch(rep, false)
+					}
+				}
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if !won {
+				if rep := pick(); rep != nil {
+					c.hedges.Add(1)
+					launch(rep, true)
+				}
+			}
+		}
+		if inflight == 0 && !won && retryOK() {
+			// Last-chance grace before conceding a partial with budget still
+			// on the clock: a killed replica may be restarting right now, and
+			// the prober readmits it within a cycle or two.
+			if rep := awaitPick(); rep != nil {
+				c.retries.Add(1)
+				launch(rep, false)
+			}
+		}
+	}
+	if won {
+		return winner
+	}
+	if havePartial {
+		// Every retry after the interrupted answer failed too; the partial
+		// rows beat an error.
+		return partialAns
+	}
+	if errAns.err == nil {
+		// Every attempt was cancelled out from under us: the fan-out's
+		// context died before any replica finished.
+		err := ctx.Err()
+		if err == nil {
+			err = context.DeadlineExceeded
+		}
+		errAns = shardAnswer{tile: tile, err: &ShardError{Tile: tile, Addr: reps[0].addr, Err: err}}
+	}
+	return errAns
+}
+
+// candidates orders a tile's replicas for routing: breaker-closed
+// replicas first (primary preferred), then half-open ones as trial
+// traffic; open breakers are skipped entirely.
+func candidates(reps []*replica) []*replica {
+	var closed, trial []*replica
+	for _, r := range reps {
+		switch r.admit() {
+		case BreakerClosed:
+			closed = append(closed, r)
+		case BreakerHalfOpen:
+			trial = append(trial, r)
+		}
+	}
+	return append(closed, trial...)
+}
+
+// backoff sleeps the jittered retry delay (50–150% of RetryBackoff),
+// bounded by the sub-query deadline and the context.
+func (c *Coordinator) backoff(ctx context.Context, deadline time.Time) {
+	d := c.cfg.retryBackoff()
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	if !deadline.IsZero() {
+		if left := time.Until(deadline); left < d {
+			d = left
+		}
+	}
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// probeLoop is the background health prober: every ProbeInterval each
+// replica gets one lightweight probe. Probe failures open the replica's
+// breaker before query traffic has to discover the corpse; a probe
+// success against an open breaker half-opens it, putting the replica
+// back into (trial) rotation — active recovery instead of the passive
+// cooldown.
+func (c *Coordinator) probeLoop() {
+	defer c.probeWG.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopProbe:
+			return
+		case <-t.C:
+			for _, reps := range c.tiles {
+				for _, r := range reps {
+					select {
+					case <-c.stopProbe:
+						return
+					default:
+					}
+					c.probes.Add(1)
+					if err := r.probe(); err != nil {
+						c.probeFails.Add(1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// replica is one copy of a tile's client: a pooled set of wire
+// connections plus the consecutive-failure breaker.
+type replica struct {
 	tile int
+	idx  int // replica index within the tile; 0 is the primary
 	addr string
 	cfg  *Config
 
@@ -536,8 +974,10 @@ type shard struct {
 	fails     int   // consecutive failures
 	failTotal int64 // lifetime failures (metrics)
 	queries   int64
+	state     string // breaker state; "" means BreakerClosed
 	openUntil time.Time
 	lastErr   string
+	okEpoch   uint64 // bumped on every success (query or probe); see epoch
 }
 
 // wireConn is one established protocol connection with its session
@@ -549,66 +989,186 @@ type wireConn struct {
 	timeout time.Duration
 }
 
-func (s *shard) health() Health {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Health{
-		Tile:     s.tile,
-		Addr:     s.addr,
-		Open:     time.Now().Before(s.openUntil),
-		Fails:    s.failTotal,
-		Queries:  s.queries,
-		LastErr:  s.lastErr,
-		IdleConn: len(s.idle),
+// role names the replica for operators: the primary serves by default,
+// replicas take failover and hedge traffic.
+func (r *replica) role() string {
+	if r.idx == 0 {
+		return "primary"
+	}
+	return "replica"
+}
+
+// breakerState resolves the current state under r.mu: a passively
+// cooled-down open breaker (no prober running) reads as half-open once
+// the cooldown expires.
+func (r *replica) breakerState(now time.Time) string {
+	switch r.state {
+	case BreakerOpen:
+		if r.cfg.ProbeInterval <= 0 && !now.Before(r.openUntil) {
+			return BreakerHalfOpen
+		}
+		return BreakerOpen
+	case BreakerHalfOpen:
+		return BreakerHalfOpen
+	default:
+		return BreakerClosed
 	}
 }
 
-func (s *shard) closeIdle() {
-	s.mu.Lock()
-	idle := s.idle
-	s.idle = nil
-	s.mu.Unlock()
+// admit resolves the breaker for routing: the returned state is
+// BreakerClosed or BreakerHalfOpen when the replica may be tried, and
+// BreakerOpen when it must be skipped. The passive cooldown transition
+// (open → half-open) commits here.
+func (r *replica) admit() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.breakerState(time.Now())
+	r.state = normState(st)
+	return st
+}
+
+// normState maps the closed state back to the zero value so fresh
+// replicas and post-success resets look alike.
+func normState(st string) string {
+	if st == BreakerClosed {
+		return ""
+	}
+	return st
+}
+
+func (r *replica) health() Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.breakerState(time.Now())
+	return Health{
+		Tile:        r.tile,
+		Replica:     r.idx,
+		Role:        r.role(),
+		Addr:        r.addr,
+		State:       st,
+		Open:        st == BreakerOpen,
+		Fails:       r.failTotal,
+		ConsecFails: r.fails,
+		Queries:     r.queries,
+		LastErr:     r.lastErr,
+		IdleConn:    len(r.idle),
+	}
+}
+
+func (r *replica) closeIdle() {
+	r.mu.Lock()
+	idle := r.idle
+	r.idle = nil
+	r.mu.Unlock()
 	for _, w := range idle {
 		w.conn.Close()
 	}
 }
 
-// acquire returns a pooled connection or dials a fresh one.
-func (s *shard) acquire() (*wireConn, error) {
-	s.mu.Lock()
-	if n := len(s.idle); n > 0 {
-		w := s.idle[n-1]
-		s.idle = s.idle[:n-1]
-		s.mu.Unlock()
-		return w, nil
+// acquire returns a pooled connection (pooled true) or dials a fresh
+// one. Pooled connections can be stale — the shard may have restarted
+// on the same address since they were pooled — so callers retry a
+// pooled connection's transport failure once on a fresh dial (after
+// scrubbing the pool, whose remaining connections are from the same
+// suspect epoch) before charging the replica's breaker.
+func (r *replica) acquire() (w *wireConn, pooled bool, err error) {
+	r.mu.Lock()
+	if n := len(r.idle); n > 0 {
+		w := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		r.mu.Unlock()
+		return w, true, nil
 	}
-	s.mu.Unlock()
+	r.mu.Unlock()
 
-	if f := s.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordDial) {
-		return nil, errors.New("injected dial fault")
+	if f := r.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordDial) {
+		return nil, false, errors.New("injected dial fault")
 	}
-	conn, err := net.DialTimeout("tcp", s.addr, s.cfg.dialTimeout())
+	conn, err := net.DialTimeout("tcp", r.addr, r.cfg.dialTimeout())
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	w := &wireConn{conn: conn, r: bufio.NewReader(conn)}
-	conn.SetReadDeadline(time.Now().Add(s.cfg.dialTimeout()))
-	greeting, err := w.readLine(s.cfg.Faults)
+	w = &wireConn{conn: conn, r: bufio.NewReader(conn)}
+	conn.SetReadDeadline(time.Now().Add(r.cfg.dialTimeout()))
+	greeting, err := w.readLine(r.cfg.Faults)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("greeting: %w", err)
+		return nil, false, fmt.Errorf("greeting: %w", err)
 	}
 	if !strings.Contains(greeting, "ready") {
 		conn.Close()
-		return nil, fmt.Errorf("unexpected greeting %q", greeting)
+		return nil, false, fmt.Errorf("unexpected greeting %q", greeting)
 	}
-	return w, nil
+	return w, false, nil
 }
 
-func (s *shard) release(w *wireConn) {
-	s.mu.Lock()
-	s.idle = append(s.idle, w)
-	s.mu.Unlock()
+func (r *replica) release(w *wireConn) {
+	r.mu.Lock()
+	r.idle = append(r.idle, w)
+	r.mu.Unlock()
+}
+
+// probe is one lightweight health check: acquire a connection (pooled
+// or fresh dial + greeting) and exchange a trivial command. Success
+// half-opens an open breaker; failure records like a query failure, so
+// a dead replica's breaker opens from probes alone.
+func (r *replica) probe() error {
+	if f := r.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordProbe) {
+		err := errors.New("injected probe fault")
+		r.recordFailure(fmt.Errorf("probe: %w", err))
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		w, pooled, err := r.acquire()
+		if err != nil {
+			r.recordFailure(fmt.Errorf("probe: %w", err))
+			return err
+		}
+		w.conn.SetDeadline(time.Now().Add(r.cfg.dialTimeout()))
+		_, status, err := w.exchange("layers", r.cfg.Faults)
+		if err != nil {
+			w.conn.Close()
+			if pooled && attempt == 0 {
+				// A stale pooled connection (the shard restarted on the same
+				// address) must not charge a live replica's breaker: scrub the
+				// pool — its siblings are from the same suspect epoch — and
+				// re-probe on a fresh dial, which is the real verdict.
+				r.closeIdle()
+				continue
+			}
+			r.recordFailure(fmt.Errorf("probe: %w", err))
+			return err
+		}
+		if !strings.HasPrefix(status, "ok") {
+			w.conn.Close()
+			err := fmt.Errorf("probe: %s", status)
+			r.recordFailure(err)
+			return err
+		}
+		r.release(w)
+		r.probeSuccess()
+		return nil
+	}
+}
+
+// probeSuccess half-opens an open breaker: the replica is reachable
+// again, so trial query traffic may flow; the first real success closes
+// the breaker, the first real failure re-opens it.
+func (r *replica) probeSuccess() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.breakerState(time.Now()) == BreakerOpen {
+		r.state = BreakerHalfOpen
+	}
+	r.okEpoch++
+	// The probe broke the consecutive-failure run, so trial traffic gets
+	// the full threshold again: one leftover hiccup must not instantly
+	// re-open a breaker the prober just recovered, and sporadic probe
+	// blips on an idle tile must not accumulate into a spurious trip.
+	// (The passive cooldown path has no probes and deliberately keeps the
+	// count — there a failing half-open trial proves the replica still
+	// dead, and one strike re-opens.)
+	r.fails = 0
 }
 
 func (w *wireConn) readLine(f *faultinject.Injector) (string, error) {
@@ -655,69 +1215,141 @@ func (w *wireConn) exchange(cmd string, f *faultinject.Injector) (data []string,
 	return data, status, err
 }
 
-// query runs one shard command end to end: breaker gate, connection
-// acquire, shard-side timeout arming, command exchange with rows parsed
-// into the fan-out's merger as they stream, breaker accounting. Never
-// blocks past the budget (or the configured read ceiling).
-func (s *shard) query(ctx context.Context, cmd string, budget time.Duration, m *merger) shardAnswer {
-	ans := shardAnswer{tile: s.tile}
-	fail := func(err error) shardAnswer {
-		s.recordFailure(err)
-		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: err}
-		return ans
-	}
+// errAttemptCancelled marks a replica attempt cut short by its own
+// context — a hedge loser or a fan-out winding down — as opposed to a
+// replica that actually failed. Cancelled attempts never charge the
+// breaker and never become the tile's answer.
+var errAttemptCancelled = errors.New("coord: attempt cancelled")
 
-	s.mu.Lock()
-	s.queries++
-	open := time.Now().Before(s.openUntil)
-	s.mu.Unlock()
-	if open {
-		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: ErrBreakerOpen}
-		return ans
-	}
-	if f := s.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordShardDown) {
-		return fail(errors.New("injected shard down"))
-	}
-	if err := ctx.Err(); err != nil {
-		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: err}
-		return ans
-	}
-
-	w, err := s.acquire()
-	if err != nil {
-		return fail(err)
-	}
-
-	// The connection read deadline is the hard backstop (shard process
-	// hung); the shard-side session timeout is the soft one (shard alive
-	// but the query is slow → typed partial from the shard itself).
-	readCeil := s.cfg.readTimeout()
-	if budget > 0 && budget < readCeil {
-		readCeil = budget
-	}
-	w.conn.SetDeadline(time.Now().Add(readCeil + 500*time.Millisecond))
-
-	if budget > 0 && w.timeout != budget {
-		if _, status, err := w.exchange("timeout "+budget.Round(time.Millisecond).String(), s.cfg.Faults); err != nil {
+// watchCancel closes the attempt's connection when ctx is cancelled, so
+// hedge losers stop streaming promptly instead of running to
+// completion. The returned stop function disarms the watcher and must
+// be called before the connection is released to the pool (otherwise a
+// late cancellation could close a pooled connection under an innocent
+// future query).
+func watchCancel(ctx context.Context, w *wireConn) (stop func()) {
+	stopped := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
 			w.conn.Close()
-			return fail(err)
-		} else if !strings.HasPrefix(status, "ok") {
-			w.conn.Close()
-			return fail(fmt.Errorf("arming timeout: %s", status))
+		case <-stopped:
 		}
-		w.timeout = budget
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopped) })
+		<-done
+	}
+}
+
+// exchangeOnce runs the connection-level portion of one replica
+// attempt: acquire, read deadline, timeout arming, and the command
+// exchange with rows parsed into the fan-out's merger as they stream.
+// A transport failure on a pooled connection is retried once on a
+// fresh dial: the shard may have restarted on the same address since
+// the connection was pooled, and a stale socket must not fail the
+// attempt (or charge the breaker) while the replica itself is healthy.
+// The retry scrubs the idle pool — its remaining connections are from
+// the same suspect epoch — and drops rows the aborted exchange staged
+// (streamed rows dedup in the merger). On success the returned
+// connection is live and stop disarms its cancel watcher; on error the
+// connection is closed and the watcher already stopped.
+func (r *replica) exchangeOnce(ctx context.Context, cmd string, budget time.Duration, m *merger, ans *shardAnswer) (w *wireConn, stop func(), start time.Time, status string, err error) {
+	for attempt := 0; ; attempt++ {
+		w, pooled, err := r.acquire()
+		if err != nil {
+			return nil, func() {}, time.Time{}, "", err
+		}
+		stop := watchCancel(ctx, w)
+		staleRetry := func() bool {
+			return pooled && attempt == 0 && ctx.Err() == nil
+		}
+
+		// The connection read deadline is the hard backstop (shard process
+		// hung); the shard-side session timeout is the soft one (shard alive
+		// but the query is slow → typed partial from the shard itself).
+		readCeil := r.cfg.readTimeout()
+		if budget > 0 && budget < readCeil {
+			readCeil = budget
+		}
+		w.conn.SetDeadline(time.Now().Add(readCeil + 500*time.Millisecond))
+
+		if budget > 0 && w.timeout != budget {
+			if _, st, err := w.exchange("timeout "+budget.Round(time.Millisecond).String(), r.cfg.Faults); err != nil {
+				stop()
+				w.conn.Close()
+				if staleRetry() {
+					r.closeIdle()
+					continue
+				}
+				return nil, func() {}, time.Time{}, "", err
+			} else if !strings.HasPrefix(st, "ok") {
+				stop()
+				w.conn.Close()
+				return nil, func() {}, time.Time{}, "", fmt.Errorf("arming timeout: %s", st)
+			}
+			w.timeout = budget
+		}
+
+		begin := time.Now()
+		status, err := w.exchangeStream(cmd, r.cfg.Faults, func(line string) error {
+			return parseLine(line, m, ans)
+		})
+		if err != nil {
+			stop()
+			w.conn.Close()
+			if !errors.Is(err, errAbortStream) && staleRetry() {
+				ans.ids, ans.pairs = nil, nil
+				r.closeIdle()
+				continue
+			}
+			return nil, func() {}, time.Time{}, "", err
+		}
+		return w, stop, begin, status, nil
+	}
+}
+
+// query runs one replica attempt end to end: connection acquire,
+// shard-side timeout arming, command exchange with rows parsed into the
+// fan-out's merger as they stream, breaker accounting. Never blocks
+// past the budget (or the configured read ceiling); cancelling ctx
+// severs the attempt. Breaker admission is the caller's job (see
+// candidates) — by the time query runs, the replica was routable.
+func (r *replica) query(ctx context.Context, cmd string, budget time.Duration, m *merger) shardAnswer {
+	ans := shardAnswer{tile: r.tile, replica: r.idx}
+	cancelled := func() shardAnswer {
+		ans.err = fmt.Errorf("%w (%v)", errAttemptCancelled, ctx.Err())
+		return ans
+	}
+	fail := func(err error) shardAnswer {
+		if ctx.Err() != nil {
+			return cancelled()
+		}
+		r.recordFailure(err)
+		ans.err = &ShardError{Tile: r.tile, Addr: r.addr, Err: err}
+		return ans
 	}
 
-	start := time.Now()
-	status, err := w.exchangeStream(cmd, s.cfg.Faults, func(line string) error {
-		return parseLine(line, m, &ans)
-	})
+	r.mu.Lock()
+	r.queries++
+	r.mu.Unlock()
+	if f := r.cfg.Faults; f != nil && f.Disconnect(faultinject.SiteCoordReplicaDown) {
+		return fail(errors.New("injected replica down"))
+	}
+	if ctx.Err() != nil {
+		return cancelled()
+	}
+
+	w, stopWatch, start, status, err := r.exchangeOnce(ctx, cmd, budget, m, &ans)
+	defer stopWatch()
 	if err != nil {
-		w.conn.Close()
 		if errors.Is(err, errAbortStream) {
 			// The session's result sink failed — the client went away, not
 			// the shard. Abandon the stream without touching the breaker.
-			ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: err}
+			ans.err = &ShardError{Tile: r.tile, Addr: r.addr, Err: err}
 			return ans
 		}
 		return fail(err)
@@ -730,41 +1362,83 @@ func (s *shard) query(ctx context.Context, cmd string, budget time.Duration, m *
 		ans.partial = strings.TrimSpace(strings.TrimPrefix(status, "partial:"))
 	default: // error: ...
 		reason := strings.TrimSpace(strings.TrimPrefix(status, "error:"))
-		s.release(w) // protocol intact: the command failed, not the conn
+		stopWatch()
+		if ctx.Err() != nil {
+			// The watcher may have closed the connection as the status
+			// arrived; don't pool a maybe-dead conn.
+			w.conn.Close()
+			return cancelled()
+		}
+		r.release(w) // protocol intact: the command failed, not the conn
 		if m := retryAfterRe.FindStringSubmatch(reason); m != nil {
 			if d, perr := time.ParseDuration(m[1]); perr == nil {
-				s.recordFailure(errors.New(reason))
-				ans.err = &ShardError{Tile: s.tile, Addr: s.addr,
-					Err: &ShardBusyError{Tile: s.tile, RetryAfter: d}}
+				r.recordFailure(errors.New(reason))
+				ans.err = &ShardError{Tile: r.tile, Addr: r.addr,
+					Err: &ShardBusyError{Tile: r.tile, RetryAfter: d}}
 				return ans
 			}
 		}
-		s.recordFailure(errors.New(reason))
-		ans.err = &ShardError{Tile: s.tile, Addr: s.addr, Err: errors.New(reason)}
+		r.recordFailure(errors.New(reason))
+		ans.err = &ShardError{Tile: r.tile, Addr: r.addr, Err: errors.New(reason)}
 		return ans
 	}
 
-	s.recordSuccess()
-	s.release(w)
+	r.recordSuccess()
+	stopWatch()
+	if ctx.Err() != nil {
+		// Completed, but cancelled as the status arrived: the watcher may
+		// have closed the connection — don't pool it. The answer is still
+		// whole, so return it; a hedged winner race resolves in the
+		// tile loop.
+		w.conn.Close()
+		return ans
+	}
+	r.release(w)
 	return ans
 }
 
-func (s *shard) recordFailure(err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.fails++
-	s.failTotal++
-	s.lastErr = err.Error()
-	if s.fails >= s.cfg.breakerThreshold() {
-		s.openUntil = time.Now().Add(s.cfg.breakerCooldown())
+func (r *replica) recordFailure(err error) {
+	r.mu.Lock()
+	r.fails++
+	r.failTotal++
+	r.lastErr = err.Error()
+	var idle []*wireConn
+	if r.fails >= r.cfg.breakerThreshold() {
+		r.state = BreakerOpen
+		r.openUntil = time.Now().Add(r.cfg.breakerCooldown())
+		// Drop the pooled connections: a replica that just tripped its
+		// breaker is presumed down, and a stale socket surviving into the
+		// recovery trial would fail the first query after readmission and
+		// re-open the breaker the prober just recovered.
+		idle = r.idle
+		r.idle = nil
+	}
+	r.mu.Unlock()
+	for _, w := range idle {
+		w.conn.Close()
 	}
 }
 
-func (s *shard) recordSuccess() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.fails = 0
-	s.openUntil = time.Time{}
+func (r *replica) recordSuccess() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = 0
+	r.state = ""
+	r.openUntil = time.Time{}
+	r.okEpoch++
+}
+
+// epoch reads the replica's success counter. A sub-query that saw this
+// replica fail may try it again only after the epoch advances — fresh
+// evidence (a probe or a concurrent query succeeding) that the replica
+// recovered, e.g. a restart mid-query. Without that evidence a replica
+// is attempted at most once per sub-query, which keeps the R=1
+// contract: a lone replica's failure is a typed partial, not a blind
+// same-target retry loop.
+func (r *replica) epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.okEpoch
 }
 
 // parseLine decodes one shard data line — "id <N>" and "pair <A> <B>"

@@ -176,6 +176,54 @@ func TestQueries(t *testing.T) {
 	}
 }
 
+func TestFailover(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(testScale, &buf)
+	results := r.Failover()
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("workloads = %d, want 1", len(results))
+	}
+	res := results[0]
+	if res.Expected == 0 {
+		t.Fatal("vacuous: single-node join found no pairs")
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d replication points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Completed+p.Partials != p.Queries {
+			t.Errorf("replicas=%d: %d completed + %d partial != %d queries",
+				p.Replicas, p.Completed, p.Partials, p.Queries)
+		}
+		if p.Kills == 0 {
+			t.Errorf("replicas=%d: chaos schedule killed nothing", p.Replicas)
+		}
+	}
+	r1, r2 := res.Points[0], res.Points[1]
+	if r1.Replicas != 1 || r2.Replicas != 2 {
+		t.Fatalf("replication sweep = %d,%d, want 1,2", r1.Replicas, r2.Replicas)
+	}
+	// The experiment's whole point: without replicas the degraded windows
+	// surface as typed partials; with a sibling replica the coordinator's
+	// failover covers every kill and the answer never degrades.
+	if r1.Partials == 0 {
+		t.Error("replicas=1: degraded windows produced no partials")
+	}
+	if r2.Partials != 0 {
+		t.Errorf("replicas=2: %d partials; failover should cover every kill", r2.Partials)
+	}
+	if r2.Retries == 0 {
+		t.Error("replicas=2: coordinator never retried onto the surviving sibling")
+	}
+	records := FailoverRecords(results, testScale)
+	if want := 1 + 4*len(res.Points); len(records) != want {
+		t.Errorf("records = %d, want %d", len(records), want)
+	}
+}
+
 func TestColdstart(t *testing.T) {
 	r := NewRunner(testScale, nil)
 	results := r.Coldstart()

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/partition"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// FailoverPoint is one replication factor's availability measurement
+// under the scripted kill/restart schedule: how many of the join queries
+// completed with the exact single-node result versus degraded to a typed
+// partial, what the worst completed query cost, and how quickly the
+// health prober readmitted each restarted replica.
+type FailoverPoint struct {
+	Replicas int
+	// Queries ran against the fleet; every one either Completed with the
+	// full result set or returned a typed partial (Partials). Kills is the
+	// number of replica processes killed during the schedule.
+	Queries   int
+	Completed int
+	Partials  int
+	Kills     int
+	// Wall sums all query wall clocks; WorstMS is the slowest completed
+	// query — for R>1 it usually includes a failover retry or a won hedge.
+	Wall    time.Duration
+	WorstMS float64
+	// RecoverMS is the mean restart-to-readmission time: how long the
+	// background prober took to route traffic back to a replica that came
+	// back on its old address.
+	RecoverMS float64
+	// Failover counters from the coordinator (retries across replicas,
+	// hedges launched, hedges that beat the original attempt).
+	Retries   int64
+	Hedges    int64
+	HedgesWon int64
+}
+
+// FailoverResult is the replication sweep for one join workload, with
+// the single-node baseline every completed query is checked against.
+type FailoverResult struct {
+	Workload string
+	Single   time.Duration
+	// Expected is the single-node pair count; a completed fleet query
+	// returning any other count fails the experiment.
+	Expected int
+	Points   []FailoverPoint
+}
+
+// Failover measures what tile replication buys under failures: the
+// LANDC ⋈ LANDO join is partitioned into 2 tiles at R=1 and R=2, served
+// by real spatiald processes-in-goroutines, and a coordinator with
+// retries, hedging, and active health probing runs a fixed query
+// schedule while a scripted chaos loop kills one replica per round, lets
+// queries hit the degraded fleet, then restarts it on the same address
+// and waits for the prober to readmit it. At R=1 the killed tile has
+// nowhere to fail over, so degraded-window queries return typed partials;
+// at R=2 the coordinator retries onto the surviving sibling and every
+// query must still complete with the exact single-node result.
+func (r *Runner) Failover() []FailoverResult {
+	a, b := r.Layer("LANDC"), r.Layer("LANDO")
+
+	tester := core.NewTester(core.Config{SWThreshold: core.DefaultSWThreshold})
+	start := time.Now()
+	basePairs, _, err := query.IntersectionJoinView(r.ctx(), a.View(), b.View(), tester, query.JoinOptions{})
+	single := time.Since(start)
+	if r.check(err) {
+		return nil
+	}
+	res := FailoverResult{Workload: "LANDC⋈LANDO", Single: single, Expected: len(basePairs)}
+	r.printf("\nReplica failover under kill/restart chaos (LANDC⋈LANDO, %d+%d objects, %d pairs per completed query)\n",
+		len(a.Data.Objects), len(b.Data.Objects), len(basePairs))
+	r.printf("%-9s %8s %10s %9s %6s %10s %10s %12s %8s %7s\n",
+		"replicas", "queries", "completed", "partials", "kills", "wall(ms)", "worst(ms)", "recover(ms)", "retries", "hedges")
+
+	for _, replicas := range []int{1, 2} {
+		p, err := r.failoverPoint(replicas, a.Data, b.Data, len(basePairs))
+		if r.check(err) {
+			break
+		}
+		res.Points = append(res.Points, p)
+		r.printf("%-9d %8d %10d %9d %6d %10.1f %10.1f %12.1f %8d %7d\n",
+			p.Replicas, p.Queries, p.Completed, p.Partials, p.Kills,
+			ms(p.Wall), p.WorstMS, p.RecoverMS, p.Retries, p.Hedges)
+	}
+	return []FailoverResult{res}
+}
+
+// failoverPoint boots one 2-tile fleet at the given replication factor,
+// runs the scripted kill/restart schedule against it, and tears it down.
+// Per round: one query against the healthy fleet, a SIGKILL-equivalent
+// shutdown of one replica, two queries against the degraded fleet, then
+// a restart on the pinned address and a wait for prober readmission. A
+// final healthy query confirms the fleet recovered.
+func (r *Runner) failoverPoint(replicas int, da, db *data.Dataset, expected int) (FailoverPoint, error) {
+	const (
+		tiles  = 2
+		rounds = 3
+	)
+	dir, err := os.MkdirTemp("", "failoverbench-")
+	if err != nil {
+		return FailoverPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	opts := partition.Options{Tiles: tiles, Replicas: replicas}
+	if _, err := partition.Write(dir, "a", da, opts); err != nil {
+		return FailoverPoint{}, err
+	}
+	if _, err := partition.Write(dir, "b", db, opts); err != nil {
+		return FailoverPoint{}, err
+	}
+	m, err := partition.Load(dir)
+	if err != nil {
+		return FailoverPoint{}, err
+	}
+
+	// boot starts one shard over a replica directory, retrying the bind
+	// briefly on restarts (the routing table pins each replica's address).
+	boot := func(ti, ri int, addr string) (*server.Server, error) {
+		var err error
+		for i := 0; i < 200; i++ {
+			srv := server.New(server.Config{Addr: addr, DrainGrace: 20 * time.Millisecond, MaxConcurrent: 64})
+			for _, layer := range []string{"a", "b"} {
+				st, serr := store.Open(filepath.Join(dir, m.Tiles[ti].Replicas[ri].Dir, partition.SnapshotName(layer)), store.OpenOptions{})
+				if serr != nil {
+					return nil, serr
+				}
+				l, lerr := query.NewLayerFromSnapshot(st)
+				if lerr != nil {
+					st.Close()
+					return nil, lerr
+				}
+				if cerr := srv.Catalog().Set(layer, l); cerr != nil {
+					return nil, cerr
+				}
+			}
+			if err = srv.Start(); err == nil {
+				return srv, nil
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil, err
+	}
+	servers := make([][]*server.Server, tiles)
+	table := make([][]string, tiles)
+	defer func() {
+		for _, reps := range servers {
+			for _, srv := range reps {
+				if srv == nil {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_ = srv.Shutdown(ctx)
+				cancel()
+			}
+		}
+	}()
+	for ti := 0; ti < tiles; ti++ {
+		servers[ti] = make([]*server.Server, replicas)
+		table[ti] = make([]string, replicas)
+		for ri := 0; ri < replicas; ri++ {
+			srv, err := boot(ti, ri, "127.0.0.1:0")
+			if err != nil {
+				return FailoverPoint{}, err
+			}
+			servers[ti][ri] = srv
+			table[ti][ri] = srv.Addr().String()
+		}
+	}
+	c, err := coord.New(coord.Config{
+		Manifest:         m,
+		ReplicaAddrs:     table,
+		DialTimeout:      500 * time.Millisecond,
+		RetryBackoff:     2 * time.Millisecond,
+		BreakerThreshold: 2,
+		ProbeInterval:    20 * time.Millisecond,
+		HedgeDelay:       25 * time.Millisecond,
+	})
+	if err != nil {
+		return FailoverPoint{}, err
+	}
+	defer c.Close()
+
+	p := FailoverPoint{Replicas: replicas}
+	runQuery := func() error {
+		qs := time.Now()
+		cres, qerr := c.Join(r.ctx(), "a", "b", "")
+		wall := time.Since(qs)
+		p.Queries++
+		p.Wall += wall
+		var pe *query.PartialError
+		switch {
+		case qerr == nil:
+			if len(cres.Pairs) != expected {
+				return fmt.Errorf("failover replicas=%d: completed join returned %d pairs, single-node found %d", replicas, len(cres.Pairs), expected)
+			}
+			p.Completed++
+			if w := ms(wall); w > p.WorstMS {
+				p.WorstMS = w
+			}
+		case errors.As(qerr, &pe):
+			p.Partials++
+		default:
+			return qerr
+		}
+		return nil
+	}
+
+	var recoverTotal time.Duration
+	for round := 0; round < rounds; round++ {
+		if err := runQuery(); err != nil { // healthy fleet
+			return p, err
+		}
+		ti, ri := round%tiles, 0
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := servers[ti][ri].Shutdown(sctx)
+		cancel()
+		if err != nil {
+			return p, err
+		}
+		servers[ti][ri] = nil
+		p.Kills++
+		for i := 0; i < 2; i++ { // degraded fleet: partials at R=1, failover at R>1
+			if err := runQuery(); err != nil {
+				return p, err
+			}
+		}
+		srv, err := boot(ti, ri, table[ti][ri])
+		if err != nil {
+			return p, err
+		}
+		servers[ti][ri] = srv
+		restarted := time.Now()
+		idx := ti*replicas + ri
+		readmit := time.Now().Add(10 * time.Second)
+		for time.Now().Before(readmit) {
+			if c.Health()[idx].State != coord.BreakerOpen {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		recoverTotal += time.Since(restarted)
+	}
+	if err := runQuery(); err != nil { // recovered fleet
+		return p, err
+	}
+	p.RecoverMS = ms(recoverTotal) / rounds
+	tot := c.Totals()
+	p.Retries, p.Hedges, p.HedgesWon = tot.Retries, tot.Hedges, tot.HedgesWon
+	return p, nil
+}
+
+// FailoverRecords flattens the replication sweep: one "single" baseline
+// record, then per replication factor the schedule's total wall and
+// completed count, the partial count, the worst completed query, and the
+// mean readmission time as separate tester arms so availability and
+// recovery cost can both be tracked run over run.
+func FailoverRecords(rows []FailoverResult, scale float64) []BenchRecord {
+	var out []BenchRecord
+	for _, row := range rows {
+		out = append(out, BenchRecord{
+			Experiment: "failover", Workload: row.Workload, Tester: "single",
+			Scale: scale, WallMS: ms(row.Single), Results: row.Expected,
+		})
+		for _, p := range row.Points {
+			param := fmt.Sprintf("replicas=%d", p.Replicas)
+			out = append(out,
+				BenchRecord{
+					Experiment: "failover", Workload: row.Workload, Tester: "coord",
+					Param: param, Scale: scale, WallMS: ms(p.Wall),
+					Results: p.Completed, Tests: int64(p.Queries),
+				},
+				BenchRecord{
+					Experiment: "failover", Workload: row.Workload, Tester: "partials",
+					Param: param, Scale: scale, Results: p.Partials, Tests: int64(p.Queries),
+				},
+				BenchRecord{
+					Experiment: "failover", Workload: row.Workload, Tester: "worst-query",
+					Param: param, Scale: scale, WallMS: p.WorstMS,
+				},
+				BenchRecord{
+					Experiment: "failover", Workload: row.Workload, Tester: "recovery",
+					Param: param, Scale: scale, WallMS: p.RecoverMS,
+				})
+		}
+	}
+	return out
+}

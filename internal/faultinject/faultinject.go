@@ -152,10 +152,19 @@ const (
 	// SiteCoordRead fires before each response line read from a shard
 	// (disconnect = connection severed mid-response).
 	SiteCoordRead = "coord.read"
-	// SiteCoordShardDown fires once per shard query; a disconnect marks
-	// the whole shard unreachable for that query, modeling a process
-	// kill between queries.
+	// SiteCoordShardDown fires once per tile sub-query; a disconnect
+	// marks the whole tile — every replica — unreachable for that query,
+	// modeling a correlated outage. Failover cannot route around it.
 	SiteCoordShardDown = "coord.shard_down"
+	// SiteCoordReplicaDown fires once per replica attempt; a disconnect
+	// fails just that attempt, so a replicated tile fails over to its
+	// next replica while an unreplicated one degrades to a typed
+	// partial — the seam the failover chaos tests drive.
+	SiteCoordReplicaDown = "coord.replica_down"
+	// SiteCoordProbe fires before each background health probe; a
+	// disconnect fails the probe, opening the replica's breaker as if
+	// the process were unreachable.
+	SiteCoordProbe = "coord.probe"
 )
 
 // CrashExitCode is the status a KindCrash fault exits the process with,

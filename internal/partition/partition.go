@@ -40,6 +40,27 @@ func SnapshotName(layer string) string { return layer + ".snap" }
 // directories.
 const ManifestName = "manifest.json"
 
+// CurrentVersion is the manifest format version the partitioner writes.
+// Version 0/1 manifests (no per-tile replica lists) load unchanged and
+// normalize to single-replica tiles; versions above CurrentVersion fail
+// closed with a typed *ManifestError.
+const CurrentVersion = 2
+
+// MaxReplicas bounds the per-tile replication factor a manifest may
+// claim; anything larger is treated as corruption.
+const MaxReplicas = 16
+
+// Replica is one copy of a tile: a shard directory holding the tile's
+// snapshots and the address of the spatiald serving it.
+type Replica struct {
+	// Dir is the replica's shard directory, relative to the manifest.
+	Dir string `json:"dir"`
+	// Addr is the serving shard's wire-protocol address. The partitioner
+	// leaves it empty; operators record it here or override it with the
+	// coordinator's -shards flag.
+	Addr string `json:"addr,omitempty"`
+}
+
 // Tile is one spatial shard of a partitioned deployment.
 type Tile struct {
 	// ID is the tile's index: iy*GX + ix, row-major from the grid's min
@@ -49,12 +70,18 @@ type Tile struct {
 	// The *ownership region* extends border cells to infinity; see
 	// Manifest.Region.
 	Bounds geom.Rect `json:"bounds"`
-	// Dir is the tile's shard directory, relative to the manifest.
+	// Dir is the primary replica's shard directory, relative to the
+	// manifest. Kept alongside Replicas so v1 readers and tools that only
+	// care about the primary keep working; after Load it always mirrors
+	// Replicas[0].Dir.
 	Dir string `json:"dir"`
-	// Addr is the shard's wire-protocol address. The partitioner leaves
-	// it empty; operators record it here or override it with the
-	// coordinator's -shards flag.
+	// Addr is the primary shard's wire-protocol address; mirrors
+	// Replicas[0].Addr after Load. See Replica.Addr.
 	Addr string `json:"addr,omitempty"`
+	// Replicas lists every copy of this tile, primary first. Version ≥ 2
+	// manifests must list at least one; v1 manifests omit the field and
+	// Load normalizes it to the single {Dir, Addr} replica.
+	Replicas []Replica `json:"replicas,omitempty"`
 	// Objects counts replicated objects per layer in this tile.
 	Objects map[string]int `json:"objects"`
 }
@@ -73,6 +100,9 @@ type LayerInfo struct {
 // share the same grid — that alignment is what makes shard-wise joins
 // well defined.
 type Manifest struct {
+	// Version is the manifest format version (see CurrentVersion).
+	// Omitted by v1 writers, so zero means "legacy, replica-less".
+	Version int `json:"version,omitempty"`
 	// Generation increments every time a layer is (re)partitioned into
 	// the directory, so coordinators can detect a stale fleet.
 	Generation uint64 `json:"generation"`
@@ -213,8 +243,8 @@ func (m *Manifest) OverlappingTiles(r geom.Rect) []int {
 	return out
 }
 
-// Addrs returns the per-tile shard addresses in tile order, or an error
-// naming the first tile without one.
+// Addrs returns the per-tile *primary* shard addresses in tile order,
+// or an error naming the first tile without one.
 func (m *Manifest) Addrs() ([]string, error) {
 	addrs := make([]string, len(m.Tiles))
 	for i, t := range m.Tiles {
@@ -226,11 +256,46 @@ func (m *Manifest) Addrs() ([]string, error) {
 	return addrs, nil
 }
 
+// ReplicaAddrs returns every tile's replica addresses (primary first) in
+// tile order, or an error naming the first replica without one. This is
+// the coordinator's routing table: element [t][r] serves replica r of
+// tile t.
+func (m *Manifest) ReplicaAddrs() ([][]string, error) {
+	out := make([][]string, len(m.Tiles))
+	for i, t := range m.Tiles {
+		out[i] = make([]string, len(t.Replicas))
+		for r, rep := range t.Replicas {
+			if rep.Addr == "" {
+				return nil, fmt.Errorf("partition: tile %d replica %d has no shard address (record it in the manifest or pass -shards)", i, r)
+			}
+			out[i][r] = rep.Addr
+		}
+	}
+	return out, nil
+}
+
+// Replicas returns the deployment's replication factor — the number of
+// copies of each tile. Uniform across tiles by construction; 1 for v1
+// manifests.
+func (m *Manifest) Replicas() int {
+	if len(m.Tiles) == 0 {
+		return 1
+	}
+	if n := len(m.Tiles[0].Replicas); n > 1 {
+		return n
+	}
+	return 1
+}
+
 // Options configures Write.
 type Options struct {
 	// Tiles is the shard count; required ≥ 1. When the directory already
 	// holds a manifest, Tiles must match its grid.
 	Tiles int
+	// Replicas is the number of copies of each tile (0 and 1 both mean
+	// unreplicated). When the directory already holds a manifest, a
+	// non-zero Replicas must match its deployed factor.
+	Replicas int
 	// Margin is the replication margin recorded in a fresh manifest (see
 	// Manifest.Margin). Ignored when adding a layer to an existing
 	// manifest — the deployed margin wins.
@@ -265,6 +330,9 @@ func Write(dir, name string, d *data.Dataset, opts Options) (Result, error) {
 	if opts.Tiles < 1 {
 		return Result{}, fmt.Errorf("partition: need at least 1 tile, got %d", opts.Tiles)
 	}
+	if opts.Replicas > MaxReplicas {
+		return Result{}, fmt.Errorf("partition: implausible replica count %d (max %d)", opts.Replicas, MaxReplicas)
+	}
 	if name == "" {
 		return Result{}, fmt.Errorf("partition: empty layer name")
 	}
@@ -274,6 +342,10 @@ func Write(dir, name string, d *data.Dataset, opts Options) (Result, error) {
 		if man.NumTiles() != opts.Tiles {
 			return Result{}, fmt.Errorf("partition: directory %s is already partitioned into %d tiles, not %d (use a fresh directory to change the grid)",
 				dir, man.NumTiles(), opts.Tiles)
+		}
+		if opts.Replicas > 0 && man.Replicas() != opts.Replicas {
+			return Result{}, fmt.Errorf("partition: directory %s is already deployed with %d replicas per tile, not %d (use a fresh directory to change the factor)",
+				dir, man.Replicas(), opts.Replicas)
 		}
 	case os.IsNotExist(err):
 		man = newManifest(d, opts)
@@ -296,10 +368,6 @@ func Write(dir, name string, d *data.Dataset, opts Options) (Result, error) {
 
 	res := Result{Objects: len(d.Objects), Replicas: replicas}
 	for id := 0; id < tiles; id++ {
-		tileDir := filepath.Join(dir, man.Tiles[id].Dir)
-		if err := os.MkdirAll(tileDir, 0o755); err != nil {
-			return Result{}, fmt.Errorf("partition: %w", err)
-		}
 		objs := make([]*geom.Polygon, len(members[id]))
 		ids := make([]uint64, len(members[id]))
 		for j, gi := range members[id] {
@@ -312,14 +380,23 @@ func Write(dir, name string, d *data.Dataset, opts Options) (Result, error) {
 			save.Tool = opts.Tool
 		}
 		tileSet := &data.Dataset{Name: d.Name, Objects: objs}
-		bs, err := store.Save(filepath.Join(tileDir, SnapshotName(name)), tileSet, save)
-		if err != nil {
-			return Result{}, fmt.Errorf("partition: tile %d: %w", id, err)
+		// Every replica gets a full copy of the tile snapshot in its own
+		// directory, so any replica can serve the tile alone.
+		for r, rep := range man.Tiles[id].Replicas {
+			repDir := filepath.Join(dir, rep.Dir)
+			if err := os.MkdirAll(repDir, 0o755); err != nil {
+				return Result{}, fmt.Errorf("partition: %w", err)
+			}
+			bs, err := store.Save(filepath.Join(repDir, SnapshotName(name)), tileSet, save)
+			if err != nil {
+				return Result{}, fmt.Errorf("partition: tile %d replica %d: %w", id, r, err)
+			}
+			res.Bytes += bs.Bytes
 		}
-		res.Bytes += bs.Bytes
 		man.Tiles[id].Objects[name] = len(objs)
 	}
 
+	man.Version = CurrentVersion
 	man.Generation++
 	man.Layers[name] = LayerInfo{Objects: len(d.Objects), Replicas: replicas}
 	if opts.Tool != "" {
@@ -338,20 +415,31 @@ func Write(dir, name string, d *data.Dataset, opts Options) (Result, error) {
 func newManifest(d *data.Dataset, opts Options) *Manifest {
 	gx, gy := PlanGrid(opts.Tiles)
 	m := &Manifest{
-		Bounds: d.Bounds(),
-		GX:     gx,
-		GY:     gy,
-		Margin: opts.Margin,
-		Layers: map[string]LayerInfo{},
+		Version: CurrentVersion,
+		Bounds:  d.Bounds(),
+		GX:      gx,
+		GY:      gy,
+		Margin:  opts.Margin,
+		Layers:  map[string]LayerInfo{},
+	}
+	reps := opts.Replicas
+	if reps < 1 {
+		reps = 1
 	}
 	m.Tiles = make([]Tile, m.NumTiles())
 	for id := range m.Tiles {
-		m.Tiles[id] = Tile{
+		t := Tile{
 			ID:      id,
 			Bounds:  m.CellBounds(id),
 			Dir:     fmt.Sprintf("shard-%d", id),
 			Objects: map[string]int{},
 		}
+		t.Replicas = make([]Replica, reps)
+		t.Replicas[0] = Replica{Dir: t.Dir}
+		for r := 1; r < reps; r++ {
+			t.Replicas[r] = Replica{Dir: fmt.Sprintf("shard-%d-r%d", id, r)}
+		}
+		m.Tiles[id] = t
 	}
 	return m
 }
@@ -365,6 +453,16 @@ func Load(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decode(b, path)
+}
+
+// Decode parses and validates a manifest from its JSON encoding. Every
+// failure is a typed *ManifestError — corrupt bytes fail closed, they
+// never panic and never yield a half-usable manifest. This is the fuzz
+// target behind FuzzManifest.
+func Decode(b []byte) (*Manifest, error) { return decode(b, ManifestName) }
+
+func decode(b []byte, path string) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(b, &m); err != nil {
 		return nil, &ManifestError{Path: path, Reason: err.Error()}
@@ -372,11 +470,15 @@ func Load(dir string) (*Manifest, error) {
 	if err := m.validate(); err != nil {
 		return nil, &ManifestError{Path: path, Reason: err.Error()}
 	}
+	m.normalize()
 	return &m, nil
 }
 
 // validate checks the structural invariants every consumer assumes.
 func (m *Manifest) validate() error {
+	if m.Version < 0 || m.Version > CurrentVersion {
+		return fmt.Errorf("unknown manifest version %d (this build reads up to %d)", m.Version, CurrentVersion)
+	}
 	if m.GX < 1 || m.GY < 1 {
 		return fmt.Errorf("bad grid %dx%d", m.GX, m.GY)
 	}
@@ -386,21 +488,84 @@ func (m *Manifest) validate() error {
 	if len(m.Tiles) != m.NumTiles() {
 		return fmt.Errorf("%d tiles listed, grid %dx%d needs %d", len(m.Tiles), m.GX, m.GY, m.NumTiles())
 	}
-	for i := range m.Tiles {
-		if m.Tiles[i].ID != i {
-			return fmt.Errorf("tile %d carries id %d", i, m.Tiles[i].ID)
-		}
-		if m.Tiles[i].Dir == "" {
-			return fmt.Errorf("tile %d has no directory", i)
-		}
-	}
 	if m.Bounds.IsEmpty() || hasNonFinite(m.Bounds) {
 		return fmt.Errorf("bad grid bounds %v", m.Bounds)
 	}
 	if math.IsNaN(m.Margin) || math.IsInf(m.Margin, 0) || m.Margin < 0 {
 		return fmt.Errorf("bad margin %v", m.Margin)
 	}
+	// claimed maps each claimed shard directory to the claiming tile, so
+	// two tiles (or two replicas) claiming one directory — overlapping
+	// on-disk ownership — fail closed instead of silently double-serving.
+	claimed := map[string]int{}
+	claim := func(tile int, dir string) error {
+		if prev, dup := claimed[dir]; dup {
+			return fmt.Errorf("tiles %d and %d both claim directory %q", prev, tile, dir)
+		}
+		claimed[dir] = tile
+		return nil
+	}
+	for i := range m.Tiles {
+		t := &m.Tiles[i]
+		if t.ID != i {
+			return fmt.Errorf("tile %d carries id %d", i, t.ID)
+		}
+		// A tile claiming bounds other than its grid cell would overlap a
+		// sibling's ownership region and break the reference-point rule.
+		if t.Bounds != m.CellBounds(i) {
+			return fmt.Errorf("tile %d claims bounds %v, its grid cell is %v", i, t.Bounds, m.CellBounds(i))
+		}
+		if len(t.Replicas) == 0 {
+			if m.Version >= CurrentVersion {
+				return fmt.Errorf("tile %d has an empty replica list", i)
+			}
+			if t.Dir == "" {
+				return fmt.Errorf("tile %d has no directory", i)
+			}
+			if err := claim(i, t.Dir); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(t.Replicas) > MaxReplicas {
+			return fmt.Errorf("tile %d claims implausible replica count %d (max %d)", i, len(t.Replicas), MaxReplicas)
+		}
+		if t.Dir != "" && t.Dir != t.Replicas[0].Dir {
+			return fmt.Errorf("tile %d dir %q disagrees with its primary replica %q", i, t.Dir, t.Replicas[0].Dir)
+		}
+		addrs := map[string]bool{}
+		for r, rep := range t.Replicas {
+			if rep.Dir == "" {
+				return fmt.Errorf("tile %d replica %d has no directory", i, r)
+			}
+			if err := claim(i, rep.Dir); err != nil {
+				return err
+			}
+			if rep.Addr != "" {
+				if addrs[rep.Addr] {
+					return fmt.Errorf("tile %d lists address %q for two replicas; replicas must be distinct shards", i, rep.Addr)
+				}
+				addrs[rep.Addr] = true
+			}
+		}
+	}
 	return nil
+}
+
+// normalize establishes the in-memory invariants consumers rely on
+// after a successful validate: every tile has a non-empty replica list
+// (v1 tiles become their own single replica) and the legacy Dir/Addr
+// fields mirror the primary replica.
+func (m *Manifest) normalize() {
+	for i := range m.Tiles {
+		t := &m.Tiles[i]
+		if len(t.Replicas) == 0 {
+			t.Replicas = []Replica{{Dir: t.Dir, Addr: t.Addr}}
+			continue
+		}
+		t.Dir = t.Replicas[0].Dir
+		t.Addr = t.Replicas[0].Addr
+	}
 }
 
 func hasNonFinite(r geom.Rect) bool {

@@ -56,6 +56,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.cfg.Coordinator != nil {
 		g.Shards = s.cfg.Coordinator.Health()
+		t := s.cfg.Coordinator.Totals()
+		g.Failover = &t
 	}
 	s.metrics.WritePrometheus(w, g)
 }

@@ -103,9 +103,11 @@ type Gauges struct {
 	WatchdogActive  int
 	WatchdogCancels int64
 	Ingest          *ingest.Totals
-	// Shards is the coordinator's per-shard health snapshot (nil on a
-	// plain data node).
-	Shards []coord.Health
+	// Shards is the coordinator's per-replica health snapshot (nil on a
+	// plain data node); Failover the coordinator's retry/hedge/probe
+	// totals.
+	Shards   []coord.Health
+	Failover *coord.Totals
 }
 
 func newMetrics() *Metrics {
@@ -233,10 +235,28 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges Gauges) {
 		if h.Open {
 			up = 0
 		}
-		fmt.Fprintf(w, "spatiald_shard_up{tile=\"%d\",addr=%q} %d\n", h.Tile, h.Addr, up)
-		fmt.Fprintf(w, "spatiald_shard_queries_total{tile=\"%d\"} %d\n", h.Tile, h.Queries)
-		fmt.Fprintf(w, "spatiald_shard_failures_total{tile=\"%d\"} %d\n", h.Tile, h.Fails)
-		fmt.Fprintf(w, "spatiald_shard_idle_connections{tile=\"%d\"} %d\n", h.Tile, h.IdleConn)
+		// Breaker state as a numeric gauge: 0 closed, 1 half-open, 2 open.
+		state := 0
+		switch h.State {
+		case coord.BreakerHalfOpen:
+			state = 1
+		case coord.BreakerOpen:
+			state = 2
+		}
+		lbl := fmt.Sprintf("tile=\"%d\",replica=\"%d\"", h.Tile, h.Replica)
+		fmt.Fprintf(w, "spatiald_shard_up{%s,role=%q,addr=%q} %d\n", lbl, h.Role, h.Addr, up)
+		fmt.Fprintf(w, "spatiald_shard_breaker_state{%s} %d\n", lbl, state)
+		fmt.Fprintf(w, "spatiald_shard_consecutive_failures{%s} %d\n", lbl, h.ConsecFails)
+		fmt.Fprintf(w, "spatiald_shard_queries_total{%s} %d\n", lbl, h.Queries)
+		fmt.Fprintf(w, "spatiald_shard_failures_total{%s} %d\n", lbl, h.Fails)
+		fmt.Fprintf(w, "spatiald_shard_idle_connections{%s} %d\n", lbl, h.IdleConn)
+	}
+	if t := gauges.Failover; t != nil {
+		g("spatiald_failover_retries_total", t.Retries)
+		g("spatiald_failover_hedges_total", t.Hedges)
+		g("spatiald_failover_hedges_won_total", t.HedgesWon)
+		g("spatiald_probe_checks_total", t.Probes)
+		g("spatiald_probe_failures_total", t.ProbeFails)
 	}
 	if t := gauges.Ingest; t != nil {
 		g("spatiald_ingest_tables", t.Tables)

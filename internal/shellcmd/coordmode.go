@@ -39,15 +39,17 @@ const coordHelp = `coordinator commands:
   within <a> <b> <D> [sw|hw]        scatter-gather within-distance join (D must be <= the replication margin)
   select <layer> <WKT POLYGON>      selection routed to the tiles overlapping the query MBR
   layers                            the partitioned layers from the deployment manifest
-  shards                            per-shard address, breaker state, and failure counts
+  shards                            per-replica role, address, breaker state (closed/open/half-open), failure counts, and failover totals
   timeout <duration|off>            bound each fanned-out query (shards get the budget minus a merge reserve)
   budget <n|off>                    accepted for session compatibility (enforced shard-side)
   quit                              leave
 
 Responses stream "id <N>" / "pair <A> <B>" data lines with the stable
-global ids, one merged "stats <json>" line, and a summary. A shard that
-is down or times out degrades the answer to "partial:" — the lines above
-are valid but miss that shard's tiles.
+global ids, one merged "stats <json>" line, and a summary. In a
+replicated deployment a failing replica is retried on the tile's next
+live replica (and optionally hedged); the answer degrades to "partial:"
+only when every replica of a tile is down or out of time — the lines
+above are valid but miss that tile.
 `
 
 // coordExec dispatches one command in coordinator mode.
@@ -77,16 +79,16 @@ func (e *Engine) coordExec(ctx context.Context, cmd string, args []string, line 
 		return Result{Stats: query.Stats{Op: "layers"}}, nil
 	case "shards":
 		for _, h := range e.Coord.Health() {
-			state := "up"
-			if h.Open {
-				state = "breaker-open"
-			}
-			fmt.Fprintf(out, "shard %-3d %-22s %-12s queries=%d fails=%d", h.Tile, h.Addr, state, h.Queries, h.Fails)
+			fmt.Fprintf(out, "shard %d/%d %-8s %-22s %-10s queries=%d fails=%d consec=%d",
+				h.Tile, h.Replica, h.Role, h.Addr, h.State, h.Queries, h.Fails, h.ConsecFails)
 			if h.LastErr != "" {
 				fmt.Fprintf(out, " last=%q", h.LastErr)
 			}
 			fmt.Fprintln(out)
 		}
+		t := e.Coord.Totals()
+		fmt.Fprintf(out, "failover: retries=%d hedges=%d hedges_won=%d probes=%d probe_failures=%d\n",
+			t.Retries, t.Hedges, t.HedgesWon, t.Probes, t.ProbeFails)
 		return Result{Stats: query.Stats{Op: "shards"}}, nil
 	case "select":
 		return e.coordSelect(ctx, line, out)

@@ -84,10 +84,10 @@ func writeStats(out io.Writer, st query.Stats) {
 }
 
 // partitionCmd splits a layer into a tile grid on disk:
-// partition <layer> <tiles> <dir> [margin]
+// partition <layer> <tiles> <dir> [margin [replicas]]
 func (e *Engine) partitionCmd(store Store, args []string, out io.Writer) (Result, error) {
-	if len(args) < 3 || len(args) > 4 {
-		return Result{}, fmt.Errorf("usage: partition <layer> <tiles> <dir> [margin]")
+	if len(args) < 3 || len(args) > 5 {
+		return Result{}, fmt.Errorf("usage: partition <layer> <tiles> <dir> [margin [replicas]]")
 	}
 	v, err := viewOf(store, args[0])
 	if err != nil {
@@ -98,19 +98,25 @@ func (e *Engine) partitionCmd(store Store, args []string, out io.Writer) (Result
 		return Result{}, fmt.Errorf("bad tile count %q", args[1])
 	}
 	margin := 0.0
-	if len(args) == 4 {
+	if len(args) >= 4 {
 		if margin, err = strconv.ParseFloat(args[3], 64); err != nil || margin < 0 {
 			return Result{}, fmt.Errorf("bad margin %q", args[3])
 		}
 	}
+	replicas := 0
+	if len(args) == 5 {
+		if replicas, err = strconv.Atoi(args[4]); err != nil || replicas < 1 {
+			return Result{}, fmt.Errorf("bad replica count %q", args[4])
+		}
+	}
 	res, err := partition.Write(args[2], args[0], v.Dataset(),
-		partition.Options{Tiles: n, Margin: margin, Tool: "spatialdb"})
+		partition.Options{Tiles: n, Replicas: replicas, Margin: margin, Tool: "spatialdb"})
 	if err != nil {
 		return Result{}, err
 	}
 	m := res.Manifest
-	fmt.Fprintf(out, "partitioned %q into %d tiles (%dx%d grid, margin %g) under %s: %d objects, %d replicas (%.2fx), %d bytes in %.1fms (generation %d)\n",
-		args[0], m.NumTiles(), m.GX, m.GY, m.Margin, args[2],
+	fmt.Fprintf(out, "partitioned %q into %d tiles x %d replicas (%dx%d grid, margin %g) under %s: %d objects, %d replicas (%.2fx), %d bytes in %.1fms (generation %d)\n",
+		args[0], m.NumTiles(), m.Replicas(), m.GX, m.GY, m.Margin, args[2],
 		res.Objects, res.Replicas, float64(res.Replicas)/float64(max(res.Objects, 1)),
 		res.Bytes, res.WallMS, m.Generation)
 	return Result{Stats: query.Stats{Op: "partition", Results: res.Objects}, Mutation: true}, nil

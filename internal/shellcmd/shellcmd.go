@@ -270,7 +270,7 @@ const Help = `commands:
   budget <n|off>                    cap MBR candidates per query
   pipeline <on|off> [batch]         staged batch pipeline for pjoin/shard verbs (off = per-pair path)
   batch <cmd>; <cmd>; ...           run N commands in one round trip under one admission slot
-  partition <layer> <n> <dir> [m]   split a layer into n spatial tiles under dir (replication margin m)
+  partition <layer> <n> <dir> [m [r]]  split a layer into n spatial tiles under dir (replication margin m, r replicas per tile)
   shardselect <layer> <WKT>         shard-side select: emits "id <N>" lines with stable ids
   shardjoin <a> <b> <region> [mode] shard-side join over an ownership region (4 floats): emits "pair <A> <B>"
   shardwithin <a> <b> <D> <region>  shard-side within-distance join with reference-point dedup

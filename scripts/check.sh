@@ -185,6 +185,76 @@ grep -q 'shutting down' "$SHDIR/coord.log" || { echo "coordinator skipped the dr
 trap - EXIT
 rm -rf "$SHDIR"
 
+echo "== failover smoke (2 tiles x 2 replicas, SIGKILL a replica, retries cover, prober readmits)"
+# Partition at replicas=2 and boot the four-process fleet behind a
+# hedging, probing coordinator. A SIGKILL'd replica must not degrade the
+# answer: the next join has to complete from 2/2 shards with the pair set
+# line-identical to single-node (the coordinator fails over to the
+# surviving sibling). Then the corpse restarts on its pinned address and
+# the shards verb must show the prober readmitting it (breaker leaves
+# "open"), after which a final join confirms the fleet healed.
+FODIR="$(mktemp -d /tmp/failover_smoke.XXXXXX)"
+FOPIDS=""
+trap '[ -z "$FOPIDS" ] || kill -9 $FOPIDS 2>/dev/null || true; rm -rf "$FODIR"' EXIT
+go build -o "$FODIR/spatiald" ./cmd/spatiald
+go build -o "$FODIR/spatialdb" ./cmd/spatialdb
+"$FODIR/spatialdb" >"$FODIR/single.txt" <<EOF
+gen a LANDC 0.01
+gen b LANDO 0.01
+partition a 2 $FODIR/tiles 2 2
+partition b 2 $FODIR/tiles 2 2
+shardjoin a b -Inf -Inf +Inf +Inf
+EOF
+grep -oE 'pair [0-9]+ [0-9]+' "$FODIR/single.txt" | sort >"$FODIR/single_pairs.txt"
+[ -s "$FODIR/single_pairs.txt" ] || { echo "single-node join produced no pairs"; cat "$FODIR/single.txt"; exit 1; }
+# Boot replica r of tile t over tiles/shard-<t>[-r<r>]; the routing table
+# pins each replica's address, so restarts reuse it.
+VICTIM_PID=""
+RADDRS=""
+for d in shard-0 shard-0-r1 shard-1 shard-1-r1; do
+	log="$FODIR/$d.log"
+	"$FODIR/spatiald" -addr 127.0.0.1:0 -http "" -data "$FODIR/tiles/$d" -quiet >"$log" 2>&1 &
+	pid=$!
+	FOPIDS="$FOPIDS $pid"
+	[ -n "$VICTIM_PID" ] || VICTIM_PID=$pid
+	RADDRS="$RADDRS $(bound_addr "$log")"
+done
+set -- $RADDRS
+VICTIM_ADDR=$1
+"$FODIR/spatiald" -addr 127.0.0.1:0 -http "" -coordinator "$FODIR/tiles" \
+	-shards "$1/$2,$3/$4" -shard-probe 50ms -shard-hedge 25ms -quiet >"$FODIR/coord.log" 2>&1 &
+FOPIDS="$FOPIDS $!"
+FO_ADDR="$(bound_addr "$FODIR/coord.log")"
+fo_join() {
+	"$FODIR/spatiald" -connect "$FO_ADDR" -e "join a b" >"$FODIR/$1.txt" || { echo "$1 join failed"; cat "$FODIR/$1.txt"; exit 1; }
+	grep -q 'from 2/2 shards' "$FODIR/$1.txt" || { echo "$1 join did not complete from 2/2 shards"; cat "$FODIR/$1.txt"; exit 1; }
+	grep -oE 'pair [0-9]+ [0-9]+' "$FODIR/$1.txt" | sort >"$FODIR/$1_pairs.txt"
+	cmp -s "$FODIR/single_pairs.txt" "$FODIR/$1_pairs.txt" || {
+		echo "$1 join differs from single-node join"
+		diff "$FODIR/single_pairs.txt" "$FODIR/$1_pairs.txt" | head -10
+		exit 1
+	}
+}
+fo_join healthy
+kill -9 "$VICTIM_PID"
+fo_join degraded
+"$FODIR/spatiald" -addr "$VICTIM_ADDR" -http "" -data "$FODIR/tiles/shard-0" -quiet >"$FODIR/shard-0-restart.log" 2>&1 &
+FOPIDS="$FOPIDS $!"
+bound_addr "$FODIR/shard-0-restart.log" >/dev/null
+READMITTED=0
+i=0
+while [ $i -lt 100 ]; do
+	st="$("$FODIR/spatiald" -connect "$FO_ADDR" -e shards | awk '$2=="0/0"{print $5}')"
+	if [ -n "$st" ] && [ "$st" != "open" ]; then READMITTED=1; break; fi
+	i=$((i + 1)); sleep 0.1
+done
+[ "$READMITTED" -eq 1 ] || { echo "prober never readmitted the restarted replica (state '$st')"; "$FODIR/spatiald" -connect "$FO_ADDR" -e shards; exit 1; }
+fo_join recovered
+kill $FOPIDS 2>/dev/null || true
+FOPIDS=""
+trap - EXIT
+rm -rf "$FODIR"
+
 echo "== streaming + batch smoke (in-process vs wire-streamed vs pipeline-off parity)"
 # The staged pipeline must never change answers: the same full-extent
 # join must produce line-identical pairs run in-process (pipelined),
