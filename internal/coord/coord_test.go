@@ -166,6 +166,12 @@ func TestCoordinatorJoinMatchesSingleNode(t *testing.T) {
 	if res.Stats.Tests == 0 {
 		t.Fatal("merged stats lost the shards' refinement counters")
 	}
+	// Tile snapshots persist the v2 interval column and shard engines run
+	// with intervals on by default, so the merged record must carry the
+	// interval verdict counters across the wire fold.
+	if res.Stats.IntervalChecks == 0 || res.Stats.IntervalTrueHits == 0 {
+		t.Fatalf("merged stats lost the shards' interval counters: %+v", res.Stats)
+	}
 }
 
 // TestCoordinatorSelectRoutesAndMatches pins MBR routing: a small query

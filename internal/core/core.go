@@ -22,6 +22,7 @@ import (
 	"repro/internal/edgeindex"
 	"repro/internal/faultinject"
 	"repro/internal/geom"
+	"repro/internal/interval"
 	"repro/internal/raster"
 	"repro/internal/sweep"
 	"time"
@@ -137,8 +138,9 @@ type Stats struct {
 	HWFallbacks int64 // distance only: line width over the hardware limit
 	// BreakerOpenSkips counts pair tests routed straight to the exact
 	// software path because the pair's circuit breaker was open (it joins
-	// the resolution partition: Tests == MBRRejects + PIPHits + SigRejects
-	// + SWDirect + HWRejects + HWPassed + HWFallbacks + BreakerOpenSkips).
+	// the resolution partition: Tests == MBRRejects + IntervalTrueHits +
+	// IntervalRejects + PIPHits + SigRejects + SWDirect + HWRejects +
+	// HWPassed + HWFallbacks + BreakerOpenSkips).
 	BreakerOpenSkips int64
 
 	// Persisted-signature filter accounting (see raster.Signature and
@@ -147,6 +149,18 @@ type Stats struct {
 	// negative without touching the hardware filter or the software test.
 	SigChecks  int64 // pair tests that consulted both objects' signatures
 	SigRejects int64 // pairs resolved negative by signature disjointness
+
+	// Interval-approximation filter accounting (see internal/interval and
+	// PairContext.PIv/QIv). The three-valued interval verdict runs right
+	// after the MBR pre-test: a true hit resolves the pair POSITIVE with
+	// no refinement at all (something no v1 filter can do), a reject
+	// resolves it negative, and an inconclusive pair proceeds through the
+	// v1 path unchanged. TrueHits and Rejects join the resolution
+	// partition; Checks and Inconclusive are observability counters.
+	IntervalChecks       int64 // pair tests where both sides had spans
+	IntervalTrueHits     int64 // pairs resolved positive by full/full overlap
+	IntervalRejects      int64 // pairs resolved negative by span disjointness
+	IntervalInconclusive int64 // interval checks that decided nothing
 
 	// Resilience accounting, filled by the parallel join's panic
 	// isolation (pair tests that fault are not part of the Tests
@@ -202,6 +216,10 @@ func (s *Stats) Add(other Stats) {
 	s.BreakerOpenSkips += other.BreakerOpenSkips
 	s.SigChecks += other.SigChecks
 	s.SigRejects += other.SigRejects
+	s.IntervalChecks += other.IntervalChecks
+	s.IntervalTrueHits += other.IntervalTrueHits
+	s.IntervalRejects += other.IntervalRejects
+	s.IntervalInconclusive += other.IntervalInconclusive
 	s.Panics += other.Panics
 	s.Quarantined += other.Quarantined
 	s.SentinelChecks += other.SentinelChecks
@@ -268,6 +286,16 @@ type PairContext struct {
 	// inconclusive signature test changes nothing. Signatures are
 	// immutable and shared like the indexes.
 	PSig, QSig *raster.Signature
+
+	// PIv and QIv are the objects' interval approximations on one shared
+	// interval.Grid (the caller guarantees both sides use the same grid —
+	// see query.Layer's column plumbing). When both are non-empty the
+	// three-valued verdict runs before any other geometry work: TrueHit
+	// reports the pair intersecting outright, Reject resolves it
+	// negative, Inconclusive falls through to the v1 signature path.
+	// Immutable and shared like the other fields. Intersection only;
+	// distance tests ignore them.
+	PIv, QIv interval.Spans
 }
 
 // NewTester builds a Tester from cfg, applying defaults for zero fields.
@@ -361,6 +389,24 @@ func (t *Tester) FilterIntersects(p, q *geom.Polygon, pc PairContext) Verdict {
 	if !p.Bounds().Intersects(q.Bounds()) {
 		t.Stats.MBRRejects++
 		return VerdictMiss
+	}
+
+	// Interval-approximation verdict (v2 filter): sound in both
+	// directions — a full/full cell overlap proves intersection, span
+	// disjointness proves the regions (interiors included) are disjoint —
+	// so it runs before the containment test; only inconclusive pairs pay
+	// for the rest of the filter chain.
+	if len(pc.PIv) > 0 && len(pc.QIv) > 0 {
+		t.Stats.IntervalChecks++
+		switch interval.Compare(pc.PIv, pc.QIv) {
+		case interval.TrueHit:
+			t.Stats.IntervalTrueHits++
+			return VerdictHit
+		case interval.Reject:
+			t.Stats.IntervalRejects++
+			return VerdictMiss
+		}
+		t.Stats.IntervalInconclusive++
 	}
 
 	// Step 1: software point-in-polygon test, both directions. Linear and

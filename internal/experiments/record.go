@@ -25,6 +25,18 @@ type BenchRecord struct {
 	Results      int     `json:"results,omitempty"`
 	Tests        int64   `json:"tests,omitempty"`
 	HWRejectRate float64 `json:"hw_reject_rate,omitempty"`
+
+	// Interval-filter effectiveness (the intervals experiment).
+	// TrueHitFrac is the fraction of intersecting pairs (Results) the
+	// filter resolved positive without refinement; RejectFrac and
+	// InconclusiveFrac are fractions of interval checks. RefineNSSaved is
+	// the refine-stage wall-clock saved against the NoIntervals baseline
+	// arm of the same workload (negative when the filter cost more than
+	// it saved).
+	TrueHitFrac      float64 `json:"true_hit_frac,omitempty"`
+	RejectFrac       float64 `json:"reject_frac,omitempty"`
+	InconclusiveFrac float64 `json:"inconclusive_frac,omitempty"`
+	RefineNSSaved    int64   `json:"refine_ns_saved,omitempty"`
 }
 
 func hwRejectRate(s core.Stats) float64 {

@@ -1,0 +1,90 @@
+package interval
+
+import "fmt"
+
+import "repro/internal/geom"
+
+// Column is a whole layer's interval approximation on one Grid: each
+// object's Spans concatenated into a flat word array with prefix
+// offsets, the shape the snapshot format persists and the mmap reader
+// aliases zero-copy. Immutable after construction; safe for concurrent
+// readers.
+type Column struct {
+	Grid Grid
+	off  []uint32
+	data []uint64
+}
+
+// Len returns the number of objects in the column.
+func (c *Column) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.off) - 1
+}
+
+// Spans returns object id's span list (a view, possibly empty for
+// objects too large to approximate). Nil receiver returns nil.
+func (c *Column) Spans(id int) Spans {
+	if c == nil {
+		return nil
+	}
+	return Spans(c.data[c.off[id]:c.off[id+1]:c.off[id+1]])
+}
+
+// Counts returns the per-object span counts (for the snapshot writer).
+func (c *Column) Counts() []uint32 {
+	counts := make([]uint32, c.Len())
+	for i := range counts {
+		counts[i] = c.off[i+1] - c.off[i]
+	}
+	return counts
+}
+
+// Data returns the concatenated packed span words (for the writer). The
+// slice must be treated as read-only.
+func (c *Column) Data() []uint64 { return c.data }
+
+// Build rasterizes every object onto g. Objects that cannot be
+// approximated (see Rasterize) get empty span lists and stay
+// inconclusive at pair-test time.
+func Build(objs []*geom.Polygon, g Grid) *Column {
+	off := make([]uint32, len(objs)+1)
+	var data []uint64
+	for i, p := range objs {
+		data = append(data, Rasterize(p, g)...)
+		off[i+1] = uint32(len(data))
+	}
+	return &Column{Grid: g, off: off, data: data}
+}
+
+// FromParts assembles a column from persisted pieces — the grid, one
+// span count per object, and the concatenated packed words — validating
+// the counts against the data and every span list's invariants. Errors
+// are plain (the snapshot reader wraps them into *FormatError); no
+// allocation is sized from unvalidated input beyond the counts slice the
+// caller already bounded.
+func FromParts(g Grid, counts []uint32, data []uint64) (*Column, error) {
+	if !g.Valid() {
+		return nil, fmt.Errorf("invalid grid (order %d, size %v)", g.Order, g.Size)
+	}
+	off := make([]uint32, len(counts)+1)
+	var total uint64
+	for i, n := range counts {
+		total += uint64(n)
+		if total > uint64(len(data)) {
+			return nil, fmt.Errorf("span counts overflow the data at object %d (%d words available)", i, len(data))
+		}
+		off[i+1] = uint32(total)
+	}
+	if total != uint64(len(data)) {
+		return nil, fmt.Errorf("span counts sum to %d words, data has %d", total, len(data))
+	}
+	c := &Column{Grid: g, off: off, data: data}
+	for i := range counts {
+		if err := c.Spans(i).Validate(g.Order); err != nil {
+			return nil, fmt.Errorf("object %d: %w", i, err)
+		}
+	}
+	return c, nil
+}

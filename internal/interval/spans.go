@@ -1,0 +1,221 @@
+package interval
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Verdict is the three-valued outcome of an interval-list pair test.
+type Verdict int8
+
+const (
+	// Inconclusive makes no claim: the pair refines exactly as without
+	// intervals. Also returned whenever either side has no spans.
+	Inconclusive Verdict = iota
+	// TrueHit proves the regions intersect: some cell is covered in full
+	// by both objects, so the pair is reported without any refinement.
+	TrueHit
+	// Reject proves the regions are disjoint: the span lists — each a
+	// conservative cover of its object's whole region, interior included
+	// — share no cell.
+	Reject
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case TrueHit:
+		return "true-hit"
+	case Reject:
+		return "reject"
+	default:
+		return "inconclusive"
+	}
+}
+
+// Spans is one object's approximation: sorted, non-overlapping inclusive
+// runs [lo, hi] of Hilbert cell indexes, each labeled full or partial.
+// Packed one uint64 per run — lo in bits 32..63, hi in bits 1..31, the
+// full flag in bit 0 — so a persisted column is a flat little-endian
+// uint64 array the snapshot reader can alias straight out of the mmap.
+//
+// Invariants (Validate enforces them on untrusted input): lo ≤ hi, hi
+// below the grid's cell count, and each run strictly after the previous
+// one. A full run means every cell in it lies entirely inside the
+// object's closed region (an exact claim — this is what licenses the
+// true hit); a partial run means the boundary may pass through. The
+// union of all runs covers every grid cell the closed region touches
+// (conservative — this is what licenses the reject).
+type Spans []uint64
+
+func pack(lo, hi uint32, full bool) uint64 {
+	v := uint64(lo)<<32 | uint64(hi)<<1
+	if full {
+		v |= 1
+	}
+	return v
+}
+
+func unpack(v uint64) (lo, hi uint32, full bool) {
+	return uint32(v >> 32), uint32(v>>1) & 0x7fffffff, v&1 != 0
+}
+
+// At returns run i's inclusive bounds and label (for tests and tools).
+func (s Spans) At(i int) (lo, hi uint32, full bool) { return unpack(s[i]) }
+
+// Cells returns the total number of cells covered (for stats and tests).
+func (s Spans) Cells() int {
+	n := 0
+	for _, v := range s {
+		lo, hi, _ := unpack(v)
+		n += int(hi-lo) + 1
+	}
+	return n
+}
+
+// Validate checks the Spans invariants against a grid order, returning a
+// plain error describing the first violation. The snapshot reader runs
+// it on every persisted list so corrupt interval sections fail closed at
+// open time, never mid-query.
+func (s Spans) Validate(order int) error {
+	if order < MinOrder || order > MaxOrder {
+		return fmt.Errorf("grid order %d out of [%d, %d]", order, MinOrder, MaxOrder)
+	}
+	limit := uint32(1) << (2 * uint(order))
+	var prev uint32
+	for i, v := range s {
+		lo, hi, _ := unpack(v)
+		if lo > hi {
+			return fmt.Errorf("run %d inverted: lo %d > hi %d", i, lo, hi)
+		}
+		if hi >= limit {
+			return fmt.Errorf("run %d cell %d beyond the %d-cell grid", i, hi, limit)
+		}
+		if i > 0 && lo <= prev {
+			return fmt.Errorf("run %d unsorted or overlapping: lo %d after hi %d", i, lo, prev)
+		}
+		prev = hi
+	}
+	return nil
+}
+
+// Compare merge-scans two span lists from the same grid and returns the
+// three-valued verdict. Cost is linear in the shorter list's runs; no
+// allocation. Lists from different grids must not be compared — the
+// layer plumbing guarantees both sides share one Grid.
+func Compare(a, b Spans) Verdict {
+	if len(a) == 0 || len(b) == 0 {
+		return Inconclusive
+	}
+	overlap := false
+	i, j := 0, 0
+	alo, ahi, af := unpack(a[0])
+	blo, bhi, bf := unpack(b[0])
+	for {
+		if ahi < blo {
+			i++
+			if i == len(a) {
+				break
+			}
+			alo, ahi, af = unpack(a[i])
+			continue
+		}
+		if bhi < alo {
+			j++
+			if j == len(b) {
+				break
+			}
+			blo, bhi, bf = unpack(b[j])
+			continue
+		}
+		// Runs overlap: at least one cell is covered by both objects.
+		if af && bf {
+			return TrueHit
+		}
+		overlap = true
+		if ahi < bhi {
+			i++
+			if i == len(a) {
+				break
+			}
+			alo, ahi, af = unpack(a[i])
+		} else {
+			j++
+			if j == len(b) {
+				break
+			}
+			blo, bhi, bf = unpack(b[j])
+		}
+	}
+	if overlap {
+		return Inconclusive
+	}
+	return Reject
+}
+
+// Rasterize computes p's span list on g: the conservative boundary cell
+// walk plus exact interior labeling (raster.CellCover), mapped through
+// the Hilbert ordering and run-length packed. Returns nil — no claim,
+// pair tests fall back to the v1 path — when the grid is unusable, the
+// object misses the grid, or the object's cell window exceeds
+// MaxWindowCells.
+func Rasterize(p *geom.Polygon, g Grid) Spans {
+	if !g.Valid() || p == nil || p.NumVerts() < 3 {
+		return nil
+	}
+	cs := g.CellSize()
+	b := p.Bounds()
+	n := g.Cells()
+	clamp := func(v float64) int {
+		i := int(math.Floor(v))
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	// Outward-rounded cell window of the MBR, clamped to the grid.
+	x0 := clamp((b.MinX-g.MinX)/cs - cellEps)
+	x1 := clamp((b.MaxX-g.MinX)/cs + cellEps)
+	y0 := clamp((b.MinY-g.MinY)/cs - cellEps)
+	y1 := clamp((b.MaxY-g.MinY)/cs + cellEps)
+	if b.MaxX < g.MinX || b.MaxY < g.MinY || b.MinX > g.MinX+g.Size || b.MinY > g.MinY+g.Size {
+		return nil // off-grid object: no sound claim possible
+	}
+	if (x1-x0+1)*(y1-y0+1) > MaxWindowCells {
+		return nil
+	}
+	// Collect labeled cells as hilbert<<1|full so one sort orders them.
+	cells := make([]uint64, 0, 64)
+	raster.CellCover(p, g.MinX, g.MinY, cs, x0, y0, x1, y1, func(x, y int, full bool) {
+		v := uint64(D(g.Order, uint32(x), uint32(y))) << 1
+		if full {
+			v |= 1
+		}
+		cells = append(cells, v)
+	})
+	if len(cells) == 0 {
+		return nil
+	}
+	slices.Sort(cells)
+	spans := make(Spans, 0, 16)
+	lo := uint32(cells[0] >> 1)
+	hi := lo
+	full := cells[0]&1 != 0
+	for _, c := range cells[1:] {
+		id := uint32(c >> 1)
+		f := c&1 != 0
+		if id == hi+1 && f == full {
+			hi = id
+			continue
+		}
+		spans = append(spans, pack(lo, hi, full))
+		lo, hi, full = id, id, f
+	}
+	return append(spans, pack(lo, hi, full))
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/geom"
+	"repro/internal/interval"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -37,7 +38,7 @@ func TestRegionsTileThePlane(t *testing.T) {
 	pts := []geom.Point{
 		{X: 10, Y: 10}, {X: 25, Y: 20}, {X: 50, Y: 40}, {X: 75, Y: 59.999},
 		{X: 0, Y: 0}, {X: 100, Y: 60}, // corners (max corner owned by the last tile)
-		{X: 25, Y: 30},                // on both an x and a y grid line
+		{X: 25, Y: 30},                     // on both an x and a y grid line
 		{X: -1e9, Y: 1e9}, {X: 1e9, Y: -5}, // far outside the bounds
 		{X: 33.333333333333336, Y: 20.000000000000004}, // awkward floats
 	}
@@ -59,8 +60,8 @@ func TestRegionsTileThePlane(t *testing.T) {
 func TestRegionEdgesShared(t *testing.T) {
 	m := &Manifest{Bounds: geom.R(-17.3, 2.1, 93.7, 55.9), GX: 5, GY: 4}
 	for ix := 0; ix < m.GX-1; ix++ {
-		a := m.CellBounds(ix)      // row 0
-		b := m.CellBounds(ix + 1)  // right neighbor
+		a := m.CellBounds(ix)     // row 0
+		b := m.CellBounds(ix + 1) // right neighbor
 		if a.MaxX != b.MinX {
 			t.Fatalf("cells %d,%d disagree on shared x edge: %v vs %v", ix, ix+1, a.MaxX, b.MinX)
 		}
@@ -134,6 +135,44 @@ func TestWriteAndLoadRoundTrip(t *testing.T) {
 		if want < 1 {
 			t.Fatalf("object %d overlaps no tile", gi)
 		}
+	}
+}
+
+// TestTileSnapshotsInheritIntervals pins that per-tile snapshots carry
+// the v2 interval section by default (the tile writer embeds
+// store.SaveOptions, so the column rides along with signatures), each on
+// the grid derived from that tile's own object subset.
+func TestTileSnapshotsInheritIntervals(t *testing.T) {
+	d := data.MustLoad("LANDO", 0.01)
+	dir := t.TempDir()
+	if _, err := Write(dir, "land", d, Options{Tiles: 4, Tool: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range m.Tiles {
+		s, err := store.Open(filepath.Join(dir, tile.Dir, SnapshotName("land")), store.OpenOptions{})
+		if err != nil {
+			t.Fatalf("tile %d: %v", tile.ID, err)
+		}
+		if s.NumObjects() == 0 {
+			s.Close()
+			continue
+		}
+		if !s.HasIntervals() {
+			t.Fatalf("tile %d snapshot lost the interval section", tile.ID)
+		}
+		col := s.Intervals()
+		if col.Len() != s.NumObjects() {
+			t.Fatalf("tile %d: interval column covers %d of %d objects", tile.ID, col.Len(), s.NumObjects())
+		}
+		g, ok := interval.GridFor(s.Dataset().Objects, 0)
+		if !ok || col.Grid != g {
+			t.Fatalf("tile %d: persisted grid %+v, want tile-local derivation %+v (ok=%v)", tile.ID, col.Grid, g, ok)
+		}
+		s.Close()
 	}
 }
 

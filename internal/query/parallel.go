@@ -31,6 +31,12 @@ type ParallelOptions struct {
 	// NoSignatures disables the persisted raster-signature filter; see
 	// SelectionOptions.NoSignatures.
 	NoSignatures bool
+	// NoIntervals disables the v2 interval-approximation filter; see
+	// SelectionOptions.NoIntervals.
+	NoIntervals bool
+	// IntervalOrder forces the shared interval grid's order; see
+	// JoinOptions.IntervalOrder.
+	IntervalOrder int
 }
 
 func (o ParallelOptions) workers() int {
@@ -71,7 +77,8 @@ func ParallelIntersectionJoin(ctx context.Context, a, b *Layer, opt ParallelOpti
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	iva, ivb := intervalColumns(a, b, opt.NoIntervals, opt.IntervalOrder)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures, iva, ivb)
 	return parallelRefine(ctx, col.items, opt, "parallel-join", func(t *core.Tester, pr Pair) bool {
 		return t.IntersectsCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
 	})
@@ -92,7 +99,7 @@ func ParallelWithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, opt
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures, nil, nil)
 	return parallelRefine(ctx, col.items, opt, "parallel-within-join", func(t *core.Tester, pr Pair) bool {
 		return t.WithinDistanceCtx(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))
 	})

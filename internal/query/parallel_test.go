@@ -55,7 +55,7 @@ func TestParallelWithinDistanceJoinMatchesSerial(t *testing.T) {
 		}
 	}
 	// Every test was accounted to exactly one resolution path.
-	accounted := stats.MBRRejects + stats.PIPHits + stats.SigRejects + stats.SWDirect +
+	accounted := stats.MBRRejects + stats.IntervalTrueHits + stats.IntervalRejects + stats.PIPHits + stats.SigRejects + stats.SWDirect +
 		stats.HWRejects + stats.HWPassed + stats.HWFallbacks
 	if accounted != stats.Tests {
 		t.Errorf("stats do not partition tests: %+v", stats)

@@ -78,7 +78,8 @@ func PipelineIntersectionJoin(ctx context.Context, a, b *Layer, opt PipelineOpti
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	iva, ivb := intervalColumns(a, b, opt.NoIntervals, opt.IntervalOrder)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures, iva, ivb)
 	return pipelineRun(ctx, col.items, opt, "pipeline-join",
 		func(t *core.Tester, pr Pair) core.Verdict {
 			return t.FilterIntersects(a.Data.Objects[pr.A], b.Data.Objects[pr.B], pcFor(pr))
@@ -105,7 +106,7 @@ func PipelineWithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, opt
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(col.items)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures, nil, nil)
 	return pipelineRun(ctx, col.items, opt, "pipeline-within-join",
 		func(t *core.Tester, pr Pair) core.Verdict {
 			return t.FilterWithin(a.Data.Objects[pr.A], b.Data.Objects[pr.B], d, pcFor(pr))

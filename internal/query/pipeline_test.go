@@ -29,7 +29,7 @@ func samePairsExact(t *testing.T, name string, got, want []Pair) {
 
 func checkStatsPartition(t *testing.T, name string, s core.Stats) {
 	t.Helper()
-	accounted := s.MBRRejects + s.PIPHits + s.SigRejects + s.SWDirect +
+	accounted := s.MBRRejects + s.IntervalTrueHits + s.IntervalRejects + s.PIPHits + s.SigRejects + s.SWDirect +
 		s.HWRejects + s.HWPassed + s.HWFallbacks + s.BreakerOpenSkips
 	if accounted != s.Tests {
 		t.Errorf("%s: stats do not partition tests: %+v", name, s)

@@ -33,6 +33,7 @@ import (
 	"repro/internal/edgeindex"
 	"repro/internal/filter"
 	"repro/internal/geom"
+	"repro/internal/interval"
 	"repro/internal/raster"
 	"repro/internal/rtree"
 	"repro/internal/store"
@@ -72,6 +73,19 @@ type Layer struct {
 	// breaker's own atomics.
 	breakerMu sync.Mutex
 	breakers  map[*Layer]*core.Breaker
+
+	// ivalCol is the persisted v2 interval column of a snapshot-backed
+	// layer (nil otherwise); ivalCache holds lazily built columns keyed by
+	// grid for layers (or grids) without a persisted one. Columns are
+	// immutable once built; the per-entry once makes concurrent queries on
+	// the same grid share one build. objStats caches the bounds/extent
+	// summary grid derivation needs.
+	ivalMu    sync.Mutex
+	ivalCache map[interval.Grid]*ivalEntry
+	ivalCol   *interval.Column
+	statsOnce sync.Once
+	objBounds geom.Rect
+	objExtent float64
 
 	// selfView caches the layer's single-component View (layers are
 	// immutable, so one view serves every query).
@@ -120,7 +134,120 @@ func NewLayerFromSnapshot(s *store.Snapshot) (*Layer, error) {
 			l.sigs[i] = s.Signature(i)
 		}
 	}
+	l.ivalCol = s.Intervals()
 	return l, nil
+}
+
+type ivalEntry struct {
+	once sync.Once
+	col  *interval.Column
+}
+
+// objectStats caches the layer's MBR union and characteristic extent,
+// the inputs of canonical interval-grid derivation.
+func (l *Layer) objectStats() (geom.Rect, float64) {
+	l.statsOnce.Do(func() {
+		l.objBounds, l.objExtent = interval.ObjectStats(l.Data.Objects)
+	})
+	return l.objBounds, l.objExtent
+}
+
+// intervalGrid returns the layer's own canonical interval grid: the
+// persisted column's grid when the snapshot carries one, else the
+// deterministic derivation the writer would have used. ok is false for
+// empty or non-finite layers, and for snapshot-backed layers whose file
+// carries no interval section — a pre-v2 (or `save ... nointervals`)
+// snapshot is a v1 artifact and serves the v1 signature path rather
+// than silently rebuilding at query time what the writer omitted.
+func (l *Layer) intervalGrid() (interval.Grid, bool) {
+	if c := l.ivalCol; c != nil {
+		return c.Grid, true
+	}
+	if l.snap != nil {
+		return interval.Grid{}, false
+	}
+	b, e := l.objectStats()
+	mnx, mny, size, fits := interval.FitSquare(b)
+	if !fits {
+		return interval.Grid{}, false
+	}
+	return interval.Grid{MinX: mnx, MinY: mny, Size: size, Order: interval.ChooseOrder(size, e)}, true
+}
+
+// Intervals returns the layer's interval column on grid g: the persisted
+// column when its grid matches exactly, else a lazily built one cached
+// per grid (layers are immutable, so a grid's column never changes).
+// Snapshot-backed layers without a persisted interval section never
+// build lazily — they are v1 artifacts and return nil so queries fall
+// back to the v1 signature path (see intervalGrid). Safe for concurrent
+// callers; concurrent first requests for one grid share a single build.
+func (l *Layer) Intervals(g interval.Grid) *interval.Column {
+	if !g.Valid() {
+		return nil
+	}
+	if c := l.ivalCol; c != nil && c.Grid == g {
+		return c
+	}
+	if l.snap != nil && l.ivalCol == nil {
+		return nil
+	}
+	l.ivalMu.Lock()
+	if l.ivalCache == nil {
+		l.ivalCache = map[interval.Grid]*ivalEntry{}
+	}
+	e := l.ivalCache[g]
+	if e == nil {
+		e = &ivalEntry{}
+		l.ivalCache[g] = e
+	}
+	l.ivalMu.Unlock()
+	e.once.Do(func() {
+		e.col = interval.Build(l.Data.Objects, g)
+	})
+	return e.col
+}
+
+// pairGrid derives the shared interval grid for a join between a and b:
+// the canonical square of the union of both layers' bounds, at the finer
+// of the two layers' auto orders (or the forced order when order > 0).
+// When both layers carry persisted columns on the identical grid — the
+// common case for snapshots saved over the same data domain — that grid
+// is used directly, so neither side rebuilds anything.
+func pairGrid(a, b *Layer, order int) (interval.Grid, bool) {
+	if order <= 0 && a.ivalCol != nil && b.ivalCol != nil && a.ivalCol.Grid == b.ivalCol.Grid {
+		return a.ivalCol.Grid, true
+	}
+	ba, ea := a.objectStats()
+	bb, eb := b.objectStats()
+	mnx, mny, size, ok := interval.FitSquare(ba.Union(bb))
+	if !ok {
+		return interval.Grid{}, false
+	}
+	if order <= 0 {
+		order = max(interval.ChooseOrder(size, ea), interval.ChooseOrder(size, eb))
+	}
+	if order < interval.MinOrder || order > interval.MaxOrder {
+		return interval.Grid{}, false
+	}
+	return interval.Grid{MinX: mnx, MinY: mny, Size: size, Order: order}, true
+}
+
+// intervalColumns resolves both sides' interval columns for a join,
+// honoring the NoIntervals ablation. Either both columns are non-nil and
+// share one grid, or both are nil (the v1 path).
+func intervalColumns(a, b *Layer, noIntervals bool, order int) (*interval.Column, *interval.Column) {
+	if noIntervals {
+		return nil, nil
+	}
+	g, ok := pairGrid(a, b, order)
+	if !ok {
+		return nil, nil
+	}
+	ca, cb := a.Intervals(g), b.Intervals(g)
+	if ca == nil || cb == nil {
+		return nil, nil
+	}
+	return ca, cb
 }
 
 // Snapshot returns the layer's backing snapshot and true when the layer
@@ -294,6 +421,10 @@ type SelectionOptions struct {
 	// snapshot-backed layers. Ablation knob; no effect on layers without
 	// signatures.
 	NoSignatures bool
+	// NoIntervals disables the v2 interval-approximation filter (true
+	// hits and rejects); the v1 signature path then decides alone.
+	// Ablation/baseline knob.
+	NoIntervals bool
 	// BatchSize is the streaming flush granularity for Sink; 0 falls back
 	// to core.DefaultBatchSize.
 	BatchSize int
@@ -403,6 +534,18 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 	start = time.Now()
 	qIdx := edgeindex.New(query)
 	qSig := layer.querySignature(query, opt.NoSignatures)
+	// The query polygon rasterizes once onto the layer's own canonical
+	// grid; each candidate then contributes its cached (or persisted)
+	// spans, so selections get the same true-hit/reject verdicts as joins.
+	var qIv interval.Spans
+	var selIvals *interval.Column
+	if !opt.NoIntervals {
+		if g, ok := layer.intervalGrid(); ok {
+			if qIv = interval.Rasterize(query, g); len(qIv) > 0 {
+				selIvals = layer.Intervals(g)
+			}
+		}
+	}
 	var br *core.Breaker
 	if !opt.NoBreaker {
 		br = layer.Breaker(layer)
@@ -416,6 +559,9 @@ func IntersectionSelect(ctx context.Context, layer *Layer, query *geom.Polygon, 
 			return results, cost, &PartialError{Op: "select", Done: i, Total: len(remaining), Err: ctxCause(ctx)}
 		}
 		pc := core.PairContext{PIndex: qIdx, QIndex: layer.EdgeIndex(id), Breaker: br, PSig: qSig, QSig: layer.Signature(id)}
+		if selIvals != nil {
+			pc.PIv, pc.QIv = qIv, selIvals.Spans(id)
+		}
 		if tester.IntersectsCtx(query, layer.Data.Objects[id], pc) {
 			results = append(results, id)
 		}
@@ -534,6 +680,12 @@ type JoinOptions struct {
 	// NoSignatures disables the persisted raster-signature filter; see
 	// SelectionOptions.NoSignatures.
 	NoSignatures bool
+	// NoIntervals disables the v2 interval-approximation filter; see
+	// SelectionOptions.NoIntervals.
+	NoIntervals bool
+	// IntervalOrder forces the shared interval grid's order (2..15); 0
+	// derives it from the layers. The benchmark sweep's resolution knob.
+	IntervalOrder int
 }
 
 // sortPairsByOuter orders candidate pairs by (A, B) so refinement visits
@@ -554,14 +706,19 @@ func sortPairsByOuter(pairs []Pair) {
 // ablations. All contexts share the pair's breaker, so any worker's
 // sentinel disagreement degrades the whole join. Persisted signatures
 // attach only on the sides that carry them; the tester's bounds check
-// makes a one-sided or absent signature merely inconclusive.
-func pairContexts(a, b *Layer, noIndex, noBreaker, noSig bool) func(Pair) core.PairContext {
+// makes a one-sided or absent signature merely inconclusive. iva and
+// ivb, when both non-nil (see intervalColumns), attach the objects' v2
+// interval spans — always from one shared grid, which is what makes
+// them comparable; the v1 signatures stay attached too and still decide
+// pairs the interval check leaves inconclusive.
+func pairContexts(a, b *Layer, noIndex, noBreaker, noSig bool, iva, ivb *interval.Column) func(Pair) core.PairContext {
 	var br *core.Breaker
 	if !noBreaker {
 		br = a.Breaker(b)
 	}
 	sigA, sigB := a.sigs != nil && !noSig, b.sigs != nil && !noSig
-	if noIndex && !sigA && !sigB {
+	ivals := iva != nil && ivb != nil
+	if noIndex && !sigA && !sigB && !ivals {
 		return func(Pair) core.PairContext { return core.PairContext{Breaker: br} }
 	}
 	return func(pr Pair) core.PairContext {
@@ -574,6 +731,9 @@ func pairContexts(a, b *Layer, noIndex, noBreaker, noSig bool) func(Pair) core.P
 		}
 		if sigB {
 			pc.QSig = b.Signature(pr.B)
+		}
+		if ivals {
+			pc.PIv, pc.QIv = iva.Spans(pr.A), ivb.Spans(pr.B)
 		}
 		return pc
 	}
@@ -629,7 +789,8 @@ func IntersectionJoinOpt(ctx context.Context, a, b *Layer, tester *core.Tester, 
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(remaining)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	iva, ivb := intervalColumns(a, b, opt.NoIntervals, opt.IntervalOrder)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures, iva, ivb)
 	var results []Pair
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
@@ -728,7 +889,7 @@ func WithinDistanceJoin(ctx context.Context, a, b *Layer, d float64, tester *cor
 	if !opt.NoLocalityOrder {
 		sortPairsByOuter(remaining)
 	}
-	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures)
+	pcFor := pairContexts(a, b, opt.NoEdgeIndex, opt.NoBreaker, opt.NoSignatures, nil, nil)
 	for i, pr := range remaining {
 		if i%cancelStride == 0 && ctx.Err() != nil {
 			cost.GeometryComparison = time.Since(start)

@@ -36,6 +36,13 @@ type Stats struct {
 	PIPHits     int64 `json:"pip_hits"`
 	SigChecks   int64 `json:"sig_checks,omitempty"`
 	SigRejects  int64 `json:"sig_rejects,omitempty"`
+
+	// Interval-approximation (v2) filter counters; see core.Stats.
+	IntervalChecks       int64 `json:"interval_checks,omitempty"`
+	IntervalTrueHits     int64 `json:"interval_true_hits,omitempty"`
+	IntervalRejects      int64 `json:"interval_rejects,omitempty"`
+	IntervalInconclusive int64 `json:"interval_inconclusive,omitempty"`
+
 	SWDirect    int64 `json:"sw_direct"`
 	HWRejects   int64 `json:"hw_rejects"`
 	HWPassed    int64 `json:"hw_passed"`
@@ -94,6 +101,12 @@ func NewStats(op string, results int, cost Cost, refine core.Stats) Stats {
 		PIPHits:        refine.PIPHits,
 		SigChecks:      refine.SigChecks,
 		SigRejects:     refine.SigRejects,
+
+		IntervalChecks:       refine.IntervalChecks,
+		IntervalTrueHits:     refine.IntervalTrueHits,
+		IntervalRejects:      refine.IntervalRejects,
+		IntervalInconclusive: refine.IntervalInconclusive,
+
 		SWDirect:       refine.SWDirect,
 		HWRejects:      refine.HWRejects,
 		HWPassed:       refine.HWPassed,
@@ -144,6 +157,10 @@ func (s *Stats) Merge(o Stats) {
 	s.PIPHits += o.PIPHits
 	s.SigChecks += o.SigChecks
 	s.SigRejects += o.SigRejects
+	s.IntervalChecks += o.IntervalChecks
+	s.IntervalTrueHits += o.IntervalTrueHits
+	s.IntervalRejects += o.IntervalRejects
+	s.IntervalInconclusive += o.IntervalInconclusive
 	s.SWDirect += o.SWDirect
 	s.HWRejects += o.HWRejects
 	s.HWPassed += o.HWPassed

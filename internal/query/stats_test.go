@@ -3,6 +3,8 @@ package query
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // fillStats sets every numeric field of a Stats to a distinct nonzero
@@ -57,6 +59,38 @@ func TestStatsMergeSumsEveryField(t *testing.T) {
 			if !mv.Field(i).Bool() {
 				t.Errorf("Merge cleared bool %s", name)
 			}
+		}
+	}
+}
+
+// TestNewStatsCarriesEveryCoreCounter pins the core.Stats → Stats
+// flatten: every counter the refinement tester accumulates must have a
+// same-named field in the serving record holding the same value, so a
+// counter added to core.Stats cannot silently vanish from the shell
+// output, access log, /metrics, or the coordinator's merged records.
+func TestNewStatsCarriesEveryCoreCounter(t *testing.T) {
+	var cs core.Stats
+	cv := reflect.ValueOf(&cs).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		cv.Field(i).SetInt(int64(i) + 1)
+	}
+	// The tester's internal wall-clock aggregates are deliberately not in
+	// the serving record; stage timing reports through Cost instead.
+	exempt := map[string]bool{"HWTime": true, "SWTime": true, "CollectTime": true}
+	st := NewStats("op", 0, Cost{}, cs)
+	sv := reflect.ValueOf(st)
+	for i := 0; i < cv.NumField(); i++ {
+		name := cv.Type().Field(i).Name
+		if exempt[name] {
+			continue
+		}
+		f := sv.FieldByName(name)
+		if !f.IsValid() {
+			t.Errorf("core.Stats.%s has no counterpart in query.Stats", name)
+			continue
+		}
+		if got, want := f.Int(), cv.Field(i).Int(); got != want {
+			t.Errorf("NewStats dropped core.Stats.%s: got %d, want %d", name, got, want)
 		}
 	}
 }

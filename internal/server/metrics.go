@@ -60,6 +60,13 @@ type Metrics struct {
 	SigChecks             atomic.Int64
 	SigRejects            atomic.Int64
 
+	// Interval-approximation (v2) filter counters: pair tests where both
+	// sides carried span lists and the three-valued verdict breakdown.
+	IntervalChecks       atomic.Int64
+	IntervalTrueHits     atomic.Int64
+	IntervalRejects      atomic.Int64
+	IntervalInconclusive atomic.Int64
+
 	// Snapshot warm-start counters: loads observed, bytes mapped or
 	// copied, mmap-path loads, and cumulative load wall-clock.
 	SnapshotLoads  atomic.Int64
@@ -139,6 +146,10 @@ func (m *Metrics) observe(st query.Stats, status Status, dur time.Duration) {
 	m.DirtyClearPixelsSaved.Add(st.DirtyClearPixelsSaved)
 	m.SigChecks.Add(st.SigChecks)
 	m.SigRejects.Add(st.SigRejects)
+	m.IntervalChecks.Add(st.IntervalChecks)
+	m.IntervalTrueHits.Add(st.IntervalTrueHits)
+	m.IntervalRejects.Add(st.IntervalRejects)
+	m.IntervalInconclusive.Add(st.IntervalInconclusive)
 	if st.SnapshotBytes > 0 {
 		m.SnapshotLoads.Add(1)
 		m.SnapshotBytes.Add(st.SnapshotBytes)
@@ -214,6 +225,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges Gauges) {
 	g("spatiald_refine_dirty_clear_pixels_saved_total", m.DirtyClearPixelsSaved.Load())
 	g("spatiald_refine_sig_checks_total", m.SigChecks.Load())
 	g("spatiald_refine_sig_rejects_total", m.SigRejects.Load())
+	g("spatiald_refine_interval_checks_total", m.IntervalChecks.Load())
+	g("spatiald_refine_interval_true_hits_total", m.IntervalTrueHits.Load())
+	g("spatiald_refine_interval_rejects_total", m.IntervalRejects.Load())
+	g("spatiald_refine_interval_inconclusive_total", m.IntervalInconclusive.Load())
 	g("spatiald_snapshot_loads_total", m.SnapshotLoads.Load())
 	g("spatiald_snapshot_bytes_total", m.SnapshotBytes.Load())
 	g("spatiald_snapshot_mmap_loads_total", m.SnapshotMMaps.Load())

@@ -94,6 +94,10 @@ type Settings struct {
 	// worker path (one terminal emit). Differential knob for the pipeline
 	// verb.
 	NoPipeline bool
+	// NoIntervals ablates the v2 interval-approximation filter back to
+	// the v1 raster-signature path. Differential knob for the intervals
+	// verb.
+	NoIntervals bool
 }
 
 // EffectiveTimeout resolves the session timeout against the server
@@ -193,6 +197,8 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 		return e.batchCmd(ctx, line, out)
 	case "pipeline":
 		return e.setPipeline(args, out)
+	case "intervals":
+		return e.setIntervals(args, out)
 	}
 	if e.Coord != nil {
 		return e.coordExec(ctx, cmd, args, line, out)
@@ -257,7 +263,7 @@ func (e *Engine) Exec(ctx context.Context, line string, out io.Writer) (Result, 
 const Help = `commands:
   gen <name> <DATASET> <scale>      generate a synthetic layer (LANDC, LANDO, STATES50, PRISM, WATER)
   load <name> <path>                load a layer from .json, .wkt, or a .snap snapshot
-  save <name> <path>                save a layer as a binary snapshot (indexes + signatures)
+  save <name> <path> [nointervals]  save a layer as a binary snapshot (indexes + signatures + intervals)
   layers                            list loaded layers
   stats <name>                      Table 2 statistics of a layer
   join <a> <b> [sw|hw]              intersection join (default hw)
@@ -269,6 +275,7 @@ const Help = `commands:
   timeout <duration|off>            bound each query (e.g. timeout 2s)
   budget <n|off>                    cap MBR candidates per query
   pipeline <on|off> [batch]         staged batch pipeline for pjoin/shard verbs (off = per-pair path)
+  intervals <on|off>                v2 interval-approximation filter (off = v1 signature path)
   batch <cmd>; <cmd>; ...           run N commands in one round trip under one admission slot
   partition <layer> <n> <dir> [m [r]]  split a layer into n spatial tiles under dir (replication margin m, r replicas per tile)
   shardselect <layer> <WKT>         shard-side select: emits "id <N>" lines with stable ids
@@ -412,15 +419,22 @@ func (e *Engine) loadSnap(store Store, name, path string, out io.Writer) (Result
 }
 
 func (e *Engine) save(store Store, args []string, out io.Writer) (Result, error) {
-	if len(args) != 2 {
-		return Result{}, fmt.Errorf("usage: save <name> <path>")
+	if len(args) < 2 || len(args) > 3 {
+		return Result{}, fmt.Errorf("usage: save <name> <path> [nointervals]")
+	}
+	opts := snap.SaveOptions{Tool: "spatialdb"}
+	if len(args) == 3 {
+		if args[2] != "nointervals" {
+			return Result{}, fmt.Errorf("bad save option %q (only nointervals)", args[2])
+		}
+		opts.IntervalOrder = -1
 	}
 	v, err := viewOf(store, args[0])
 	if err != nil {
 		return Result{}, err
 	}
 	path := e.snapPath(args[1])
-	bs, err := snap.Save(path, v.Dataset(), snap.SaveOptions{Tool: "spatialdb"})
+	bs, err := snap.Save(path, v.Dataset(), opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -536,6 +550,30 @@ func (e *Engine) setPipeline(args []string, out io.Writer) (Result, error) {
 	return Result{Stats: query.Stats{Op: "pipeline"}, Mutation: true}, nil
 }
 
+// setIntervals toggles the v2 interval-approximation filter:
+// intervals <on|off>. "off" falls back to the v1 raster-signature path
+// everywhere (the ablation baseline); result sets are identical either
+// way, only which filter resolves each pair changes.
+func (e *Engine) setIntervals(args []string, out io.Writer) (Result, error) {
+	if len(args) != 1 {
+		return Result{}, fmt.Errorf("usage: intervals <on|off>")
+	}
+	switch args[0] {
+	case "on":
+		e.Settings.NoIntervals = false
+	case "off":
+		e.Settings.NoIntervals = true
+	default:
+		return Result{}, fmt.Errorf("intervals must be on or off, got %q", args[0])
+	}
+	state := "on"
+	if e.Settings.NoIntervals {
+		state = "off"
+	}
+	fmt.Fprintf(out, "intervals %s\n", state)
+	return Result{Stats: query.Stats{Op: "intervals"}, Mutation: true}, nil
+}
+
 // batchCmd executes N ";"-separated sub-commands in one round trip under
 // the single admission slot the batch verb itself was admitted on. Each
 // sub-command's output streams in order, delimited by a "sub <n> ok:
@@ -609,9 +647,10 @@ func (e *Engine) pipelineOpts(mode string, workers int) (query.PipelineOptions, 
 		return query.PipelineOptions{}, err
 	}
 	return query.PipelineOptions{
-		ParallelOptions: query.ParallelOptions{Workers: workers, Tester: tf, MaxCandidates: e.Settings.Budget},
-		BatchSize:       e.Settings.BatchSize,
-		NoPipeline:      e.Settings.NoPipeline,
+		ParallelOptions: query.ParallelOptions{Workers: workers, Tester: tf,
+			MaxCandidates: e.Settings.Budget, NoIntervals: e.Settings.NoIntervals},
+		BatchSize:  e.Settings.BatchSize,
+		NoPipeline: e.Settings.NoPipeline,
 	}, nil
 }
 
@@ -678,13 +717,14 @@ func (e *Engine) join(ctx context.Context, store Store, args []string, out io.Wr
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
 	pairs, cost, qerr := query.IntersectionJoinView(qctx, a, b, tester,
-		query.JoinOptions{MaxCandidates: e.Settings.Budget})
+		query.JoinOptions{MaxCandidates: e.Settings.Budget, NoIntervals: e.Settings.NoIntervals})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
 	}
 	report(out, "join", len(pairs), cost)
 	st := query.NewStats("join", len(pairs), cost, tester.Stats)
+	reportIntervals(out, st)
 	liveStats(&st, a, b)
 	return Result{
 		Stats:   st,
@@ -716,9 +756,10 @@ func (e *Engine) pjoin(ctx context.Context, store Store, args []string, out io.W
 	// pjoin runs the staged batch pipeline (pipeline off reconstructs the
 	// per-pair worker path); testers stay the parallel defaults.
 	pairs, stats, qerr := query.PipelineIntersectionJoinView(qctx, a, b, query.PipelineOptions{
-		ParallelOptions: query.ParallelOptions{Workers: workers, MaxCandidates: e.Settings.Budget},
-		BatchSize:       e.Settings.BatchSize,
-		NoPipeline:      e.Settings.NoPipeline,
+		ParallelOptions: query.ParallelOptions{Workers: workers, MaxCandidates: e.Settings.Budget,
+			NoIntervals: e.Settings.NoIntervals},
+		BatchSize:  e.Settings.BatchSize,
+		NoPipeline: e.Settings.NoPipeline,
 	})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
@@ -731,6 +772,7 @@ func (e *Engine) pjoin(ctx context.Context, store Store, args []string, out io.W
 	}
 	fmt.Fprintln(out, ")")
 	st := query.NewStats("pjoin", len(pairs), query.Cost{}, stats)
+	reportIntervals(out, st)
 	liveStats(&st, a, b)
 	return Result{
 		Stats:   st,
@@ -836,13 +878,15 @@ func (e *Engine) selectCmd(ctx context.Context, store Store, line string, out io
 	qctx, cancel := e.qctx(ctx)
 	defer cancel()
 	ids, cost, qerr := query.IntersectionSelectView(qctx, v, q, tester,
-		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: e.Settings.Budget})
+		query.SelectionOptions{InteriorLevel: 4, MaxCandidates: e.Settings.Budget,
+			NoIntervals: e.Settings.NoIntervals})
 	var be *query.BudgetError
 	if errors.As(qerr, &be) {
 		return Result{}, qerr
 	}
 	report(out, "select", len(ids), cost)
 	st := query.NewStats("select", len(ids), cost, tester.Stats)
+	reportIntervals(out, st)
 	liveStats(&st, v)
 	return Result{
 		Stats:   st,
@@ -972,6 +1016,16 @@ func (e *Engine) compact(ctx context.Context, store Store, args []string, out io
 	fmt.Fprintf(out, "compacted %q in %v: %d objects, %d folded, wal truncated %d segments\n",
 		args[0], time.Since(start).Round(time.Microsecond), st.Objects, st.LastFolded, st.WAL.Truncated)
 	return Result{Stats: query.Stats{Op: "compact", Results: st.Objects}, Mutation: true}, nil
+}
+
+// reportIntervals writes the v2 interval-filter resolution line when the
+// filter participated; scripted smoke checks grep these key=value fields.
+func reportIntervals(out io.Writer, st query.Stats) {
+	if st.IntervalChecks == 0 {
+		return
+	}
+	fmt.Fprintf(out, "intervals: interval_checks=%d interval_true_hits=%d interval_rejects=%d interval_inconclusive=%d\n",
+		st.IntervalChecks, st.IntervalTrueHits, st.IntervalRejects, st.IntervalInconclusive)
 }
 
 func report(out io.Writer, op string, results int, cost query.Cost) {

@@ -44,7 +44,7 @@ const (
 	tableEntrySize = 32
 
 	// maxSections caps the table a reader will allocate for; the format
-	// defines seven sections, so the cap only bounds hostile input.
+	// defines nine sections, so the cap only bounds hostile input.
 	maxSections = 64
 )
 
@@ -59,6 +59,7 @@ const (
 	secEdgeBoxes  = 6 // per-object edge-index boxes (counts + flat rects)
 	secSigs       = 7 // per-object raster signatures (header + bitmaps)
 	secIDs        = 8 // per-object stable ids, n × uint64, strictly increasing
+	secIntervals  = 9 // per-object Hilbert interval lists (header + counts + spans)
 )
 
 func sectionName(id uint32) string {
@@ -79,6 +80,8 @@ func sectionName(id uint32) string {
 		return "signatures"
 	case secIDs:
 		return "ids"
+	case secIntervals:
+		return "intervals"
 	default:
 		return fmt.Sprintf("section-%d", id)
 	}
@@ -116,7 +119,8 @@ type Meta struct {
 	Name       string `json:"name"`
 	Objects    int    `json:"objects"`
 	TotalVerts int    `json:"total_verts"`
-	SigRes     int    `json:"sig_res,omitempty"` // 0 = no signatures stored
+	SigRes     int    `json:"sig_res,omitempty"`        // 0 = no signatures stored
+	IntervalOrder int `json:"interval_order,omitempty"` // 0 = no interval column stored
 	Tool       string `json:"tool,omitempty"`
 	Created    string `json:"created,omitempty"` // RFC 3339
 

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/edgeindex"
 	"repro/internal/geom"
+	"repro/internal/interval"
 	"repro/internal/raster"
 	"repro/internal/rtree"
 )
@@ -63,6 +65,10 @@ type Snapshot struct {
 	// Stable per-object ids (live-ingestion lineage). Nil when the
 	// section was omitted; readers then assume identity ids.
 	ids []uint64
+
+	// Interval column (v2 approximation). Nil when omitted; loaded
+	// layers then fall back to the v1 signature path or a lazy rebuild.
+	ivals *interval.Column
 }
 
 // Open validates and loads the snapshot at path. The file is memory-
@@ -189,6 +195,11 @@ func openBytes(path string, raw []byte, forceCopy bool) (*Snapshot, error) {
 	}
 	if b, ok := sections[secIDs]; ok {
 		if err := s.loadIDs(path, b, forceCopy); err != nil {
+			return nil, err
+		}
+	}
+	if b, ok := sections[secIntervals]; ok {
+		if err := s.loadIntervals(path, b, forceCopy); err != nil {
 			return nil, err
 		}
 	}
@@ -358,6 +369,49 @@ func (s *Snapshot) loadIDs(path string, b []byte, forceCopy bool) error {
 	return nil
 }
 
+func (s *Snapshot) loadIntervals(path string, b []byte, forceCopy bool) error {
+	n := s.meta.Objects
+	if len(b) < 32 {
+		return errf(path, "intervals", "truncated header (%d bytes)", len(b))
+	}
+	g := interval.Grid{
+		Order: int(binary.LittleEndian.Uint32(b[0:])),
+		MinX:  mathFloat64(b[8:]),
+		MinY:  mathFloat64(b[16:]),
+		Size:  mathFloat64(b[24:]),
+	}
+	if !g.Valid() {
+		return errf(path, "intervals", "invalid grid (order %d, size %v)", g.Order, g.Size)
+	}
+	if g.Order != s.meta.IntervalOrder {
+		return errf(path, "intervals", "order %d disagrees with meta %d", g.Order, s.meta.IntervalOrder)
+	}
+	countsEnd := 32 + n*4
+	dataStart := int(align8(uint64(countsEnd)))
+	if len(b) < dataStart {
+		return errf(path, "intervals", "length %d too short for %d counts", len(b), n)
+	}
+	if (len(b)-dataStart)%8 != 0 {
+		return errf(path, "intervals", "span payload %d bytes is not word-aligned", len(b)-dataStart)
+	}
+	counts := asUint32s(view(b[32:countsEnd], forceCopy))
+	words := asUint64s(view(b[dataStart:], forceCopy))
+	// FromParts validates the counts against the data (overflow-checked
+	// prefix sums, exact total) and every span list's invariants before
+	// anything is aliased into query state, so corrupt or hostile interval
+	// sections fail closed here rather than mid-join.
+	col, err := interval.FromParts(g, counts, words)
+	if err != nil {
+		return errf(path, "intervals", "%v", err)
+	}
+	s.ivals = col
+	return nil
+}
+
+func mathFloat64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
 // nextIDFloor is the smallest NextID consistent with the stored objects.
 func (s *Snapshot) nextIDFloor() uint64 {
 	if n := s.meta.Objects; s.ids == nil && n > 0 {
@@ -447,6 +501,15 @@ func (s *Snapshot) NextID() uint64 {
 // AppliedLSN returns the highest WAL LSN folded into this snapshot
 // generation (0 for load-only snapshots).
 func (s *Snapshot) AppliedLSN() uint64 { return s.meta.AppliedLSN }
+
+// HasIntervals reports whether the snapshot persisted the v2 interval
+// column.
+func (s *Snapshot) HasIntervals() bool { return s.ivals != nil }
+
+// Intervals returns the persisted interval column (a validated view into
+// the snapshot), or nil when the section was omitted. The column is
+// immutable and safe for concurrent readers.
+func (s *Snapshot) Intervals() *interval.Column { return s.ivals }
 
 // Signature returns object id's persisted raster signature (a view into
 // the snapshot), or an invalid zero signature when none are stored.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/edgeindex"
 	"repro/internal/geom"
+	"repro/internal/interval"
 	"repro/internal/raster"
 	"repro/internal/rtree"
 )
@@ -131,7 +132,7 @@ func verifySnapshot(t *testing.T, s *Snapshot, d *data.Dataset, wantSigRes int) 
 func TestSnapshotRoundTrip(t *testing.T) {
 	d := testDataset(t)
 	path, st := saveTemp(t, d, SaveOptions{})
-	if st.Objects != len(d.Objects) || st.Sections != 7 || st.SigRes != raster.DefaultSignatureRes {
+	if st.Objects != len(d.Objects) || st.Sections != 8 || st.SigRes != raster.DefaultSignatureRes || st.IntervalOrder == 0 {
 		t.Fatalf("build stats %+v", st)
 	}
 	for _, forceCopy := range []bool{false, true} {
@@ -157,7 +158,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotOptionalSections(t *testing.T) {
 	d := testDataset(t)
 	path, st := saveTemp(t, d, SaveOptions{SigRes: -1})
-	if st.SigRes != 0 || st.Sections != 6 {
+	if st.SigRes != 0 || st.Sections != 7 {
 		t.Fatalf("build stats %+v", st)
 	}
 	s, err := Open(path, OpenOptions{})
@@ -367,5 +368,75 @@ func TestSnapshotIDLineage(t *testing.T) {
 	}
 	if _, err := Save(filepath.Join(t.TempDir(), "bad2.snap"), d, SaveOptions{IDs: ids, NextID: ids[n-1]}); err == nil {
 		t.Fatal("save accepted NextID <= max id")
+	}
+}
+
+// TestSnapshotIntervals pins the v2 interval column round trip: the
+// persisted column must equal a live Build on the same grid, omission
+// via IntervalOrder < 0 must produce a v1-shaped snapshot, and a
+// corrupted span word must fail closed as a *FormatError.
+func TestSnapshotIntervals(t *testing.T) {
+	d := testDataset(t)
+	path, st := saveTemp(t, d, SaveOptions{})
+	if st.IntervalOrder == 0 {
+		t.Fatalf("intervals omitted by default: %+v", st)
+	}
+	for _, forceCopy := range []bool{false, true} {
+		s, err := Open(path, OpenOptions{ForceCopy: forceCopy})
+		if err != nil {
+			t.Fatalf("open (copy=%v): %v", forceCopy, err)
+		}
+		if !s.HasIntervals() {
+			t.Fatal("interval column missing")
+		}
+		col := s.Intervals()
+		if col.Grid.Order != st.IntervalOrder || col.Len() != len(d.Objects) {
+			t.Fatalf("column grid %+v len %d, want order %d len %d",
+				col.Grid, col.Len(), st.IntervalOrder, len(d.Objects))
+		}
+		g, ok := interval.GridFor(d.Objects, 0)
+		if !ok || g != col.Grid {
+			t.Fatalf("persisted grid %+v, live derivation %+v", col.Grid, g)
+		}
+		live := interval.Build(d.Objects, g)
+		for i := range d.Objects {
+			a, b := col.Spans(i), live.Spans(i)
+			if len(a) != len(b) {
+				t.Fatalf("object %d: %d spans stored, %d live", i, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("object %d span %d differs", i, j)
+				}
+			}
+		}
+		s.Close()
+	}
+
+	// Explicit omission keeps the snapshot v1-shaped.
+	path2, st2 := saveTemp(t, d, SaveOptions{IntervalOrder: -1})
+	if st2.IntervalOrder != 0 {
+		t.Fatalf("IntervalOrder -1 still built a column: %+v", st2)
+	}
+	s2, err := Open(path2, OpenOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if s2.HasIntervals() || s2.Intervals() != nil || s2.Meta().IntervalOrder != 0 {
+		t.Fatal("intervals present despite IntervalOrder -1")
+	}
+	s2.Close()
+
+	// A flipped bit inside the span payload must be caught — by the CRC
+	// here; FuzzIntervalSection additionally rewrites the CRC to reach the
+	// structural validators.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read blob: %v", err)
+	}
+	blob[len(blob)-5] ^= 0x40
+	var ferr *FormatError
+	if _, err := OpenBytes(blob); !errors.As(err, &ferr) {
+		t.Fatalf("corrupt span payload: got %v, want *FormatError", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/edgeindex"
+	"repro/internal/interval"
 	"repro/internal/raster"
 	"repro/internal/rtree"
 )
@@ -22,6 +23,13 @@ type SaveOptions struct {
 	// raster.DefaultSignatureRes, a negative value omits the signature
 	// section entirely (signatures are an optional accelerator).
 	SigRes int
+	// IntervalOrder is the Hilbert grid order for the v2 interval column:
+	// 0 derives the order from the objects (interval.ChooseOrder over the
+	// canonical square), a negative value omits the interval section.
+	// Like signatures, intervals are an optional accelerator — v1 readers
+	// skip the unknown section, and loaded layers without one fall back
+	// to signatures.
+	IntervalOrder int
 	// NoEdgeBoxes omits the persisted edge-index hierarchies; loaded
 	// layers then rebuild them lazily like in-memory layers do.
 	NoEdgeBoxes bool
@@ -42,10 +50,11 @@ type SaveOptions struct {
 type BuildStats struct {
 	Objects    int
 	TotalVerts int
-	Sections   int
-	Bytes      int64
-	SigRes     int // 0 when signatures were omitted
-	BuildMS    float64
+	Sections      int
+	Bytes         int64
+	SigRes        int // 0 when signatures were omitted
+	IntervalOrder int // 0 when the interval column was omitted
+	BuildMS       float64
 }
 
 type section struct {
@@ -114,15 +123,22 @@ func buildSections(d *data.Dataset, opts SaveOptions) ([]section, BuildStats, er
 			return nil, BuildStats{}, fmt.Errorf("store: id %d not below next id %d", opts.IDs[n-1], opts.NextID)
 		}
 	}
+	var ivalGrid interval.Grid
+	if opts.IntervalOrder >= 0 {
+		if g, ok := interval.GridFor(d.Objects, opts.IntervalOrder); ok {
+			ivalGrid = g
+		}
+	}
 	meta, err := json.Marshal(Meta{
-		Name:       d.Name,
-		Objects:    n,
-		TotalVerts: totalVerts,
-		SigRes:     sigRes,
-		Tool:       tool,
-		Created:    time.Now().UTC().Format(time.RFC3339),
-		NextID:     opts.NextID,
-		AppliedLSN: opts.AppliedLSN,
+		Name:          d.Name,
+		Objects:       n,
+		TotalVerts:    totalVerts,
+		SigRes:        sigRes,
+		IntervalOrder: ivalGrid.Order,
+		Tool:          tool,
+		Created:       time.Now().UTC().Format(time.RFC3339),
+		NextID:        opts.NextID,
+		AppliedLSN:    opts.AppliedLSN,
 	})
 	if err != nil {
 		return nil, BuildStats{}, fmt.Errorf("store: encode meta: %w", err)
@@ -163,6 +179,9 @@ func buildSections(d *data.Dataset, opts SaveOptions) ([]section, BuildStats, er
 	if sigRes > 0 {
 		secs = append(secs, section{secSigs, encodeSignatures(d, sigRes)})
 	}
+	if ivalGrid.Valid() {
+		secs = append(secs, section{secIntervals, encodeIntervals(d, ivalGrid)})
+	}
 	if opts.IDs != nil {
 		ids := make([]byte, 0, n*8)
 		for _, id := range opts.IDs {
@@ -170,7 +189,7 @@ func buildSections(d *data.Dataset, opts SaveOptions) ([]section, BuildStats, er
 		}
 		secs = append(secs, section{secIDs, ids})
 	}
-	return secs, BuildStats{Objects: n, TotalVerts: totalVerts, SigRes: sigRes}, nil
+	return secs, BuildStats{Objects: n, TotalVerts: totalVerts, SigRes: sigRes, IntervalOrder: ivalGrid.Order}, nil
 }
 
 func appendFloat64(b []byte, v float64) []byte {
@@ -224,6 +243,33 @@ func encodeEdgeBoxes(d *data.Dataset) []byte {
 		}
 	}
 	return append(counts, boxes...)
+}
+
+// encodeIntervals serializes the v2 interval column: a 32-byte header
+// (order uint32, reserved uint32, grid minX/minY/size float64), one span
+// count per object (uint32), zero-padding to 8-byte alignment, then the
+// concatenated packed span words (uint64 each). The grid travels with
+// the column so a reader can tell whether a persisted column matches the
+// grid a join wants without re-deriving anything.
+func encodeIntervals(d *data.Dataset, g interval.Grid) []byte {
+	col := interval.Build(d.Objects, g)
+	n := col.Len()
+	b := make([]byte, 0, 32+align8(uint64(n)*4)+uint64(len(col.Data()))*8)
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.Order))
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = appendFloat64(b, g.MinX)
+	b = appendFloat64(b, g.MinY)
+	b = appendFloat64(b, g.Size)
+	for _, c := range col.Counts() {
+		b = binary.LittleEndian.AppendUint32(b, c)
+	}
+	for len(b)%8 != 0 {
+		b = append(b, 0)
+	}
+	for _, w := range col.Data() {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	return b
 }
 
 // encodeSignatures serializes the raster signature column: resolution and

@@ -59,6 +59,18 @@ if [ -f BENCH_pipeline.json ]; then
 else
 	echo "benchdiff: no BENCH_pipeline.json, skipping"
 fi
+if [ -f BENCH_intervals.json ]; then
+	if EXPERIMENTS=intervals SCALE=0.01 scripts/benchdiff.sh BENCH_intervals.json; then
+		:
+	else
+		echo "benchdiff: interval-sweep regressions vs committed baseline (warn-only; STRICT_BENCH=1 to enforce)"
+		if [ "${STRICT_BENCH:-0}" = "1" ]; then
+			exit 1
+		fi
+	fi
+else
+	echo "benchdiff: no BENCH_intervals.json, skipping"
+fi
 
 echo "== snapshot round-trip + corruption-rejection smoke"
 # A layer saved as a binary snapshot must reload and join identically to
@@ -85,6 +97,58 @@ else
 	echo "corrupted snapshot was not rejected with a CRC error"; exit 1
 fi
 rm -rf "$SNAPDIR"
+
+echo "== interval filter smoke (v2 snapshot true hits, pre-v2 signature fallback parity)"
+# A join over snapshot-loaded layers must engage the persisted interval
+# column (nonzero true hits), and snapshots saved without the interval
+# section (the pre-v2 format) must fall back to the v1 signature path
+# with a line-identical pair set.
+IVDIR="$(mktemp -d /tmp/ival_smoke.XXXXXX)"
+go run ./cmd/spatialdb -data "$IVDIR" >"$IVDIR/v2.txt" <<'EOF'
+gen a LANDC 0.01
+gen b LANDO 0.01
+save a a
+save b b
+load sa a
+load sb b
+join sa sb sw
+shardjoin sa sb -Inf -Inf +Inf +Inf
+EOF
+grep -q 'from snapshot' "$IVDIR/v2.txt" || { echo "interval smoke: snapshot load missing"; cat "$IVDIR/v2.txt"; exit 1; }
+grep -q 'interval_true_hits=[1-9]' "$IVDIR/v2.txt" || { echo "snapshot join reported no interval true hits"; cat "$IVDIR/v2.txt"; exit 1; }
+go run ./cmd/spatialdb -data "$IVDIR" >"$IVDIR/v1.txt" <<'EOF'
+gen a LANDC 0.01
+gen b LANDO 0.01
+save a a1 nointervals
+save b b1 nointervals
+load sa a1
+load sb b1
+join sa sb sw
+shardjoin sa sb -Inf -Inf +Inf +Inf
+EOF
+if grep -q 'interval_checks=' "$IVDIR/v1.txt"; then
+	echo "pre-v2 snapshot still engaged the interval filter"; cat "$IVDIR/v1.txt"; exit 1
+fi
+grep -oE 'pair [0-9]+ [0-9]+' "$IVDIR/v2.txt" | sort >"$IVDIR/v2.pairs"
+grep -oE 'pair [0-9]+ [0-9]+' "$IVDIR/v1.txt" | sort >"$IVDIR/v1.pairs"
+[ -s "$IVDIR/v2.pairs" ] || { echo "interval smoke join produced no pairs"; cat "$IVDIR/v2.txt"; exit 1; }
+cmp -s "$IVDIR/v2.pairs" "$IVDIR/v1.pairs" || {
+	echo "interval filter changed the join answer vs the v1 signature path"
+	diff "$IVDIR/v2.pairs" "$IVDIR/v1.pairs" | head -10
+	exit 1
+}
+# The session knob must ablate the filter without changing the answer.
+go run ./cmd/spatialdb -data "$IVDIR" >"$IVDIR/off.txt" <<'EOF'
+load sa a
+load sb b
+intervals off
+join sa sb sw
+EOF
+grep -q 'intervals off' "$IVDIR/off.txt" || { echo "intervals off verb failed"; cat "$IVDIR/off.txt"; exit 1; }
+if grep -q 'interval_checks=' "$IVDIR/off.txt"; then
+	echo "intervals off still engaged the interval filter"; cat "$IVDIR/off.txt"; exit 1
+fi
+rm -rf "$IVDIR"
 
 echo "== crash-recovery smoke (WAL crash injection, restart, verify)"
 # Ingest under an injected crash at the second WAL fsync, then restart
@@ -320,6 +384,7 @@ echo "== fuzz smoke (${FUZZTIME} each)"
 go test ./internal/data/ -fuzz FuzzDataRead -fuzztime "$FUZZTIME"
 go test ./internal/data/ -fuzz FuzzWKTParse -fuzztime "$FUZZTIME"
 go test ./internal/store/ -fuzz FuzzSnapshotOpen -fuzztime "$FUZZTIME"
+go test ./internal/store/ -fuzz FuzzIntervalSection -fuzztime "$FUZZTIME"
 go test ./internal/wal/ -fuzz FuzzWALOpen -fuzztime "$FUZZTIME"
 
 echo "== all checks passed"
